@@ -1,0 +1,66 @@
+//! Criterion benchmarks of the geodata substrate: DEM synthesis and the
+//! hydrology kernels (priority-flood fill, D8 routing, flow accumulation)
+//! that gate whole-watershed analyses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dcd_geodata::hydrology::{fill_depressions, flow_accumulation, flow_directions};
+use dcd_geodata::{generate_dem, generate_scene, DemConfig, SceneConfig};
+use dcd_tensor::SeededRng;
+
+fn bench_dem(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dem_generate");
+    for &size in &[128usize, 256, 512] {
+        let cfg = DemConfig {
+            width: size,
+            height: size,
+            ..Default::default()
+        };
+        group.throughput(Throughput::Elements((size * size) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &cfg, |b, cfg| {
+            b.iter(|| generate_dem(cfg, &mut SeededRng::new(1)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_hydrology(c: &mut Criterion) {
+    let cfg = DemConfig {
+        width: 256,
+        height: 256,
+        ..Default::default()
+    };
+    let dem = generate_dem(&cfg, &mut SeededRng::new(2));
+    let filled = fill_depressions(&dem);
+    let dirs = flow_directions(&filled);
+
+    let mut group = c.benchmark_group("hydrology_256");
+    group.throughput(Throughput::Elements(256 * 256));
+    group.bench_function("priority_flood_fill", |b| b.iter(|| fill_depressions(&dem)));
+    group.bench_function("d8_flow_directions", |b| b.iter(|| flow_directions(&filled)));
+    group.bench_function("flow_accumulation", |b| {
+        b.iter(|| flow_accumulation(&filled, &dirs))
+    });
+    group.finish();
+}
+
+fn bench_scene(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scene");
+    group.sample_size(10);
+    let cfg = SceneConfig {
+        dem: DemConfig {
+            width: 256,
+            height: 256,
+            ..Default::default()
+        },
+        road_spacing: 64,
+        stream_threshold: 100.0,
+        ..Default::default()
+    };
+    group.bench_function("generate_scene_256", |b| {
+        b.iter(|| generate_scene(&cfg, &mut SeededRng::new(3)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dem, bench_hydrology, bench_scene);
+criterion_main!(benches);

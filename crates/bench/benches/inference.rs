@@ -1,0 +1,61 @@
+//! Criterion benchmarks of real CPU inference and training steps of the
+//! `dcd-nn` SPP-Net (the executable counterpart of the simulated numbers).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcd_nn::{SppNet, SppNetConfig, Trainer, TrainConfig, Sample, BBox, Sgd};
+use dcd_tensor::{SeededRng, Tensor};
+
+/// A reduced-width model (Effort::Standard in the harness) so the benches
+/// finish in seconds on CPU.
+fn standard_model() -> SppNet {
+    let mut cfg = SppNetConfig::candidate2();
+    cfg.channels = [16, 32, 48];
+    cfg.fc1 = 512;
+    let mut rng = SeededRng::new(1);
+    SppNet::new(cfg, &mut rng)
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let mut model = standard_model();
+    let mut rng = SeededRng::new(2);
+    let mut group = c.benchmark_group("cpu_forward");
+    group.sample_size(20);
+    for &batch in &[1usize, 4, 16] {
+        let x = Tensor::randn([batch, 4, 64, 64], 0.0, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, _| {
+            b.iter(|| model.forward(&x))
+        });
+    }
+    group.finish();
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let mut model = standard_model();
+    let mut rng = SeededRng::new(3);
+    let samples: Vec<Sample> = (0..8)
+        .map(|i| {
+            let img = Tensor::randn([4, 64, 64], 0.0, 1.0, &mut rng);
+            if i % 2 == 0 {
+                Sample::positive(img, BBox::new(0.5, 0.5, 0.2, 0.2))
+            } else {
+                Sample::negative(img)
+            }
+        })
+        .collect();
+    let refs: Vec<&Sample> = samples.iter().collect();
+    let trainer = Trainer::new(TrainConfig {
+        epochs: 1,
+        batch_size: 8,
+        sgd: Sgd::paper(),
+        ..Default::default()
+    });
+    let mut group = c.benchmark_group("cpu_train");
+    group.sample_size(10);
+    group.bench_function("sgd_step_batch8_64x64", |b| {
+        b.iter(|| trainer.train_batch(&mut model, &refs))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward, bench_train_step);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion benchmarks of the IOS machinery itself: how long the dynamic
+//! program, the stage cost model, and a simulated inference actually take in
+//! wall-clock time. (IOS trades schedule-generation time for schedule
+//! quality — §8.3 — so the DP's own cost is a first-class metric.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcd_gpusim::DeviceSpec;
+use dcd_ios::{
+    greedy_schedule, ios_schedule, lower_sppnet, measure_latency, sequential_schedule, IosOptions,
+    StageCostModel,
+};
+use dcd_nn::SppNetConfig;
+
+fn bench_schedulers(c: &mut Criterion) {
+    let cfg = SppNetConfig::candidate2();
+    let graph = lower_sppnet(&cfg, (100, 100));
+    let device = DeviceSpec::rtx_a5500();
+
+    let mut group = c.benchmark_group("scheduler");
+    group.bench_function("sequential", |b| b.iter(|| sequential_schedule(&graph)));
+    group.bench_function("greedy", |b| b.iter(|| greedy_schedule(&graph)));
+    group.bench_function("ios_dp_cold", |b| {
+        b.iter(|| {
+            // Cold cost model each iteration: includes all stage profiling.
+            let mut cost = StageCostModel::new(&graph, device.clone(), 1);
+            ios_schedule(&graph, &mut cost, IosOptions::default())
+        })
+    });
+    group.finish();
+}
+
+fn bench_dp_pruning(c: &mut Criterion) {
+    let cfg = SppNetConfig::candidate2();
+    let graph = lower_sppnet(&cfg, (100, 100));
+    let device = DeviceSpec::rtx_a5500();
+    let mut group = c.benchmark_group("ios_dp_pruning");
+    for &(mg, mgl) in &[(1usize, 6usize), (2, 4), (4, 6), (4, 12)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("g{mg}_l{mgl}")),
+            &(mg, mgl),
+            |b, &(mg, mgl)| {
+                b.iter(|| {
+                    let mut cost = StageCostModel::new(&graph, device.clone(), 1);
+                    ios_schedule(
+                        &graph,
+                        &mut cost,
+                        IosOptions {
+                            max_groups: mg,
+                            max_group_len: mgl,
+                        },
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_simulated_inference(c: &mut Criterion) {
+    let cfg = SppNetConfig::candidate2();
+    let graph = lower_sppnet(&cfg, (100, 100));
+    let device = DeviceSpec::rtx_a5500();
+    let mut cost = StageCostModel::new(&graph, device.clone(), 1);
+    let schedule = ios_schedule(&graph, &mut cost, IosOptions::default());
+    let mut group = c.benchmark_group("simulated_inference");
+    for &batch in &[1usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            b.iter(|| measure_latency(&graph, &schedule, batch, &device, 0, 1))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers, bench_dp_pruning, bench_simulated_inference);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Regenerates **Fig 6**: inference efficiency (latency / batch size) for the
+//! sequential and IOS-optimized schedules of SPP-Net #2 across batch sizes
+//! 1–64, plus the §6.4 optimal-batch selection.
+//!
+//! Usage: `cargo run --release -p dcd-bench --bin fig6`
+//!
+//! Expected shape: per-image latency falls with batch size for both
+//! schedules; the optimized schedule stays below the sequential one; the
+//! relative gain shrinks as the GPU saturates, with diminishing returns
+//! selecting batch 32 (the paper's choice).
+
+use dcd_bench::print_table;
+use dcd_core::{Pipeline, PipelineConfig};
+use dcd_nn::SppNetConfig;
+
+fn main() {
+    let pipeline = Pipeline::new(PipelineConfig::default());
+    let model = SppNetConfig::candidate2();
+    println!("model: SPP-Net #2  ({})", model.summary());
+    let sweep = pipeline.batch_sweep(&model);
+    let mut rows = Vec::new();
+    for pt in &sweep {
+        rows.push(vec![
+            pt.batch.to_string(),
+            format!("{:.1} µs", pt.sequential_ns_per_image / 1e3),
+            format!("{:.1} µs", pt.optimized_ns_per_image / 1e3),
+            format!(
+                "{:.1}%",
+                100.0 * (1.0 - pt.optimized_ns_per_image / pt.sequential_ns_per_image)
+            ),
+        ]);
+    }
+    print_table(
+        "Fig 6: inference efficiency (latency per image) vs batch size",
+        &["Batch", "Sequential", "IOS-optimized", "Gain"],
+        &rows,
+    );
+    let optimal = Pipeline::pick_optimal_batch(&sweep);
+    println!("\noptimal batch size (diminishing-gains rule): {optimal} (paper selects 32)");
+}

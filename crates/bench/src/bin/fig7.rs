@@ -1,0 +1,55 @@
+//! Regenerates **Fig 7**: GPU memops timing across batch sizes, plus the
+//! §7.1 memory-capacity observation.
+//!
+//! Usage: `cargo run --release -p dcd-bench --bin fig7`
+//!
+//! Paper reference: the memops timing decreases with batch size and
+//! stabilizes at 19168 ns from batch 16 on; GPU memory stays far below the
+//! A5500's 24 GB even at batch 64.
+
+use dcd_bench::print_table;
+use dcd_core::profile_batch_sweep;
+use dcd_gpusim::DeviceSpec;
+use dcd_nn::SppNetConfig;
+
+fn main() {
+    let device = DeviceSpec::rtx_a5500();
+    let profiles = profile_batch_sweep(
+        &SppNetConfig::candidate2(),
+        (100, 100),
+        &device,
+        &[1, 2, 4, 8, 16, 32, 64],
+        20,
+    );
+    let mut rows = Vec::new();
+    for p in &profiles {
+        rows.push(vec![
+            p.batch.to_string(),
+            format!("{:.0} ns", p.memops_per_image_ns),
+            format!("{:.1} MB", p.mem_used_bytes as f64 / 1e6),
+            format!(
+                "{:.2}%",
+                100.0 * p.mem_used_bytes as f64 / device.mem_capacity as f64
+            ),
+        ]);
+    }
+    print_table(
+        "Fig 7: GPU memops timing and memory usage vs batch size",
+        &["Batch", "Memops / image", "GPU memory", "of 24 GB"],
+        &rows,
+    );
+    let stable = &profiles[profiles.len() - 3..];
+    let spread = stable
+        .iter()
+        .map(|p| p.memops_per_image_ns)
+        .fold(f64::NEG_INFINITY, f64::max)
+        / stable
+            .iter()
+            .map(|p| p.memops_per_image_ns)
+            .fold(f64::INFINITY, f64::min);
+    println!(
+        "\nstabilized value (batch ≥ 16): ≈{:.0} ns (paper: 19168 ns); spread {:.1}%",
+        stable.last().unwrap().memops_per_image_ns,
+        100.0 * (spread - 1.0)
+    );
+}

@@ -1,0 +1,55 @@
+//! Regenerates **Table 3**: GPU kernel time shares by operator class
+//! (Matrix Multiplication / Pooling / Conv) across batch sizes.
+//!
+//! Usage: `cargo run --release -p dcd-bench --bin table3`
+//!
+//! Paper reference (matmul/pool/conv %): batch 1 → 41.6/14.1/7.7; batch 64 →
+//! 7.4/8.6/77.2. Expected shape: GEMM dominates at batch 1 (the FC layer is
+//! memory-bound, streaming its whole weight matrix per inference) and fades
+//! as batch grows; convolution scales with batch and dominates at 64;
+//! pooling stays comparatively stable.
+
+use dcd_bench::print_table;
+use dcd_core::profile_batch_sweep;
+use dcd_gpusim::DeviceSpec;
+use dcd_nn::SppNetConfig;
+
+fn main() {
+    let profiles = profile_batch_sweep(
+        &SppNetConfig::candidate2(),
+        (100, 100),
+        &DeviceSpec::rtx_a5500(),
+        &[1, 2, 4, 8, 16, 32, 64],
+        20,
+    );
+    let paper: [(f64, f64, f64); 7] = [
+        (41.6, 14.1, 7.7),
+        (34.8, 14.4, 9.7),
+        (39.9, 13.5, 9.5),
+        (34.8, 13.7, 10.0),
+        (18.1, 17.1, 16.6),
+        (15.7, 14.7, 13.4),
+        (7.4, 8.6, 77.2),
+    ];
+    let mut rows = Vec::new();
+    for (p, (pm, pp, pc)) in profiles.iter().zip(paper) {
+        rows.push(vec![
+            p.batch.to_string(),
+            format!("{:.1}", p.gemm_pct),
+            format!("{:.1}", p.pool_pct),
+            format!("{:.1}", p.conv_pct),
+            format!("{pm:.1}/{pp:.1}/{pc:.1}"),
+        ]);
+    }
+    print_table(
+        "Table 3: GPU kernel profiling for different batch sizes (% of kernel time)",
+        &["Batch", "MatMul %", "Pool %", "Conv %", "paper (mm/pool/conv)"],
+        &rows,
+    );
+    let first = &profiles[0];
+    let last = profiles.last().unwrap();
+    println!(
+        "\nshape check: gemm {:.1}% → {:.1}% (falling), conv {:.1}% → {:.1}% (rising to dominance)",
+        first.gemm_pct, last.gemm_pct, first.conv_pct, last.conv_pct
+    );
+}

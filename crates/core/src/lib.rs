@@ -1,0 +1,31 @@
+//! # dcd-core
+//!
+//! The paper's primary contribution, end to end: **accuracy-constrained
+//! efficiency optimization of SPP-Net inference for drainage-crossing
+//! detection** (Fig 5), plus the public detector API and the §8.1 baseline.
+//!
+//! The pipeline (see [`pipeline`]):
+//!
+//! 1. NAS explores the §4.2 search space (`dcd-nas`), scoring candidates by
+//!    test AP on the watershed patch dataset (`dcd-geodata` + `dcd-nn`);
+//! 2. candidates with `a(n) > A` survive the accuracy constraint (§5.4);
+//! 3. each survivor is lowered to the operator graph and scheduled by IOS
+//!    (`dcd-ios`); the one with the lowest optimized latency wins;
+//! 4. a batch-size sweep (§6.4) picks the optimal inference batch;
+//! 5. the winner is profiled nsys-style across batch sizes
+//!    (`dcd-profiler`, §7).
+//!
+//! [`detector::DrainageCrossingDetector`] packages the result for downstream
+//! users; [`baseline`] provides the two-stage `rcnn-lite` comparator.
+
+pub mod baseline;
+pub mod detector;
+pub mod scan;
+pub mod pipeline;
+pub mod profiling;
+
+pub use baseline::{RcnnLite, RcnnLiteConfig};
+pub use detector::DrainageCrossingDetector;
+pub use pipeline::{CandidateReport, Pipeline, PipelineConfig, PipelineResult};
+pub use profiling::{profile_batch_sweep, profile_run, BatchProfile};
+pub use scan::{match_detections, nms, scan_scene, ScanConfig, SceneDetection};

@@ -1,0 +1,199 @@
+//! nsys-style profiling harness (§7): runs the chosen model/schedule across
+//! batch sizes and aggregates the three views of Figs 7–8 and Table 3.
+
+use dcd_gpusim::{ApiKind, DeviceSpec, KernelClass, Trace};
+use dcd_ios::{ios_schedule, lower_sppnet, Executor, IosOptions, StageCostModel};
+use dcd_nn::SppNetConfig;
+use dcd_profiler::{api_report, kernel_report, memop_report};
+use serde::{Deserialize, Serialize};
+
+/// Profiling aggregates for one batch size.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchProfile {
+    /// Batch size profiled.
+    pub batch: usize,
+    /// Fig 7: GPU memops timing per image, ns.
+    pub memops_per_image_ns: f64,
+    /// Fig 7 context: device memory in use (weights + activations), bytes.
+    pub mem_used_bytes: u64,
+    /// Fig 8: `cuLibraryLoadData` share of API time, percent.
+    pub lib_load_pct: f64,
+    /// Fig 8: `cudaDeviceSynchronize` share of API time, percent.
+    pub sync_pct: f64,
+    /// Table 3: GEMM (matrix multiplication) share of kernel time, percent.
+    pub gemm_pct: f64,
+    /// Table 3: pooling share of kernel time, percent.
+    pub pool_pct: f64,
+    /// Table 3: convolution share of kernel time, percent.
+    pub conv_pct: f64,
+    /// Mean inference latency at this batch, ns.
+    pub latency_ns: f64,
+}
+
+fn pct_of_api(trace: &Trace, kind: ApiKind) -> f64 {
+    api_report(trace)
+        .into_iter()
+        .find(|r| r.name == kind.label())
+        .map(|r| r.pct)
+        .unwrap_or(0.0)
+}
+
+fn pct_of_kernel(trace: &Trace, class: KernelClass) -> f64 {
+    kernel_report(trace)
+        .into_iter()
+        .find(|r| r.class == class.label())
+        .map(|r| r.pct)
+        .unwrap_or(0.0)
+}
+
+/// Profiles one batch size: builds the IOS schedule for that batch, runs
+/// `iterations` inferences under the trace, and aggregates.
+///
+/// Returns the aggregates and the full raw trace (for `render_stats`).
+pub fn profile_run(
+    config: &SppNetConfig,
+    input_hw: (usize, usize),
+    device: &DeviceSpec,
+    batch: usize,
+    iterations: usize,
+) -> (BatchProfile, Trace) {
+    let graph = lower_sppnet(config, input_hw);
+    let mut cost = StageCostModel::new(&graph, device.clone(), batch);
+    let schedule = ios_schedule(&graph, &mut cost, IosOptions::default());
+    let mut exec = Executor::new(&graph, schedule, batch, device.clone());
+    let mem_used_bytes = exec.mem_used();
+    let mut total_latency = 0u64;
+    for _ in 0..iterations {
+        total_latency += exec.run_inference();
+    }
+    let trace = exec.into_trace();
+    let memops = memop_report(&trace);
+    let profile = BatchProfile {
+        batch,
+        memops_per_image_ns: memops.per_image_ns(batch, iterations),
+        mem_used_bytes,
+        lib_load_pct: pct_of_api(&trace, ApiKind::LibraryLoadData),
+        sync_pct: pct_of_api(&trace, ApiKind::DeviceSynchronize),
+        gemm_pct: pct_of_kernel(&trace, KernelClass::Gemm),
+        pool_pct: pct_of_kernel(&trace, KernelClass::Pool),
+        conv_pct: pct_of_kernel(&trace, KernelClass::Conv),
+        latency_ns: total_latency as f64 / iterations.max(1) as f64,
+    };
+    (profile, trace)
+}
+
+/// Profiles a whole batch-size sweep (the paper's 1, 2, 4, …, 64).
+pub fn profile_batch_sweep(
+    config: &SppNetConfig,
+    input_hw: (usize, usize),
+    device: &DeviceSpec,
+    batches: &[usize],
+    iterations: usize,
+) -> Vec<BatchProfile> {
+    batches
+        .iter()
+        .map(|&b| profile_run(config, input_hw, device, b, iterations).0)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep() -> Vec<BatchProfile> {
+        profile_batch_sweep(
+            &SppNetConfig::candidate2(),
+            (100, 100),
+            &DeviceSpec::rtx_a5500(),
+            &[1, 4, 16, 64],
+            20,
+        )
+    }
+
+    #[test]
+    fn fig7_memops_per_image_falls_then_stabilizes() {
+        let s = sweep();
+        // Falls from batch 1 to 16…
+        assert!(
+            s[2].memops_per_image_ns < s[0].memops_per_image_ns,
+            "batch16 {} vs batch1 {}",
+            s[2].memops_per_image_ns,
+            s[0].memops_per_image_ns
+        );
+        // …then stabilizes: 16 → 64 changes by <25%.
+        let ratio = s[3].memops_per_image_ns / s[2].memops_per_image_ns;
+        assert!((0.75..1.25).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn fig7_memory_stays_far_below_capacity() {
+        let s = sweep();
+        for p in &s {
+            assert!(p.mem_used_bytes < DeviceSpec::rtx_a5500().mem_capacity / 4);
+        }
+        assert!(s[3].mem_used_bytes > s[0].mem_used_bytes);
+    }
+
+    #[test]
+    fn fig8_library_load_dominates_at_batch_1() {
+        let s = sweep();
+        assert!(
+            s[0].lib_load_pct > 50.0,
+            "lib load at batch 1 is {}%",
+            s[0].lib_load_pct
+        );
+        assert!(s[0].sync_pct < s[0].lib_load_pct);
+    }
+
+    #[test]
+    fn fig8_sync_share_rises_with_batch() {
+        let s = sweep();
+        assert!(
+            s[3].sync_pct > s[0].sync_pct,
+            "sync {}% at 64 vs {}% at 1",
+            s[3].sync_pct,
+            s[0].sync_pct
+        );
+        // At batch 64 synchronization rivals/overtakes library loading.
+        assert!(
+            s[3].sync_pct > 0.8 * s[3].lib_load_pct,
+            "sync {}% vs lib {}% at batch 64",
+            s[3].sync_pct,
+            s[3].lib_load_pct
+        );
+    }
+
+    #[test]
+    fn table3_gemm_falls_conv_rises() {
+        let s = sweep();
+        assert!(
+            s[0].gemm_pct > s[3].gemm_pct,
+            "gemm {}% → {}%",
+            s[0].gemm_pct,
+            s[3].gemm_pct
+        );
+        assert!(
+            s[3].conv_pct > s[0].conv_pct,
+            "conv {}% → {}%",
+            s[0].conv_pct,
+            s[3].conv_pct
+        );
+        // At batch 64 convolution dominates the kernel timeline.
+        assert!(s[3].conv_pct > 50.0, "conv at 64 is {}%", s[3].conv_pct);
+        // At batch 1 GEMM leads conv (memory-bound FC vs small conv).
+        assert!(s[0].gemm_pct > s[0].conv_pct);
+    }
+
+    #[test]
+    fn trace_is_returned_for_rendering() {
+        let (_, trace) = profile_run(
+            &SppNetConfig::original(),
+            (100, 100),
+            &DeviceSpec::rtx_a5500(),
+            2,
+            3,
+        );
+        let text = dcd_profiler::render_stats(&trace);
+        assert!(text.contains("cudaLaunchKernel"));
+    }
+}

@@ -1,0 +1,190 @@
+//! A dense 2-D `f32` grid (row-major), the raster type shared by the DEM,
+//! flow-accumulation and land-cover layers.
+
+use serde::{Deserialize, Serialize};
+
+/// Row-major 2-D raster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Grid {
+    width: usize,
+    height: usize,
+    data: Vec<f32>,
+}
+
+impl Grid {
+    /// A zero-filled grid.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "grid must be non-empty");
+        Grid {
+            width,
+            height,
+            data: vec![0.0; width * height],
+        }
+    }
+
+    /// Builds from an existing buffer (`data.len() == width·height`).
+    pub fn from_vec(width: usize, height: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), width * height, "grid buffer size mismatch");
+        Grid {
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// Grid width (x extent).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Grid height (y extent).
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Cell count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the grid has zero cells (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Value at `(x, y)`.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> f32 {
+        debug_assert!(x < self.width && y < self.height);
+        self.data[y * self.width + x]
+    }
+
+    /// Sets the value at `(x, y)`.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, v: f32) {
+        debug_assert!(x < self.width && y < self.height);
+        self.data[y * self.width + x] = v;
+    }
+
+    /// Linear index of `(x, y)`.
+    #[inline]
+    pub fn idx(&self, x: usize, y: usize) -> usize {
+        y * self.width + x
+    }
+
+    /// Coordinates of linear index `i`.
+    #[inline]
+    pub fn coords(&self, i: usize) -> (usize, usize) {
+        (i % self.width, i / self.width)
+    }
+
+    /// Raw buffer.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw buffer.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Whether `(x, y)` lies on the outer boundary.
+    pub fn on_border(&self, x: usize, y: usize) -> bool {
+        x == 0 || y == 0 || x == self.width - 1 || y == self.height - 1
+    }
+
+    /// The 8-connected neighbours of `(x, y)` that are in bounds.
+    pub fn neighbors8(&self, x: usize, y: usize) -> Vec<(usize, usize)> {
+        let mut out = Vec::with_capacity(8);
+        for dy in -1i64..=1 {
+            for dx in -1i64..=1 {
+                if dx == 0 && dy == 0 {
+                    continue;
+                }
+                let nx = x as i64 + dx;
+                let ny = y as i64 + dy;
+                if nx >= 0 && ny >= 0 && (nx as usize) < self.width && (ny as usize) < self.height {
+                    out.push((nx as usize, ny as usize));
+                }
+            }
+        }
+        out
+    }
+
+    /// Minimum value.
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Maximum value.
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Number of cells for which `pred` holds.
+    pub fn count(&self, pred: impl Fn(f32) -> bool) -> usize {
+        self.data.iter().filter(|&&v| pred(v)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut g = Grid::new(4, 3);
+        g.set(2, 1, 5.0);
+        assert_eq!(g.get(2, 1), 5.0);
+        assert_eq!(g.data()[1 * 4 + 2], 5.0);
+    }
+
+    #[test]
+    fn idx_coords_inverse() {
+        let g = Grid::new(7, 5);
+        for i in 0..g.len() {
+            let (x, y) = g.coords(i);
+            assert_eq!(g.idx(x, y), i);
+        }
+    }
+
+    #[test]
+    fn neighbors_interior_has_eight() {
+        let g = Grid::new(5, 5);
+        assert_eq!(g.neighbors8(2, 2).len(), 8);
+    }
+
+    #[test]
+    fn neighbors_corner_has_three() {
+        let g = Grid::new(5, 5);
+        assert_eq!(g.neighbors8(0, 0).len(), 3);
+        assert_eq!(g.neighbors8(4, 4).len(), 3);
+    }
+
+    #[test]
+    fn border_detection() {
+        let g = Grid::new(3, 3);
+        assert!(g.on_border(0, 1));
+        assert!(g.on_border(2, 2));
+        assert!(!g.on_border(1, 1));
+    }
+
+    #[test]
+    fn min_max_count() {
+        let g = Grid::from_vec(2, 2, vec![1.0, -2.0, 3.0, 0.0]);
+        assert_eq!(g.min(), -2.0);
+        assert_eq!(g.max(), 3.0);
+        assert_eq!(g.count(|v| v > 0.0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn from_vec_checks_len() {
+        Grid::from_vec(2, 2, vec![0.0; 3]);
+    }
+}

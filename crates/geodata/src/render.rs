@@ -1,0 +1,197 @@
+//! 4-band (R, G, B, NIR) orthophoto rendering from a scene.
+//!
+//! Land-cover spectra follow NAIP color-infrared intuition: vegetation is
+//! green-ish with very high NIR; bare soil is brown with moderate NIR; water
+//! absorbs NIR (streams go dark in band 4); gravel/asphalt roads are bright
+//! and flat across bands. Per-pixel noise models sensor and scene variation.
+
+use crate::scene::Scene;
+use dcd_tensor::{SeededRng, Tensor};
+
+/// Reflectance of one cover class in `[R, G, B, NIR]`, each in `[0, 1]`.
+#[derive(Debug, Clone, Copy)]
+struct Spectrum([f32; 4]);
+
+const VEGETATION: Spectrum = Spectrum([0.22, 0.42, 0.18, 0.85]);
+const SOIL: Spectrum = Spectrum([0.45, 0.38, 0.28, 0.50]);
+const WATER: Spectrum = Spectrum([0.10, 0.16, 0.22, 0.05]);
+const ROAD: Spectrum = Spectrum([0.62, 0.60, 0.58, 0.35]);
+
+/// Renders the scene to a `[4, H, W]` tensor with values in `[0, 1]`.
+///
+/// `noise` is the per-band Gaussian sigma (0.03 matches visually plausible
+/// NAIP texture; set 0 for deterministic tests).
+pub fn render_bands(scene: &Scene, noise: f32, rng: &mut SeededRng) -> Tensor {
+    let w = scene.width();
+    let h = scene.height();
+    // Vegetation/soil mosaic driven by the flow accumulation (wetter = more
+    // vegetation), mimicking the agricultural mosaic.
+    let mut out = Tensor::zeros([4, h, w]);
+    for y in 0..h {
+        for x in 0..w {
+            let base = pixel_spectrum(scene, x, y);
+            for band in 0..4 {
+                let v = (base.0[band] + noise * rng.normal()).clamp(0.0, 1.0);
+                out.set(&[band, y, x], v);
+            }
+        }
+    }
+    out
+}
+
+/// Cover spectrum at a cell: roads mask streams (a culvert passes *under*
+/// the road, so the road surface is what the orthophoto sees), streams mask
+/// vegetation/soil.
+fn pixel_spectrum(scene: &Scene, x: usize, y: usize) -> Spectrum {
+    if scene.roads.get(x, y) > 0.0 {
+        ROAD
+    } else if scene.streams.get(x, y) > 0.0 {
+        WATER
+    } else {
+        // Wetness-weighted vegetation/soil mix.
+        let acc = scene.flow_acc.get(x, y);
+        let wet = (acc.ln_1p() / 6.0).clamp(0.0, 1.0);
+        let mut s = [0.0f32; 4];
+        for band in 0..4 {
+            s[band] = SOIL.0[band] * (1.0 - wet) + VEGETATION.0[band] * wet;
+        }
+        Spectrum(s)
+    }
+}
+
+/// Clips a `[4, size, size]` patch centred at `(cx, cy)` from rendered
+/// bands; out-of-raster area is zero-padded (edge patches).
+pub fn clip_patch(bands: &Tensor, cx: usize, cy: usize, size: usize) -> Tensor {
+    let dims = bands.dims();
+    assert_eq!(dims.len(), 3, "expected [bands, H, W]");
+    let (nb, h, w) = (dims[0], dims[1], dims[2]);
+    let mut patch = Tensor::zeros([nb, size, size]);
+    let half = size / 2;
+    for b in 0..nb {
+        for py in 0..size {
+            let sy = cy as i64 + py as i64 - half as i64;
+            if sy < 0 || sy >= h as i64 {
+                continue;
+            }
+            for px in 0..size {
+                let sx = cx as i64 + px as i64 - half as i64;
+                if sx < 0 || sx >= w as i64 {
+                    continue;
+                }
+                patch.set(&[b, py, px], bands.at(&[b, sy as usize, sx as usize]));
+            }
+        }
+    }
+    patch
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dem::DemConfig;
+    use crate::scene::{generate_scene, SceneConfig};
+
+    fn scene() -> Scene {
+        let config = SceneConfig {
+            dem: DemConfig {
+                width: 128,
+                height: 128,
+                ..DemConfig::default()
+            },
+            road_spacing: 48,
+            stream_threshold: 80.0,
+            ..SceneConfig::default()
+        };
+        generate_scene(&config, &mut SeededRng::new(5))
+    }
+
+    #[test]
+    fn output_shape_and_range() {
+        let s = scene();
+        let bands = render_bands(&s, 0.03, &mut SeededRng::new(1));
+        assert_eq!(bands.dims(), &[4, 128, 128]);
+        for &v in bands.data() {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn water_is_dark_in_nir() {
+        let s = scene();
+        let bands = render_bands(&s, 0.0, &mut SeededRng::new(2));
+        // Find a stream cell not under a road.
+        let mut found = false;
+        'outer: for y in 0..128 {
+            for x in 0..128 {
+                if s.streams.get(x, y) > 0.0 && s.roads.get(x, y) == 0.0 {
+                    assert!(bands.at(&[3, y, x]) < 0.1, "NIR bright over water");
+                    found = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(found, "no stream cell to test");
+    }
+
+    #[test]
+    fn roads_are_bright_and_flat() {
+        let s = scene();
+        let bands = render_bands(&s, 0.0, &mut SeededRng::new(3));
+        let (x, y) = {
+            let mut p = (0, 0);
+            'outer: for yy in 0..128 {
+                for xx in 0..128 {
+                    if s.roads.get(xx, yy) > 0.0 {
+                        p = (xx, yy);
+                        break 'outer;
+                    }
+                }
+            }
+            p
+        };
+        let r = bands.at(&[0, y, x]);
+        let g = bands.at(&[1, y, x]);
+        assert!(r > 0.5, "road should be bright");
+        assert!((r - g).abs() < 0.1, "road should be gray");
+    }
+
+    #[test]
+    fn vegetation_has_high_nir() {
+        let s = scene();
+        let bands = render_bands(&s, 0.0, &mut SeededRng::new(4));
+        // Average NIR over non-road non-stream cells is high (soil/veg mix).
+        let mut sum = 0.0;
+        let mut n = 0;
+        for y in 0..128 {
+            for x in 0..128 {
+                if s.roads.get(x, y) == 0.0 && s.streams.get(x, y) == 0.0 {
+                    sum += bands.at(&[3, y, x]);
+                    n += 1;
+                }
+            }
+        }
+        assert!(sum / n as f32 > 0.45, "mean background NIR {}", sum / n as f32);
+    }
+
+    #[test]
+    fn clip_patch_centres_correctly() {
+        let s = scene();
+        let bands = render_bands(&s, 0.0, &mut SeededRng::new(6));
+        let patch = clip_patch(&bands, 64, 64, 32);
+        assert_eq!(patch.dims(), &[4, 32, 32]);
+        // Patch centre equals source pixel.
+        assert_eq!(patch.at(&[0, 16, 16]), bands.at(&[0, 64, 64]));
+    }
+
+    #[test]
+    fn clip_patch_zero_pads_edges() {
+        let s = scene();
+        let bands = render_bands(&s, 0.0, &mut SeededRng::new(7));
+        let patch = clip_patch(&bands, 0, 0, 32);
+        // Top-left quadrant is off-raster → zeros.
+        assert_eq!(patch.at(&[0, 0, 0]), 0.0);
+        assert_eq!(patch.at(&[2, 5, 5]), 0.0);
+        // In-raster part copied.
+        assert_eq!(patch.at(&[0, 16, 16]), bands.at(&[0, 0, 0]));
+    }
+}

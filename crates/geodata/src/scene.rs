@@ -1,0 +1,220 @@
+//! Watershed scene assembly: DEM + streams + roads + drainage crossings.
+
+use crate::dem::{generate_dem, DemConfig};
+use crate::grid::Grid;
+use crate::hydrology::{fill_depressions, flow_accumulation, flow_directions};
+use dcd_tensor::SeededRng;
+
+/// Scene generator parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SceneConfig {
+    /// DEM parameters (also sets the raster size).
+    pub dem: DemConfig,
+    /// Spacing between parallel roads, cells (section-line roads are dense
+    /// in the study area).
+    pub road_spacing: usize,
+    /// Half-width of a road stripe, cells.
+    pub road_halfwidth: usize,
+    /// Flow-accumulation threshold for calling a cell a stream.
+    pub stream_threshold: f32,
+    /// Height of a road embankment added to the DEM, metres.
+    pub embankment_height: f32,
+}
+
+impl Default for SceneConfig {
+    fn default() -> Self {
+        SceneConfig {
+            dem: DemConfig::default(),
+            road_spacing: 128,
+            road_halfwidth: 2,
+            stream_threshold: 400.0,
+            embankment_height: 2.0,
+        }
+    }
+}
+
+/// A generated watershed scene.
+#[derive(Debug, Clone)]
+pub struct Scene {
+    /// Bare-earth DEM (before embankments).
+    pub dem: Grid,
+    /// DEM with road embankments burned in (the "digital dam" surface).
+    pub dem_with_roads: Grid,
+    /// Stream mask (1.0 on stream cells).
+    pub streams: Grid,
+    /// Road mask (1.0 on road cells).
+    pub roads: Grid,
+    /// Flow accumulation of the bare-earth DEM.
+    pub flow_acc: Grid,
+    /// Drainage-crossing locations `(x, y)` — road ∩ stream.
+    pub crossings: Vec<(usize, usize)>,
+}
+
+impl Scene {
+    /// Raster width.
+    pub fn width(&self) -> usize {
+        self.dem.width()
+    }
+
+    /// Raster height.
+    pub fn height(&self) -> usize {
+        self.dem.height()
+    }
+}
+
+/// Generates a full scene from a seed.
+///
+/// Pipeline: DEM → fill → D8 → accumulation → stream mask; rectangular road
+/// grid with per-road jitter; crossings at road∩stream cells (deduplicated
+/// so each crossing is one location, like the paper's manually digitized
+/// points); embankments burned into a copy of the DEM.
+pub fn generate_scene(config: &SceneConfig, rng: &mut SeededRng) -> Scene {
+    let dem = generate_dem(&config.dem, rng);
+    let filled = fill_depressions(&dem);
+    let dirs = flow_directions(&filled);
+    let flow_acc = flow_accumulation(&filled, &dirs);
+
+    let w = dem.width();
+    let h = dem.height();
+    let mut streams = Grid::new(w, h);
+    for i in 0..flow_acc.len() {
+        if flow_acc.data()[i] >= config.stream_threshold {
+            streams.data_mut()[i] = 1.0;
+        }
+    }
+
+    // Road grid with jitter: vertical and horizontal stripes.
+    let mut roads = Grid::new(w, h);
+    let spacing = config.road_spacing.max(8);
+    let jitter = (spacing / 8).max(1);
+    let mut x = spacing / 2;
+    while x < w {
+        let cx = x + rng.index(2 * jitter + 1) - jitter;
+        for y in 0..h {
+            for dx in 0..=2 * config.road_halfwidth {
+                let rx = cx + dx;
+                if rx >= config.road_halfwidth && rx - config.road_halfwidth < w {
+                    roads.set(rx - config.road_halfwidth, y, 1.0);
+                }
+            }
+        }
+        x += spacing;
+    }
+    let mut y = spacing / 2;
+    while y < h {
+        let cy = y + rng.index(2 * jitter + 1) - jitter;
+        for xx in 0..w {
+            for dy in 0..=2 * config.road_halfwidth {
+                let ry = cy + dy;
+                if ry >= config.road_halfwidth && ry - config.road_halfwidth < h {
+                    roads.set(xx, ry - config.road_halfwidth, 1.0);
+                }
+            }
+        }
+        y += spacing;
+    }
+
+    // Crossings: road ∩ stream, deduplicated within a radius so one culvert
+    // is one point.
+    let mut crossings: Vec<(usize, usize)> = Vec::new();
+    let min_sep = (config.road_halfwidth * 2 + 6) as i64;
+    for yy in 0..h {
+        for xx in 0..w {
+            if roads.get(xx, yy) > 0.0 && streams.get(xx, yy) > 0.0 {
+                let far = crossings.iter().all(|&(px, py)| {
+                    (px as i64 - xx as i64).abs() + (py as i64 - yy as i64).abs() > min_sep
+                });
+                if far {
+                    crossings.push((xx, yy));
+                }
+            }
+        }
+    }
+
+    // Burn embankments into a copy of the DEM (the digital-dam surface).
+    let mut dem_with_roads = dem.clone();
+    for i in 0..roads.len() {
+        if roads.data()[i] > 0.0 {
+            dem_with_roads.data_mut()[i] += config.embankment_height;
+        }
+    }
+
+    Scene {
+        dem,
+        dem_with_roads,
+        streams,
+        roads,
+        flow_acc,
+        crossings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_scene(seed: u64) -> Scene {
+        let config = SceneConfig {
+            dem: DemConfig {
+                width: 256,
+                height: 256,
+                ..DemConfig::default()
+            },
+            road_spacing: 64,
+            stream_threshold: 150.0,
+            ..SceneConfig::default()
+        };
+        generate_scene(&config, &mut SeededRng::new(seed))
+    }
+
+    #[test]
+    fn scene_has_streams_roads_and_crossings() {
+        let s = small_scene(42);
+        assert!(s.streams.count(|v| v > 0.0) > 50, "streams too sparse");
+        assert!(s.roads.count(|v| v > 0.0) > 1000, "roads too sparse");
+        assert!(!s.crossings.is_empty(), "no crossings generated");
+    }
+
+    #[test]
+    fn crossings_lie_on_roads_and_streams() {
+        let s = small_scene(43);
+        for &(x, y) in &s.crossings {
+            assert!(s.roads.get(x, y) > 0.0, "crossing off-road at ({x},{y})");
+            assert!(s.streams.get(x, y) > 0.0, "crossing off-stream at ({x},{y})");
+        }
+    }
+
+    #[test]
+    fn crossings_are_separated() {
+        let s = small_scene(44);
+        for (i, &(ax, ay)) in s.crossings.iter().enumerate() {
+            for &(bx, by) in &s.crossings[i + 1..] {
+                let d = (ax as i64 - bx as i64).abs() + (ay as i64 - by as i64).abs();
+                assert!(d > 6, "crossings too close: ({ax},{ay}) vs ({bx},{by})");
+            }
+        }
+    }
+
+    #[test]
+    fn embankments_raise_road_cells_only() {
+        let s = small_scene(45);
+        for y in 0..s.height() {
+            for x in 0..s.width() {
+                let delta = s.dem_with_roads.get(x, y) - s.dem.get(x, y);
+                if s.roads.get(x, y) > 0.0 {
+                    assert!(delta > 0.0);
+                } else {
+                    assert_eq!(delta, 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = small_scene(7);
+        let b = small_scene(7);
+        assert_eq!(a.crossings, b.crossings);
+        assert_eq!(a.dem, b.dem);
+    }
+}

@@ -1,0 +1,269 @@
+//! Raster visualization: export scenes and detections as PPM images.
+//!
+//! PPM (portable pixmap) needs no image dependency and opens everywhere —
+//! enough to eyeball the synthetic watershed, its stream/road structure and
+//! detector output, the way the paper's Figs 1, 3 and 4 do.
+
+use crate::grid::Grid;
+use crate::scene::Scene;
+use dcd_tensor::Tensor;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// An 8-bit RGB image buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RgbImage {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Row-major RGB triples.
+    pub pixels: Vec<[u8; 3]>,
+}
+
+impl RgbImage {
+    /// A black image.
+    pub fn new(width: usize, height: usize) -> Self {
+        RgbImage {
+            width,
+            height,
+            pixels: vec![[0, 0, 0]; width * height],
+        }
+    }
+
+    /// Sets one pixel (ignores out-of-bounds coordinates).
+    pub fn put(&mut self, x: usize, y: usize, rgb: [u8; 3]) {
+        if x < self.width && y < self.height {
+            self.pixels[y * self.width + x] = rgb;
+        }
+    }
+
+    /// Gets one pixel.
+    pub fn get(&self, x: usize, y: usize) -> [u8; 3] {
+        self.pixels[y * self.width + x]
+    }
+
+    /// Draws a hollow square of side `2r+1` centred at `(cx, cy)`.
+    pub fn draw_box(&mut self, cx: usize, cy: usize, r: usize, rgb: [u8; 3]) {
+        let (cx, cy, r) = (cx as i64, cy as i64, r as i64);
+        for d in -r..=r {
+            for &(x, y) in &[(cx + d, cy - r), (cx + d, cy + r), (cx - r, cy + d), (cx + r, cy + d)]
+            {
+                if x >= 0 && y >= 0 {
+                    self.put(x as usize, y as usize, rgb);
+                }
+            }
+        }
+    }
+
+    /// Serializes as binary PPM (P6).
+    pub fn to_ppm(&self) -> Vec<u8> {
+        let mut out = format!("P6\n{} {}\n255\n", self.width, self.height).into_bytes();
+        for p in &self.pixels {
+            out.extend_from_slice(p);
+        }
+        out
+    }
+
+    /// Writes a binary PPM file.
+    pub fn save_ppm(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(&self.to_ppm())
+    }
+}
+
+/// Converts rendered 4-band imagery to true-colour RGB (bands 0..2).
+pub fn bands_to_rgb(bands: &Tensor) -> RgbImage {
+    let dims = bands.dims();
+    assert!(dims.len() == 3 && dims[0] >= 3, "expected [>=3, H, W]");
+    let (h, w) = (dims[1], dims[2]);
+    let mut img = RgbImage::new(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            let px = [
+                (bands.at(&[0, y, x]).clamp(0.0, 1.0) * 255.0) as u8,
+                (bands.at(&[1, y, x]).clamp(0.0, 1.0) * 255.0) as u8,
+                (bands.at(&[2, y, x]).clamp(0.0, 1.0) * 255.0) as u8,
+            ];
+            img.put(x, y, px);
+        }
+    }
+    img
+}
+
+/// Converts 4-band imagery to colour-infrared (NIR→R, R→G, G→B), the
+/// standard NAIP false-colour rendition where vegetation glows red.
+pub fn bands_to_cir(bands: &Tensor) -> RgbImage {
+    let dims = bands.dims();
+    assert!(dims.len() == 3 && dims[0] >= 4, "expected [4, H, W]");
+    let (h, w) = (dims[1], dims[2]);
+    let mut img = RgbImage::new(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            let px = [
+                (bands.at(&[3, y, x]).clamp(0.0, 1.0) * 255.0) as u8,
+                (bands.at(&[0, y, x]).clamp(0.0, 1.0) * 255.0) as u8,
+                (bands.at(&[1, y, x]).clamp(0.0, 1.0) * 255.0) as u8,
+            ];
+            img.put(x, y, px);
+        }
+    }
+    img
+}
+
+/// Renders a grid (DEM, flow accumulation) as a grayscale heatmap with
+/// optional log scaling (flow accumulation is heavy-tailed).
+pub fn grid_to_gray(grid: &Grid, log_scale: bool) -> RgbImage {
+    let mut lo = f32::INFINITY;
+    let mut hi = f32::NEG_INFINITY;
+    let tf = |v: f32| if log_scale { v.max(0.0).ln_1p() } else { v };
+    for &v in grid.data() {
+        let t = tf(v);
+        lo = lo.min(t);
+        hi = hi.max(t);
+    }
+    let span = (hi - lo).max(1e-9);
+    let mut img = RgbImage::new(grid.width(), grid.height());
+    for y in 0..grid.height() {
+        for x in 0..grid.width() {
+            let t = ((tf(grid.get(x, y)) - lo) / span * 255.0) as u8;
+            img.put(x, y, [t, t, t]);
+        }
+    }
+    img
+}
+
+/// Renders the scene's structural overlay: terrain gray, streams blue,
+/// roads dark gray, crossings red boxes — the Fig 3-style map.
+pub fn scene_overlay(scene: &Scene) -> RgbImage {
+    let mut img = grid_to_gray(&scene.dem, false);
+    for y in 0..scene.height() {
+        for x in 0..scene.width() {
+            if scene.roads.get(x, y) > 0.0 {
+                img.put(x, y, [70, 70, 70]);
+            }
+            if scene.streams.get(x, y) > 0.0 {
+                img.put(x, y, [40, 90, 220]);
+            }
+        }
+    }
+    for &(cx, cy) in &scene.crossings {
+        img.draw_box(cx, cy, 4, [230, 40, 40]);
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dem::DemConfig;
+    use crate::render::render_bands;
+    use crate::scene::{generate_scene, SceneConfig};
+    use dcd_tensor::SeededRng;
+
+    fn scene() -> Scene {
+        generate_scene(
+            &SceneConfig {
+                dem: DemConfig {
+                    width: 96,
+                    height: 96,
+                    ..Default::default()
+                },
+                road_spacing: 32,
+                stream_threshold: 60.0,
+                ..Default::default()
+            },
+            &mut SeededRng::new(3),
+        )
+    }
+
+    #[test]
+    fn ppm_header_and_size() {
+        let img = RgbImage::new(4, 3);
+        let ppm = img.to_ppm();
+        assert!(ppm.starts_with(b"P6\n4 3\n255\n"));
+        assert_eq!(ppm.len(), 11 + 4 * 3 * 3);
+    }
+
+    #[test]
+    fn put_get_roundtrip_and_bounds() {
+        let mut img = RgbImage::new(4, 4);
+        img.put(2, 1, [9, 8, 7]);
+        assert_eq!(img.get(2, 1), [9, 8, 7]);
+        img.put(100, 100, [1, 1, 1]); // silently ignored
+    }
+
+    #[test]
+    fn rgb_and_cir_match_band_values() {
+        let s = scene();
+        let bands = render_bands(&s, 0.0, &mut SeededRng::new(1));
+        let rgb = bands_to_rgb(&bands);
+        let cir = bands_to_cir(&bands);
+        assert_eq!(rgb.width, 96);
+        let x = 10;
+        let y = 20;
+        assert_eq!(rgb.get(x, y)[0], (bands.at(&[0, y, x]) * 255.0) as u8);
+        assert_eq!(cir.get(x, y)[0], (bands.at(&[3, y, x]) * 255.0) as u8);
+    }
+
+    #[test]
+    fn gray_heatmap_spans_full_range() {
+        let s = scene();
+        let img = grid_to_gray(&s.dem, false);
+        let min = img.pixels.iter().map(|p| p[0]).min().unwrap();
+        let max = img.pixels.iter().map(|p| p[0]).max().unwrap();
+        assert_eq!(min, 0);
+        assert_eq!(max, 255);
+    }
+
+    #[test]
+    fn overlay_marks_streams_and_crossings() {
+        let s = scene();
+        let img = scene_overlay(&s);
+        // Some stream pixel is blue-dominant.
+        let mut found_stream = false;
+        for y in 0..96 {
+            for x in 0..96 {
+                // Crossing markers (drawn last) may overwrite nearby pixels;
+                // only check stream cells away from every crossing.
+                let clear_of_boxes = s
+                    .crossings
+                    .iter()
+                    .all(|&(cx, cy)| cx.abs_diff(x).max(cy.abs_diff(y)) > 5);
+                if s.streams.get(x, y) > 0.0 && s.roads.get(x, y) == 0.0 && clear_of_boxes {
+                    let p = img.get(x, y);
+                    assert!(p[2] > p[0], "stream pixel should be blue");
+                    found_stream = true;
+                }
+            }
+        }
+        assert!(found_stream);
+        // Crossing boxes leave red pixels near each crossing.
+        if let Some(&(cx, cy)) = s.crossings.first() {
+            let mut red_near = false;
+            for dy in 0..9 {
+                for dx in 0..9 {
+                    let x = (cx + dx).saturating_sub(4);
+                    let y = (cy + dy).saturating_sub(4);
+                    if x < 96 && y < 96 {
+                        let p = img.get(x, y);
+                        if p[0] > 200 && p[1] < 100 {
+                            red_near = true;
+                        }
+                    }
+                }
+            }
+            assert!(red_near, "no red box around crossing ({cx},{cy})");
+        }
+    }
+
+    #[test]
+    fn save_ppm_writes_file() {
+        let img = RgbImage::new(2, 2);
+        let path = std::env::temp_dir().join("dcd_test_img.ppm");
+        img.save_ppm(&path).expect("writeable temp dir");
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(bytes, img.to_ppm());
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests of the hydrology and dataset invariants.
+
+use dcd_geodata::hydrology::{fill_depressions, flow_accumulation, flow_directions};
+use dcd_geodata::{generate_dem, DemConfig, Grid};
+use dcd_tensor::SeededRng;
+use proptest::prelude::*;
+
+fn random_dem(w: usize, h: usize, seed: u64) -> Grid {
+    let cfg = DemConfig {
+        width: w,
+        height: h,
+        octaves: 3,
+        ..Default::default()
+    };
+    generate_dem(&cfg, &mut SeededRng::new(seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn fill_never_lowers_any_cell(w in 8usize..32, h in 8usize..32, seed in 0u64..10_000) {
+        let dem = random_dem(w, h, seed);
+        let filled = fill_depressions(&dem);
+        for i in 0..dem.len() {
+            prop_assert!(filled.data()[i] >= dem.data()[i]);
+        }
+    }
+
+    #[test]
+    fn filled_dem_has_no_interior_pits(w in 8usize..24, h in 8usize..24, seed in 0u64..10_000) {
+        // After epsilon-filling, every interior cell has a strictly lower
+        // neighbour (D8 can always route).
+        let dem = random_dem(w, h, seed);
+        let filled = fill_depressions(&dem);
+        let dirs = flow_directions(&filled);
+        for y in 1..h - 1 {
+            for x in 1..w - 1 {
+                prop_assert!(
+                    dirs[filled.idx(x, y)].is_some(),
+                    "interior pit at ({x},{y})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn accumulation_conserves_mass(w in 8usize..24, h in 8usize..24, seed in 0u64..10_000) {
+        let dem = fill_depressions(&random_dem(w, h, seed));
+        let dirs = flow_directions(&dem);
+        let acc = flow_accumulation(&dem, &dirs);
+        // Every cell's accumulation is at least 1 and at most the raster size.
+        prop_assert!(acc.min() >= 1.0);
+        prop_assert!(acc.max() <= (w * h) as f32);
+        // Total outflow across sinks equals the raster size (each cell's
+        // unit of water leaves through exactly one sink).
+        let sink_total: f32 = (0..dem.len())
+            .filter(|&i| dirs[i].is_none())
+            .map(|i| acc.data()[i])
+            .sum();
+        prop_assert!((sink_total - (w * h) as f32).abs() < 0.5, "sink total {sink_total}");
+    }
+
+    #[test]
+    fn accumulation_nondecreasing_downstream(
+        w in 8usize..24, h in 8usize..24, seed in 0u64..10_000,
+    ) {
+        let dem = fill_depressions(&random_dem(w, h, seed));
+        let dirs = flow_directions(&dem);
+        let acc = flow_accumulation(&dem, &dirs);
+        for i in 0..dem.len() {
+            if let Some(t) = dirs[i] {
+                prop_assert!(acc.data()[t] >= acc.data()[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn flow_directions_always_descend(w in 8usize..24, h in 8usize..24, seed in 0u64..10_000) {
+        let dem = fill_depressions(&random_dem(w, h, seed));
+        let dirs = flow_directions(&dem);
+        for i in 0..dem.len() {
+            if let Some(t) = dirs[i] {
+                prop_assert!(dem.data()[t] < dem.data()[i], "uphill flow at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn dem_generation_is_seed_deterministic(seed in 0u64..10_000) {
+        let a = random_dem(16, 16, seed);
+        let b = random_dem(16, 16, seed);
+        prop_assert_eq!(a, b);
+    }
+}

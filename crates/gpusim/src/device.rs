@@ -1,0 +1,147 @@
+//! Simulated device specifications.
+
+use serde::{Deserialize, Serialize};
+
+/// Static description of a simulated GPU plus the host-side API overheads
+/// the CUDA driver/runtime adds around it.
+///
+/// All rates are peak values; the kernel cost model applies per-class
+/// efficiency factors on top (see [`crate::kernel`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Marketing name, for reports.
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub sm_count: usize,
+    /// CUDA cores per SM.
+    pub cores_per_sm: usize,
+    /// Maximum resident threads per SM (occupancy ceiling).
+    pub max_threads_per_sm: usize,
+    /// Boost clock in GHz.
+    pub clock_ghz: f64,
+    /// Device memory bandwidth in GB/s.
+    pub mem_bandwidth_gbps: f64,
+    /// Device memory capacity in bytes.
+    pub mem_capacity: u64,
+    /// Host↔device interconnect bandwidth in GB/s. PCIe 4.0 ×16 peaks near
+    /// 26 GB/s with pinned buffers, but framework tensors are pageable and
+    /// sustain ~8 GB/s — the figure that matters for inference feeding.
+    pub pcie_bandwidth_gbps: f64,
+    /// Fixed device-side cost of starting one kernel (scheduling ramp), ns.
+    pub kernel_ramp_ns: u64,
+    /// Fixed device-side cost of one DMA transfer, ns.
+    pub memop_ramp_ns: u64,
+    /// Host-side duration of one `cudaLaunchKernel` call, ns.
+    pub api_launch_ns: u64,
+    /// Host-side duration of one `cudaMemcpyAsync` call, ns.
+    pub api_memcpy_ns: u64,
+    /// Host-side duration of one `cudaMalloc` call, ns.
+    pub api_malloc_ns: u64,
+    /// Host-side fixed overhead of `cudaDeviceSynchronize` (on top of the
+    /// wait for the device to drain), ns.
+    pub api_sync_ns: u64,
+    /// Host-side duration of one `cuLibraryLoadData` call (loading a
+    /// compiled module: cuDNN/cuBLAS style fat binaries are tens of ms), ns.
+    pub api_library_load_ns: u64,
+}
+
+impl DeviceSpec {
+    /// The paper's test GPU: NVIDIA RTX A5500 in a Dell Precision 5820
+    /// (10240 CUDA cores across 80 SMs, 24 GB GDDR6, PCIe 4.0 ×16).
+    ///
+    /// Overhead constants are calibrated to PyTorch-on-CUDA magnitudes: a few
+    /// µs per asynchronous API call and tens of ms per module load.
+    pub fn rtx_a5500() -> Self {
+        DeviceSpec {
+            name: "NVIDIA RTX A5500 (simulated)".to_string(),
+            sm_count: 80,
+            cores_per_sm: 128,
+            max_threads_per_sm: 1536,
+            clock_ghz: 1.665,
+            mem_bandwidth_gbps: 768.0,
+            mem_capacity: 24 * (1u64 << 30),
+            pcie_bandwidth_gbps: 8.3,
+            kernel_ramp_ns: 1_800,
+            memop_ramp_ns: 1_200,
+            api_launch_ns: 7_500,
+            api_memcpy_ns: 4_000,
+            api_malloc_ns: 9_000,
+            api_sync_ns: 1_500,
+            api_library_load_ns: 60_000_000,
+        }
+    }
+
+    /// A small synthetic device for unit tests (fast, easy arithmetic).
+    pub fn test_gpu() -> Self {
+        DeviceSpec {
+            name: "TestGPU".to_string(),
+            sm_count: 4,
+            cores_per_sm: 64,
+            max_threads_per_sm: 1024,
+            clock_ghz: 1.0,
+            mem_bandwidth_gbps: 100.0,
+            mem_capacity: 1 << 30,
+            pcie_bandwidth_gbps: 10.0,
+            kernel_ramp_ns: 1_000,
+            memop_ramp_ns: 1_000,
+            api_launch_ns: 5_000,
+            api_memcpy_ns: 3_000,
+            api_malloc_ns: 5_000,
+            api_sync_ns: 1_000,
+            api_library_load_ns: 1_000_000,
+        }
+    }
+
+    /// Peak FP32 throughput in FLOP/s (2 FLOPs per core-cycle via FMA).
+    pub fn peak_flops(&self) -> f64 {
+        self.sm_count as f64 * self.cores_per_sm as f64 * 2.0 * self.clock_ghz * 1e9
+    }
+
+    /// Peak device-memory bandwidth in bytes/ns.
+    pub fn mem_bytes_per_ns(&self) -> f64 {
+        self.mem_bandwidth_gbps // GB/s == bytes/ns
+    }
+
+    /// PCIe bandwidth in bytes/ns.
+    pub fn pcie_bytes_per_ns(&self) -> f64 {
+        self.pcie_bandwidth_gbps
+    }
+
+    /// Device-wide thread capacity (occupancy ceiling).
+    pub fn max_resident_threads(&self) -> usize {
+        self.sm_count * self.max_threads_per_sm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a5500_matches_paper_hardware() {
+        let d = DeviceSpec::rtx_a5500();
+        assert_eq!(d.sm_count * d.cores_per_sm, 10_240, "10240 CUDA cores");
+        assert_eq!(d.mem_capacity, 24 * (1 << 30), "24 GB");
+    }
+
+    #[test]
+    fn peak_flops_is_cores_times_clock() {
+        let d = DeviceSpec::test_gpu();
+        // 4 SMs × 64 cores × 2 × 1 GHz = 512 GFLOP/s
+        assert!((d.peak_flops() - 512e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn bandwidth_units_are_bytes_per_ns() {
+        let d = DeviceSpec::test_gpu();
+        // 100 GB/s = 100 bytes/ns
+        assert!((d.mem_bytes_per_ns() - 100.0).abs() < 1e-9);
+        assert!((d.pcie_bytes_per_ns() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resident_thread_capacity() {
+        let d = DeviceSpec::test_gpu();
+        assert_eq!(d.max_resident_threads(), 4096);
+    }
+}

@@ -1,0 +1,861 @@
+//! The discrete-event co-simulation of a CUDA host thread and a GPU.
+//!
+//! Two clocks advance together:
+//!
+//! * the **host clock** moves forward on every API call by that call's
+//!   dispatch overhead (launching is asynchronous: the host does not wait for
+//!   the device);
+//! * the **device clock** moves through kernel/memcpy executions. A device
+//!   op cannot start before the host call that enqueued it returned, and ops
+//!   on one stream execute in order while ops on different streams run
+//!   concurrently under processor sharing (see [`KernelDesc::demand`]).
+//!
+//! `cudaDeviceSynchronize` joins the clocks: the host blocks until the device
+//! drains. Its recorded duration is therefore the *actual wait*, which is how
+//! the paper's Fig 8 observes synchronization cost growing with batch size.
+
+use crate::device::DeviceSpec;
+use crate::kernel::KernelDesc;
+use crate::trace::{ApiKind, CopyDir, Trace, TraceRecord};
+use std::collections::VecDeque;
+
+/// Identifier of a CUDA stream within one [`Gpu`].
+pub type StreamId = usize;
+
+/// Error returned when a simulated allocation exceeds device memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutOfMemory {
+    /// Bytes requested.
+    pub requested: u64,
+    /// Bytes already in use.
+    pub in_use: u64,
+    /// Device capacity.
+    pub capacity: u64,
+}
+
+impl std::fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "simulated OOM: requested {} bytes with {}/{} in use",
+            self.requested, self.in_use, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+/// Identifier of a recorded CUDA event.
+pub type EventId = usize;
+
+/// A device-side operation.
+#[derive(Debug, Clone)]
+enum DeviceOp {
+    Kernel(KernelDesc),
+    Memcpy { dir: CopyDir, bytes: u64 },
+}
+
+/// An op sitting in a stream queue, not yet started.
+#[derive(Debug, Clone)]
+struct QueuedOp {
+    op: DeviceOp,
+    /// Host time at which the enqueueing API call returned; the device
+    /// cannot see the op before this.
+    visible_at_ns: f64,
+    /// Events that must have fired before this op may start
+    /// (`cudaStreamWaitEvent` semantics).
+    wait_events: Vec<EventId>,
+}
+
+/// An op currently executing on the device.
+#[derive(Debug, Clone)]
+struct InflightOp {
+    op: DeviceOp,
+    stream: StreamId,
+    start_ns: f64,
+    /// Remaining execution time at rate 1.0, ns.
+    remaining_ns: f64,
+    /// Processor-sharing demand in `(0, 1]` (kernels) — memcpys use the
+    /// per-direction PCIe sharing rule instead.
+    demand: f64,
+}
+
+/// The simulated GPU plus its host thread.
+#[derive(Debug)]
+pub struct Gpu {
+    spec: DeviceSpec,
+    host_ns: f64,
+    device_ns: f64,
+    streams: Vec<VecDeque<QueuedOp>>,
+    /// `streams[i]` head is executing iff `stream_busy[i]`.
+    stream_busy: Vec<bool>,
+    inflight: Vec<InflightOp>,
+    mem_used: u64,
+    trace: Trace,
+    /// Completion time of each recorded event (None = not yet fired).
+    /// An event fires when every op enqueued on its stream *before* the
+    /// record call has completed.
+    events: Vec<Option<f64>>,
+    /// Events waiting on per-stream outstanding-op counts: the event fires
+    /// when `remaining` ops of that stream (queued at record time) finish.
+    event_trackers: Vec<EventTracker>,
+    /// Waits registered for the next op enqueued on a stream.
+    pending_waits: Vec<Vec<EventId>>,
+}
+
+#[derive(Debug, Clone)]
+struct EventTracker {
+    event: EventId,
+    stream: StreamId,
+    /// Ops of `stream` still outstanding at record time.
+    remaining: usize,
+}
+
+impl Gpu {
+    /// Creates a context on the given device.
+    ///
+    /// Context creation loads the compiled kernel modules, emitting one
+    /// `cuLibraryLoadData` record — the one-time cost that dominates the API
+    /// profile at small batch sizes (Fig 8).
+    pub fn new(spec: DeviceSpec) -> Self {
+        let mut gpu = Gpu {
+            spec,
+            host_ns: 0.0,
+            device_ns: 0.0,
+            streams: Vec::new(),
+            stream_busy: Vec::new(),
+            inflight: Vec::new(),
+            mem_used: 0,
+            trace: Trace::new(),
+            events: Vec::new(),
+            event_trackers: Vec::new(),
+            pending_waits: Vec::new(),
+        };
+        let dur = gpu.spec.api_library_load_ns as f64;
+        gpu.record_api(ApiKind::LibraryLoadData, gpu.host_ns, dur);
+        gpu.host_ns += dur;
+        // Default stream 0 always exists.
+        gpu.streams.push(VecDeque::new());
+        gpu.stream_busy.push(false);
+        gpu.pending_waits.push(Vec::new());
+        gpu
+    }
+
+    /// The device specification.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Current host time, ns.
+    pub fn host_ns(&self) -> u64 {
+        self.host_ns as u64
+    }
+
+    /// Bytes currently allocated on the device.
+    pub fn mem_used(&self) -> u64 {
+        self.mem_used
+    }
+
+    /// Immutable view of the trace collected so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Takes the trace, leaving an empty one (used to scope profiling to a
+    /// measurement region).
+    pub fn take_trace(&mut self) -> Trace {
+        std::mem::take(&mut self.trace)
+    }
+
+    fn record_api(&mut self, kind: ApiKind, start: f64, dur: f64) {
+        self.trace.push(TraceRecord::Api {
+            kind,
+            start_ns: start as u64,
+            dur_ns: dur as u64,
+        });
+    }
+
+    /// Creates a new stream.
+    pub fn create_stream(&mut self) -> StreamId {
+        let dur = 1_000.0;
+        self.record_api(ApiKind::StreamCreate, self.host_ns, dur);
+        self.host_ns += dur;
+        self.streams.push(VecDeque::new());
+        self.stream_busy.push(false);
+        self.pending_waits.push(Vec::new());
+        self.streams.len() - 1
+    }
+
+    /// Allocates device memory (capacity-checked).
+    pub fn malloc(&mut self, bytes: u64) -> Result<(), OutOfMemory> {
+        if self.mem_used + bytes > self.spec.mem_capacity {
+            return Err(OutOfMemory {
+                requested: bytes,
+                in_use: self.mem_used,
+                capacity: self.spec.mem_capacity,
+            });
+        }
+        let dur = self.spec.api_malloc_ns as f64;
+        self.record_api(ApiKind::Malloc, self.host_ns, dur);
+        self.host_ns += dur;
+        self.mem_used += bytes;
+        Ok(())
+    }
+
+    /// Frees device memory.
+    pub fn free(&mut self, bytes: u64) {
+        let dur = self.spec.api_malloc_ns as f64 / 2.0;
+        self.record_api(ApiKind::Free, self.host_ns, dur);
+        self.host_ns += dur;
+        self.mem_used = self.mem_used.saturating_sub(bytes);
+    }
+
+    /// Enqueues an asynchronous host↔device copy on a stream.
+    pub fn memcpy_async(&mut self, stream: StreamId, dir: CopyDir, bytes: u64) {
+        assert!(stream < self.streams.len(), "unknown stream {stream}");
+        let dur = self.spec.api_memcpy_ns as f64;
+        self.record_api(ApiKind::MemcpyAsync, self.host_ns, dur);
+        self.host_ns += dur;
+        let wait_events = std::mem::take(&mut self.pending_waits[stream]);
+        self.streams[stream].push_back(QueuedOp {
+            op: DeviceOp::Memcpy { dir, bytes },
+            visible_at_ns: self.host_ns,
+            wait_events,
+        });
+    }
+
+    /// Enqueues a kernel launch on a stream (asynchronous).
+    pub fn launch_kernel(&mut self, stream: StreamId, desc: KernelDesc) {
+        assert!(stream < self.streams.len(), "unknown stream {stream}");
+        let dur = self.spec.api_launch_ns as f64;
+        self.record_api(ApiKind::LaunchKernel, self.host_ns, dur);
+        self.host_ns += dur;
+        let wait_events = std::mem::take(&mut self.pending_waits[stream]);
+        self.streams[stream].push_back(QueuedOp {
+            op: DeviceOp::Kernel(desc),
+            visible_at_ns: self.host_ns,
+            wait_events,
+        });
+    }
+
+    /// Records an event on a stream (`cudaEventRecord`): the event fires
+    /// when every op enqueued on that stream so far has completed.
+    pub fn record_event(&mut self, stream: StreamId) -> EventId {
+        assert!(stream < self.streams.len(), "unknown stream {stream}");
+        let dur = 1_200.0;
+        self.record_api(ApiKind::EventRecord, self.host_ns, dur);
+        self.host_ns += dur;
+        let outstanding = self.streams[stream].len() + usize::from(self.stream_busy[stream]);
+        let id = self.events.len();
+        if outstanding == 0 {
+            self.events.push(Some(self.host_ns));
+        } else {
+            self.events.push(None);
+            self.event_trackers.push(EventTracker {
+                event: id,
+                stream,
+                remaining: outstanding,
+            });
+        }
+        id
+    }
+
+    /// Makes the *next* op enqueued on `stream` wait for `event`
+    /// (`cudaStreamWaitEvent`): the op cannot start before the event fires.
+    pub fn stream_wait_event(&mut self, stream: StreamId, event: EventId) {
+        assert!(stream < self.streams.len(), "unknown stream {stream}");
+        assert!(event < self.events.len(), "unknown event {event}");
+        let dur = 800.0;
+        self.record_api(ApiKind::StreamWaitEvent, self.host_ns, dur);
+        self.host_ns += dur;
+        self.pending_waits[stream].push(event);
+    }
+
+    /// Whether an event has fired (device progress is simulated lazily, so
+    /// this is meaningful after a synchronize).
+    pub fn event_fired(&self, event: EventId) -> bool {
+        self.events.get(event).map(|e| e.is_some()).unwrap_or(false)
+    }
+
+    /// Blocks the host until one stream drains (`cudaStreamSynchronize`);
+    /// returns the wait in ns. Other streams keep executing on the device.
+    pub fn stream_synchronize(&mut self, stream: StreamId) -> u64 {
+        assert!(stream < self.streams.len(), "unknown stream {stream}");
+        let call_start = self.host_ns;
+        // Record an implicit event at the stream tail and run the device
+        // until it fires; nothing can be enqueued behind our back, so
+        // running to drain is safe and the event time gives the wait.
+        let outstanding = self.streams[stream].len() + usize::from(self.stream_busy[stream]);
+        let ev = self.events.len();
+        if outstanding == 0 {
+            self.events.push(Some(self.host_ns));
+        } else {
+            self.events.push(None);
+            self.event_trackers.push(EventTracker {
+                event: ev,
+                stream,
+                remaining: outstanding,
+            });
+        }
+        self.run_device(f64::INFINITY);
+        let fired_at = self.events[ev].expect("stream drained");
+        let resume = fired_at.max(self.host_ns) + self.spec.api_sync_ns as f64;
+        let dur = resume - call_start;
+        self.record_api(ApiKind::DeviceSynchronize, call_start, dur);
+        self.host_ns = resume;
+        dur as u64
+    }
+
+    /// Blocks the host until every stream drains; returns the wait in ns.
+    pub fn device_synchronize(&mut self) -> u64 {
+        let call_start = self.host_ns;
+        let drained_at = self.run_device(f64::INFINITY);
+        let resume = drained_at.max(self.host_ns) + self.spec.api_sync_ns as f64;
+        let dur = resume - call_start;
+        self.record_api(ApiKind::DeviceSynchronize, call_start, dur);
+        self.host_ns = resume;
+        dur as u64
+    }
+
+    /// Advances the host clock without touching the device (models CPU work
+    /// between CUDA calls, e.g. Python/framework overhead).
+    pub fn host_busy(&mut self, ns: u64) {
+        self.host_ns += ns as f64;
+    }
+
+    // ----------------------------------------------------- device simulation
+
+    /// True if any stream has queued or running work.
+    fn device_has_work(&self) -> bool {
+        !self.inflight.is_empty() || self.streams.iter().any(|q| !q.is_empty())
+    }
+
+    /// True if every wait-event of `q` has fired by `now`.
+    fn waits_satisfied(&self, q: &QueuedOp, now: f64) -> bool {
+        q.wait_events
+            .iter()
+            .all(|&e| matches!(self.events[e], Some(t) if t <= now))
+    }
+
+    /// Moves queue heads into execution where possible at device time `now`.
+    fn start_ready_ops(&mut self, now: f64) {
+        for s in 0..self.streams.len() {
+            if self.stream_busy[s] {
+                continue;
+            }
+            let ready = matches!(
+                self.streams[s].front(),
+                Some(q) if q.visible_at_ns <= now && self.waits_satisfied(q, now)
+            );
+            if ready {
+                let q = self.streams[s].pop_front().expect("checked non-empty");
+                let (remaining, demand) = match &q.op {
+                    DeviceOp::Kernel(k) => (k.isolated_ns(&self.spec), k.demand(&self.spec)),
+                    DeviceOp::Memcpy { bytes, .. } => {
+                        let t = self.spec.memop_ramp_ns as f64
+                            + *bytes as f64 / self.spec.pcie_bytes_per_ns();
+                        (t, 1.0)
+                    }
+                };
+                self.inflight.push(InflightOp {
+                    op: q.op,
+                    stream: s,
+                    start_ns: now,
+                    remaining_ns: remaining,
+                    demand,
+                });
+                self.stream_busy[s] = true;
+            }
+        }
+    }
+
+    /// Execution rate of each inflight op under processor sharing.
+    fn rates(&self) -> Vec<f64> {
+        // Kernels share the SM/bandwidth pool by demand; memcpys share PCIe
+        // per direction equally.
+        let kernel_demand: f64 = self
+            .inflight
+            .iter()
+            .filter(|op| matches!(op.op, DeviceOp::Kernel(_)))
+            .map(|op| op.demand)
+            .sum();
+        let h2d = self
+            .inflight
+            .iter()
+            .filter(|op| matches!(op.op, DeviceOp::Memcpy { dir: CopyDir::H2D, .. }))
+            .count()
+            .max(1) as f64;
+        let d2h = self
+            .inflight
+            .iter()
+            .filter(|op| matches!(op.op, DeviceOp::Memcpy { dir: CopyDir::D2H, .. }))
+            .count()
+            .max(1) as f64;
+        self.inflight
+            .iter()
+            .map(|op| match &op.op {
+                DeviceOp::Kernel(_) => {
+                    if kernel_demand <= 1.0 {
+                        1.0
+                    } else {
+                        1.0 / kernel_demand
+                    }
+                }
+                DeviceOp::Memcpy { dir, .. } => match dir {
+                    CopyDir::H2D => 1.0 / h2d,
+                    CopyDir::D2H => 1.0 / d2h,
+                },
+            })
+            .collect()
+    }
+
+    /// Runs the device until it drains or until `deadline` (device time).
+    /// Returns the device time reached.
+    fn run_device(&mut self, deadline: f64) -> f64 {
+        let mut now = self.device_ns;
+        loop {
+            self.start_ready_ops(now);
+            if self.inflight.is_empty() {
+                // Nothing running; maybe something becomes visible later.
+                // Heads blocked on unfired events can never start while the
+                // device is idle (events only fire on completions), so they
+                // don't contribute a wake-up time.
+                let mut blocked_only = false;
+                let next_visible = self
+                    .streams
+                    .iter()
+                    .enumerate()
+                    .filter(|(s, q)| !self.stream_busy[*s] && !q.is_empty())
+                    .filter_map(|(_, q)| {
+                        let head = q.front().expect("non-empty");
+                        if self.waits_satisfied(head, f64::INFINITY) {
+                            Some(head.visible_at_ns)
+                        } else {
+                            blocked_only = true;
+                            None
+                        }
+                    })
+                    .fold(f64::INFINITY, f64::min);
+                if next_visible.is_infinite() {
+                    assert!(
+                        !blocked_only || !self.device_has_work(),
+                        "event deadlock: queued work waits on an event that can never fire"
+                    );
+                    break;
+                }
+                if next_visible > deadline {
+                    break;
+                }
+                now = now.max(next_visible);
+                continue;
+            }
+            let rates = self.rates();
+            // Earliest completion among inflight ops.
+            let (idx, completion) = self
+                .inflight
+                .iter()
+                .zip(rates.iter())
+                .enumerate()
+                .map(|(i, (op, r))| (i, now + op.remaining_ns / r))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"))
+                .expect("non-empty inflight");
+            // Earliest op becoming visible on an idle stream (could add
+            // parallelism before the completion). Event-blocked heads wake
+            // on completions, which are already simulation events.
+            let next_visible = self
+                .streams
+                .iter()
+                .enumerate()
+                .filter(|(s, q)| !self.stream_busy[*s] && !q.is_empty())
+                .filter(|(_, q)| {
+                    let head = q.front().expect("non-empty");
+                    self.waits_satisfied(head, f64::INFINITY)
+                })
+                .map(|(_, q)| q.front().expect("non-empty").visible_at_ns)
+                .filter(|&t| t > now)
+                .fold(f64::INFINITY, f64::min);
+
+            let event = completion.min(next_visible);
+            if event > deadline {
+                // Advance partially to the deadline and stop.
+                let dt = deadline - now;
+                if dt > 0.0 {
+                    for (op, r) in self.inflight.iter_mut().zip(rates.iter()) {
+                        op.remaining_ns -= dt * r;
+                    }
+                    now = deadline;
+                }
+                break;
+            }
+            let dt = event - now;
+            for (op, r) in self.inflight.iter_mut().zip(rates.iter()) {
+                op.remaining_ns -= dt * r;
+            }
+            now = event;
+            if completion <= next_visible {
+                let done = self.inflight.remove(idx);
+                self.stream_busy[done.stream] = false;
+                // Event bookkeeping: completions on this stream count down
+                // the outstanding-op trackers.
+                for tr in &mut self.event_trackers {
+                    if tr.stream == done.stream && tr.remaining > 0 {
+                        tr.remaining -= 1;
+                        if tr.remaining == 0 {
+                            self.events[tr.event] = Some(now);
+                        }
+                    }
+                }
+                self.event_trackers.retain(|tr| tr.remaining > 0);
+                let dur = now - done.start_ns;
+                match done.op {
+                    DeviceOp::Kernel(k) => self.trace.push(TraceRecord::Kernel {
+                        name: k.name,
+                        class: k.class,
+                        stream: done.stream,
+                        start_ns: done.start_ns as u64,
+                        dur_ns: dur as u64,
+                    }),
+                    DeviceOp::Memcpy { dir, bytes } => self.trace.push(TraceRecord::Memop {
+                        dir,
+                        bytes,
+                        start_ns: done.start_ns as u64,
+                        dur_ns: dur as u64,
+                    }),
+                }
+            }
+            if !self.device_has_work() {
+                break;
+            }
+        }
+        self.device_ns = now;
+        now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelClass;
+
+    fn gpu() -> Gpu {
+        Gpu::new(DeviceSpec::test_gpu())
+    }
+
+    /// A kernel with an exactly known isolated time on the test GPU.
+    /// flops so that compute time is `us` microseconds at Conv efficiency.
+    fn conv_kernel(us: f64, threads: f64) -> KernelDesc {
+        let dev = DeviceSpec::test_gpu();
+        let flops = us * 1e3 * dev.peak_flops() * 0.45 / 1e9;
+        KernelDesc::new("k", KernelClass::Conv, flops, 0.0, threads)
+    }
+
+    #[test]
+    fn context_creation_loads_library() {
+        let g = gpu();
+        assert_eq!(g.trace().api_time(ApiKind::LibraryLoadData), 1_000_000);
+    }
+
+    #[test]
+    fn launch_is_asynchronous_for_host() {
+        let mut g = gpu();
+        let before = g.host_ns();
+        g.launch_kernel(0, conv_kernel(10_000.0, 100.0)); // 10 ms kernel
+        let after = g.host_ns();
+        // Host paid only the API overhead, not the kernel time.
+        assert_eq!(after - before, 5_000);
+    }
+
+    #[test]
+    fn synchronize_waits_for_long_kernel() {
+        let mut g = gpu();
+        g.launch_kernel(0, conv_kernel(1_000.0, 100.0)); // ~1 ms of GPU work
+        let wait = g.device_synchronize();
+        // Wait ≈ kernel duration (1 ms + ramp) minus nothing (host is ahead
+        // by only the launch overhead), plus sync overhead.
+        assert!(wait > 900_000, "wait was {wait}");
+        assert!(wait < 1_200_000, "wait was {wait}");
+    }
+
+    #[test]
+    fn synchronize_on_idle_device_is_cheap() {
+        let mut g = gpu();
+        let wait = g.device_synchronize();
+        assert_eq!(wait, 1_000); // just the sync API overhead
+    }
+
+    #[test]
+    fn host_bound_when_kernels_are_tiny() {
+        // Many tiny kernels: device finishes each before the next launch
+        // call returns, so the final sync finds an idle device.
+        let mut g = gpu();
+        for _ in 0..20 {
+            g.launch_kernel(0, conv_kernel(1.0, 32.0)); // ~1 µs kernels
+        }
+        let wait = g.device_synchronize();
+        assert!(wait < 10_000, "expected near-zero sync wait, got {wait}");
+    }
+
+    #[test]
+    fn same_stream_serializes() {
+        let mut g = gpu();
+        g.launch_kernel(0, conv_kernel(100.0, 100.0));
+        g.launch_kernel(0, conv_kernel(100.0, 100.0));
+        g.device_synchronize();
+        // Extract the two kernel records; the second starts after the first
+        // ends.
+        let kernels: Vec<(u64, u64)> = g
+            .trace()
+            .records
+            .iter()
+            .filter_map(|r| match r {
+                TraceRecord::Kernel { start_ns, dur_ns, .. } => Some((*start_ns, *dur_ns)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(kernels.len(), 2);
+        assert!(kernels[1].0 >= kernels[0].0 + kernels[0].1);
+    }
+
+    #[test]
+    fn small_kernels_on_two_streams_overlap() {
+        // Two low-demand kernels on different streams should run at full
+        // speed concurrently: total device span ≈ one kernel, not two.
+        let mut g = gpu();
+        let s1 = g.create_stream();
+        // Low thread count → demand ≈ 32/4096 each; sum ≪ 1.
+        g.launch_kernel(0, conv_kernel(500.0, 32.0));
+        g.launch_kernel(s1, conv_kernel(500.0, 32.0));
+        g.device_synchronize();
+        let kernels: Vec<(u64, u64)> = g
+            .trace()
+            .records
+            .iter()
+            .filter_map(|r| match r {
+                TraceRecord::Kernel { start_ns, dur_ns, .. } => Some((*start_ns, *dur_ns)),
+                _ => None,
+            })
+            .collect();
+        let span = kernels.iter().map(|(s, d)| s + d).max().unwrap()
+            - kernels.iter().map(|(s, _)| *s).min().unwrap();
+        let sum: u64 = kernels.iter().map(|(_, d)| d).sum();
+        assert!(
+            span < sum * 7 / 10,
+            "expected overlap: span {span} vs serial {sum}"
+        );
+    }
+
+    #[test]
+    fn saturating_kernels_gain_nothing_from_streams() {
+        // Two demand-1 kernels on different streams take as long as serial.
+        let mut g = gpu();
+        let s1 = g.create_stream();
+        let big = conv_kernel(500.0, 1e6); // threads ≫ resident capacity
+        g.launch_kernel(0, big.clone());
+        g.launch_kernel(s1, big);
+        g.device_synchronize();
+        let kernels: Vec<(u64, u64)> = g
+            .trace()
+            .records
+            .iter()
+            .filter_map(|r| match r {
+                TraceRecord::Kernel { start_ns, dur_ns, .. } => Some((*start_ns, *dur_ns)),
+                _ => None,
+            })
+            .collect();
+        let span = kernels.iter().map(|(s, d)| s + d).max().unwrap()
+            - kernels.iter().map(|(s, _)| *s).min().unwrap();
+        // Serial time would be ~1 ms + ramps; processor sharing cannot beat it.
+        assert!(span >= 990_000, "span {span} should be ≈ serial");
+    }
+
+    #[test]
+    fn memcpy_duration_is_bandwidth_plus_ramp() {
+        let mut g = gpu();
+        g.memcpy_async(0, CopyDir::H2D, 10_000_000); // 10 MB at 10 GB/s = 1 ms
+        g.device_synchronize();
+        let (_, bytes, dur) = g.trace().memops().next().expect("one memop");
+        assert_eq!(bytes, 10_000_000);
+        assert!((dur as i64 - 1_001_000).abs() < 2_000, "dur {dur}");
+    }
+
+    #[test]
+    fn malloc_tracks_capacity_and_oom() {
+        let mut g = gpu();
+        assert!(g.malloc(1 << 29).is_ok());
+        assert_eq!(g.mem_used(), 1 << 29);
+        assert!(g.malloc(1 << 29).is_ok());
+        let err = g.malloc(1).unwrap_err();
+        assert_eq!(err.capacity, 1 << 30);
+        g.free(1 << 29);
+        assert!(g.malloc(1).is_ok());
+    }
+
+    #[test]
+    fn sync_duration_grows_with_device_work() {
+        let mut short = gpu();
+        short.launch_kernel(0, conv_kernel(100.0, 1e6));
+        let w1 = short.device_synchronize();
+
+        let mut long = gpu();
+        long.launch_kernel(0, conv_kernel(10_000.0, 1e6));
+        let w2 = long.device_synchronize();
+        assert!(w2 > w1 * 10, "w1={w1} w2={w2}");
+    }
+
+    #[test]
+    fn take_trace_resets() {
+        let mut g = gpu();
+        g.launch_kernel(0, conv_kernel(1.0, 32.0));
+        g.device_synchronize();
+        let t = g.take_trace();
+        assert!(!t.is_empty());
+        assert!(g.trace().is_empty());
+    }
+
+    #[test]
+    fn stream_synchronize_waits_only_its_stream() {
+        let mut g = gpu();
+        let s1 = g.create_stream();
+        g.launch_kernel(0, conv_kernel(1_000.0, 32.0)); // ~1 ms on stream 0
+        g.launch_kernel(s1, conv_kernel(1.0, 32.0)); // ~1 µs on stream 1
+        let wait = g.stream_synchronize(s1);
+        // Waiting on the short stream returns quickly even though stream 0
+        // still holds ~1 ms of work.
+        assert!(wait < 100_000, "stream sync waited {wait} ns");
+        let full = g.device_synchronize();
+        assert!(full > 500_000, "device sync should still wait for stream 0, got {full}");
+    }
+
+    #[test]
+    fn stream_synchronize_idle_stream_is_cheap() {
+        let mut g = gpu();
+        let wait = g.stream_synchronize(0);
+        assert_eq!(wait, 1_000);
+    }
+
+    #[test]
+    fn event_fires_after_stream_work_completes() {
+        let mut g = gpu();
+        g.launch_kernel(0, conv_kernel(100.0, 100.0));
+        let ev = g.record_event(0);
+        assert!(!g.event_fired(ev), "device has not run yet");
+        g.device_synchronize();
+        assert!(g.event_fired(ev));
+    }
+
+    #[test]
+    fn event_on_idle_stream_fires_immediately() {
+        let mut g = gpu();
+        let ev = g.record_event(0);
+        assert!(g.event_fired(ev));
+    }
+
+    #[test]
+    fn stream_wait_event_orders_cross_stream_work() {
+        // Producer on stream 0, consumer on stream 1 gated by an event:
+        // the consumer must start only after the producer finished, even
+        // though the streams are otherwise concurrent.
+        let mut g = gpu();
+        let s1 = g.create_stream();
+        g.launch_kernel(0, conv_kernel(500.0, 32.0)); // producer
+        let ev = g.record_event(0);
+        g.stream_wait_event(s1, ev);
+        g.launch_kernel(s1, conv_kernel(10.0, 32.0)); // consumer
+        g.device_synchronize();
+        let kernels: Vec<(usize, u64, u64)> = g
+            .trace()
+            .records
+            .iter()
+            .filter_map(|r| match r {
+                TraceRecord::Kernel {
+                    stream,
+                    start_ns,
+                    dur_ns,
+                    ..
+                } => Some((*stream, *start_ns, *dur_ns)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(kernels.len(), 2);
+        let producer = kernels.iter().find(|k| k.0 == 0).unwrap();
+        let consumer = kernels.iter().find(|k| k.0 == s1).unwrap();
+        assert!(
+            consumer.1 >= producer.1 + producer.2,
+            "consumer at {} started before producer ended at {}",
+            consumer.1,
+            producer.1 + producer.2
+        );
+    }
+
+    #[test]
+    fn ungated_work_overlaps_the_producer() {
+        // Without the event wait, the same consumer overlaps the producer.
+        let mut g = gpu();
+        let s1 = g.create_stream();
+        g.launch_kernel(0, conv_kernel(500.0, 32.0));
+        g.launch_kernel(s1, conv_kernel(500.0, 32.0));
+        g.device_synchronize();
+        let kernels: Vec<(u64, u64)> = g
+            .trace()
+            .records
+            .iter()
+            .filter_map(|r| match r {
+                TraceRecord::Kernel { start_ns, dur_ns, .. } => Some((*start_ns, *dur_ns)),
+                _ => None,
+            })
+            .collect();
+        let span = kernels.iter().map(|(s, d)| s + d).max().unwrap()
+            - kernels.iter().map(|(s, _)| *s).min().unwrap();
+        let sum: u64 = kernels.iter().map(|(_, d)| d).sum();
+        assert!(span < sum, "streams should overlap without an event gate");
+    }
+
+    #[test]
+    fn event_chain_across_three_streams() {
+        let mut g = gpu();
+        let s1 = g.create_stream();
+        let s2 = g.create_stream();
+        g.launch_kernel(0, conv_kernel(100.0, 32.0));
+        let e0 = g.record_event(0);
+        g.stream_wait_event(s1, e0);
+        g.launch_kernel(s1, conv_kernel(100.0, 32.0));
+        let e1 = g.record_event(s1);
+        g.stream_wait_event(s2, e1);
+        g.launch_kernel(s2, conv_kernel(100.0, 32.0));
+        g.device_synchronize();
+        let mut starts: Vec<(usize, u64)> = g
+            .trace()
+            .records
+            .iter()
+            .filter_map(|r| match r {
+                TraceRecord::Kernel { stream, start_ns, .. } => Some((*stream, *start_ns)),
+                _ => None,
+            })
+            .collect();
+        starts.sort_by_key(|&(_, t)| t);
+        assert_eq!(
+            starts.iter().map(|&(s, _)| s).collect::<Vec<_>>(),
+            vec![0, s1, s2],
+            "chain must execute in dependency order"
+        );
+    }
+
+    #[test]
+    fn ops_do_not_start_before_host_enqueue() {
+        let mut g = gpu();
+        g.host_busy(50_000);
+        g.launch_kernel(0, conv_kernel(10.0, 32.0));
+        g.device_synchronize();
+        let start = g
+            .trace()
+            .records
+            .iter()
+            .find_map(|r| match r {
+                TraceRecord::Kernel { start_ns, .. } => Some(*start_ns),
+                _ => None,
+            })
+            .expect("kernel record");
+        // Library load (1 ms) + busy 50 µs + launch call 5 µs.
+        assert!(start >= 1_055_000, "kernel started at {start}");
+    }
+}

@@ -1,0 +1,196 @@
+//! Kernel descriptors and the roofline cost model.
+
+use crate::device::DeviceSpec;
+use serde::{Deserialize, Serialize};
+
+/// Operator class a kernel belongs to.
+///
+/// The profiler buckets kernel time by this class to regenerate Table 3
+/// (Matrix Multiplication / Pooling / Conv), with everything else counted in
+/// the "other" remainder like nsys does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KernelClass {
+    /// Dense matrix multiplication (fully-connected layers).
+    Gemm,
+    /// Max/adaptive pooling.
+    Pool,
+    /// Convolution.
+    Conv,
+    /// Elementwise ops (ReLU, bias add, …).
+    Elementwise,
+    /// Data movement on device (concat, reshape copies).
+    Copy,
+    /// Anything else.
+    Other,
+}
+
+impl KernelClass {
+    /// Sustained fraction of peak FP32 the class achieves on real hardware
+    /// (cuBLAS GEMM ≫ im2col conv ≫ bandwidth-bound pooling).
+    pub fn compute_efficiency(&self) -> f64 {
+        match self {
+            KernelClass::Gemm => 0.70,
+            KernelClass::Conv => 0.45,
+            KernelClass::Pool => 0.10,
+            KernelClass::Elementwise => 0.08,
+            KernelClass::Copy => 0.05,
+            KernelClass::Other => 0.10,
+        }
+    }
+
+    /// Sustained fraction of peak DRAM bandwidth the class achieves.
+    pub fn memory_efficiency(&self) -> f64 {
+        match self {
+            KernelClass::Gemm => 0.85,
+            KernelClass::Conv => 0.75,
+            KernelClass::Pool => 0.80,
+            KernelClass::Elementwise => 0.85,
+            KernelClass::Copy => 0.90,
+            KernelClass::Other => 0.60,
+        }
+    }
+
+    /// Stable label used in profiling reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            KernelClass::Gemm => "gemm",
+            KernelClass::Pool => "pool",
+            KernelClass::Conv => "conv",
+            KernelClass::Elementwise => "elementwise",
+            KernelClass::Copy => "copy",
+            KernelClass::Other => "other",
+        }
+    }
+}
+
+/// Work description of one kernel launch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelDesc {
+    /// Kernel name as it would appear in an nsys report.
+    pub name: String,
+    /// Operator class.
+    pub class: KernelClass,
+    /// Floating-point operations performed.
+    pub flops: f64,
+    /// Bytes moved through DRAM (reads + writes; weights + activations).
+    pub bytes: f64,
+    /// Total CUDA threads launched (parallelism available for occupancy).
+    pub threads: f64,
+}
+
+impl KernelDesc {
+    /// Constructs a descriptor; negative work is a programming error.
+    pub fn new(
+        name: impl Into<String>,
+        class: KernelClass,
+        flops: f64,
+        bytes: f64,
+        threads: f64,
+    ) -> Self {
+        assert!(flops >= 0.0 && bytes >= 0.0 && threads >= 0.0);
+        KernelDesc {
+            name: name.into(),
+            class,
+            flops,
+            bytes,
+            threads,
+        }
+    }
+
+    /// Isolated execution time on `dev` in ns (roofline + launch ramp).
+    pub fn isolated_ns(&self, dev: &DeviceSpec) -> f64 {
+        let compute_ns = self.flops / (dev.peak_flops() * self.class.compute_efficiency()) * 1e9;
+        let memory_ns = self.bytes / (dev.mem_bytes_per_ns() * self.class.memory_efficiency());
+        dev.kernel_ramp_ns as f64 + compute_ns.max(memory_ns)
+    }
+
+    /// Fraction of the device this kernel can use while executing — its
+    /// *demand* in the processor-sharing model.
+    ///
+    /// Compute demand is thread occupancy against the device's resident
+    /// ceiling; memory demand is the fraction of DRAM bandwidth the kernel
+    /// needs to hit its isolated time. A kernel saturating either resource
+    /// has demand 1 and gains nothing from running next to peers.
+    pub fn demand(&self, dev: &DeviceSpec) -> f64 {
+        // Average bandwidth over the whole launch (ramp included): a tiny
+        // ramp-dominated kernel holds almost no bandwidth.
+        let total_ns = self.isolated_ns(dev).max(1.0);
+        let compute_demand = (self.threads / dev.max_resident_threads() as f64).min(1.0);
+        let bw_need = self.bytes / total_ns; // bytes per ns
+        let mem_demand = (bw_need / dev.mem_bytes_per_ns()).min(1.0);
+        compute_demand.max(mem_demand).clamp(0.02, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> DeviceSpec {
+        DeviceSpec::test_gpu() // 512 GFLOP/s peak, 100 GB/s, 4096 threads
+    }
+
+    #[test]
+    fn compute_bound_kernel_time() {
+        // 512 GFLOPs of GEMM at 70% efficiency ≈ 1.428 s; memory negligible.
+        let k = KernelDesc::new("gemm", KernelClass::Gemm, 512e9, 1.0, 1e9);
+        let t = k.isolated_ns(&dev());
+        let expect = 1e9 / 0.70 + 1000.0;
+        assert!((t - expect).abs() / expect < 1e-6, "t={t}, expect={expect}");
+    }
+
+    #[test]
+    fn memory_bound_kernel_time() {
+        // 100 GB at 80% of 100 GB/s = 1.25 s; compute negligible.
+        let k = KernelDesc::new("pool", KernelClass::Pool, 1.0, 100e9, 1e9);
+        let t = k.isolated_ns(&dev());
+        let expect = 100e9 / (100.0 * 0.80) + 1000.0;
+        assert!((t - expect).abs() / expect < 1e-6);
+    }
+
+    #[test]
+    fn roofline_takes_the_max() {
+        let compute_heavy = KernelDesc::new("a", KernelClass::Gemm, 1e12, 1e3, 1e9);
+        let mem_heavy = KernelDesc::new("b", KernelClass::Gemm, 1e3, 1e12, 1e9);
+        let d = dev();
+        assert!(compute_heavy.isolated_ns(&d) > 1e6);
+        assert!(mem_heavy.isolated_ns(&d) > 1e6);
+    }
+
+    #[test]
+    fn ramp_dominates_tiny_kernels() {
+        let k = KernelDesc::new("tiny", KernelClass::Elementwise, 10.0, 10.0, 32.0);
+        let t = k.isolated_ns(&dev());
+        assert!(t >= 1000.0 && t < 1100.0, "tiny kernel ≈ ramp, got {t}");
+    }
+
+    #[test]
+    fn demand_of_tiny_kernel_is_small() {
+        let k = KernelDesc::new("tiny", KernelClass::Elementwise, 10.0, 10.0, 32.0);
+        let d = k.demand(&dev());
+        assert!(d < 0.05, "tiny kernel demand {d}");
+    }
+
+    #[test]
+    fn demand_of_saturating_kernel_is_one() {
+        // Memory-bound GEMV: needs ~full bandwidth.
+        let k = KernelDesc::new("gemv", KernelClass::Gemm, 1e6, 10e9, 4096.0);
+        let d = k.demand(&dev());
+        assert!(d > 0.8, "bandwidth-saturating kernel demand {d}");
+    }
+
+    #[test]
+    fn demand_scales_with_threads() {
+        let small = KernelDesc::new("s", KernelClass::Conv, 1e6, 1e3, 512.0);
+        let large = KernelDesc::new("l", KernelClass::Conv, 1e6, 1e3, 8192.0);
+        let d = dev();
+        assert!(small.demand(&d) < large.demand(&d));
+        assert_eq!(large.demand(&d), 1.0); // 8192 > 4096 resident threads
+    }
+
+    #[test]
+    fn efficiency_ordering_gemm_conv_pool() {
+        assert!(KernelClass::Gemm.compute_efficiency() > KernelClass::Conv.compute_efficiency());
+        assert!(KernelClass::Conv.compute_efficiency() > KernelClass::Pool.compute_efficiency());
+    }
+}

@@ -1,0 +1,232 @@
+//! nsys-like trace records collected during simulation.
+
+use crate::kernel::KernelClass;
+use serde::{Deserialize, Serialize};
+
+/// Direction of a host↔device transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CopyDir {
+    /// Host → device.
+    H2D,
+    /// Device → host.
+    D2H,
+}
+
+impl CopyDir {
+    /// Report label, matching nsys conventions.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CopyDir::H2D => "CUDA memcpy HtoD",
+            CopyDir::D2H => "CUDA memcpy DtoH",
+        }
+    }
+}
+
+/// CUDA API call kinds tracked by the trace (host timeline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ApiKind {
+    /// `cuLibraryLoadData` — module loading at context setup.
+    LibraryLoadData,
+    /// `cudaMalloc`.
+    Malloc,
+    /// `cudaFree`.
+    Free,
+    /// `cudaMemcpyAsync`.
+    MemcpyAsync,
+    /// `cudaLaunchKernel`.
+    LaunchKernel,
+    /// `cudaDeviceSynchronize`.
+    DeviceSynchronize,
+    /// `cudaStreamCreate`.
+    StreamCreate,
+    /// `cudaEventRecord`.
+    EventRecord,
+    /// `cudaStreamWaitEvent`.
+    StreamWaitEvent,
+}
+
+impl ApiKind {
+    /// The CUDA function name as nsys prints it.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ApiKind::LibraryLoadData => "cuLibraryLoadData",
+            ApiKind::Malloc => "cudaMalloc",
+            ApiKind::Free => "cudaFree",
+            ApiKind::MemcpyAsync => "cudaMemcpyAsync",
+            ApiKind::LaunchKernel => "cudaLaunchKernel",
+            ApiKind::DeviceSynchronize => "cudaDeviceSynchronize",
+            ApiKind::StreamCreate => "cudaStreamCreate",
+            ApiKind::EventRecord => "cudaEventRecord",
+            ApiKind::StreamWaitEvent => "cudaStreamWaitEvent",
+        }
+    }
+}
+
+/// One record in the simulation trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceRecord {
+    /// A host-side CUDA API call interval.
+    Api {
+        /// Which API was called.
+        kind: ApiKind,
+        /// Host start time, ns.
+        start_ns: u64,
+        /// Call duration, ns (for synchronize this includes the wait).
+        dur_ns: u64,
+    },
+    /// A device-side kernel execution interval.
+    Kernel {
+        /// Kernel name.
+        name: String,
+        /// Operator class for Table 3 bucketing.
+        class: KernelClass,
+        /// Stream the kernel ran on.
+        stream: usize,
+        /// Device start time, ns.
+        start_ns: u64,
+        /// Execution duration, ns.
+        dur_ns: u64,
+    },
+    /// A device-side DMA transfer interval.
+    Memop {
+        /// Transfer direction.
+        dir: CopyDir,
+        /// Bytes moved.
+        bytes: u64,
+        /// Device start time, ns.
+        start_ns: u64,
+        /// Transfer duration, ns.
+        dur_ns: u64,
+    },
+}
+
+/// A full simulation trace.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    /// Records in emission order (API records by host time; device records
+    /// appended as they complete).
+    pub records: Vec<TraceRecord>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, r: TraceRecord) {
+        self.records.push(r);
+    }
+
+    /// Total host time spent in each API, ns.
+    pub fn api_time(&self, kind: ApiKind) -> u64 {
+        self.records
+            .iter()
+            .filter_map(|r| match r {
+                TraceRecord::Api { kind: k, dur_ns, .. } if *k == kind => Some(*dur_ns),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Total device time spent in kernels of a class, ns.
+    pub fn kernel_time(&self, class: KernelClass) -> u64 {
+        self.records
+            .iter()
+            .filter_map(|r| match r {
+                TraceRecord::Kernel { class: c, dur_ns, .. } if *c == class => Some(*dur_ns),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// All memop records.
+    pub fn memops(&self) -> impl Iterator<Item = (&CopyDir, u64, u64)> {
+        self.records.iter().filter_map(|r| match r {
+            TraceRecord::Memop { dir, bytes, dur_ns, .. } => Some((dir, *bytes, *dur_ns)),
+            _ => None,
+        })
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn api_time_sums_matching_kind() {
+        let mut t = Trace::new();
+        t.push(TraceRecord::Api {
+            kind: ApiKind::LaunchKernel,
+            start_ns: 0,
+            dur_ns: 10,
+        });
+        t.push(TraceRecord::Api {
+            kind: ApiKind::LaunchKernel,
+            start_ns: 10,
+            dur_ns: 5,
+        });
+        t.push(TraceRecord::Api {
+            kind: ApiKind::DeviceSynchronize,
+            start_ns: 15,
+            dur_ns: 100,
+        });
+        assert_eq!(t.api_time(ApiKind::LaunchKernel), 15);
+        assert_eq!(t.api_time(ApiKind::DeviceSynchronize), 100);
+        assert_eq!(t.api_time(ApiKind::Malloc), 0);
+    }
+
+    #[test]
+    fn kernel_time_buckets_by_class() {
+        let mut t = Trace::new();
+        t.push(TraceRecord::Kernel {
+            name: "conv1".into(),
+            class: KernelClass::Conv,
+            stream: 0,
+            start_ns: 0,
+            dur_ns: 30,
+        });
+        t.push(TraceRecord::Kernel {
+            name: "fc".into(),
+            class: KernelClass::Gemm,
+            stream: 0,
+            start_ns: 30,
+            dur_ns: 70,
+        });
+        assert_eq!(t.kernel_time(KernelClass::Conv), 30);
+        assert_eq!(t.kernel_time(KernelClass::Gemm), 70);
+        assert_eq!(t.kernel_time(KernelClass::Pool), 0);
+    }
+
+    #[test]
+    fn memops_iterates_transfers() {
+        let mut t = Trace::new();
+        t.push(TraceRecord::Memop {
+            dir: CopyDir::H2D,
+            bytes: 1024,
+            start_ns: 0,
+            dur_ns: 8,
+        });
+        let v: Vec<_> = t.memops().collect();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].1, 1024);
+    }
+
+    #[test]
+    fn labels_match_cuda_names() {
+        assert_eq!(ApiKind::LibraryLoadData.label(), "cuLibraryLoadData");
+        assert_eq!(ApiKind::DeviceSynchronize.label(), "cudaDeviceSynchronize");
+        assert_eq!(CopyDir::H2D.label(), "CUDA memcpy HtoD");
+    }
+}

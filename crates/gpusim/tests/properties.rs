@@ -1,0 +1,159 @@
+//! Property-based tests of the GPU simulator's invariants.
+
+use dcd_gpusim::{CopyDir, DeviceSpec, Gpu, KernelClass, KernelDesc, TraceRecord};
+use proptest::prelude::*;
+
+fn kernel(flops: f64, bytes: f64, threads: f64) -> KernelDesc {
+    KernelDesc::new("k", KernelClass::Conv, flops, bytes, threads)
+}
+
+/// Extracts `(stream, start, dur)` of every kernel record.
+fn kernel_intervals(gpu: &Gpu) -> Vec<(usize, u64, u64)> {
+    gpu.trace()
+        .records
+        .iter()
+        .filter_map(|r| match r {
+            TraceRecord::Kernel {
+                stream,
+                start_ns,
+                dur_ns,
+                ..
+            } => Some((*stream, *start_ns, *dur_ns)),
+            _ => None,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn same_stream_kernels_never_overlap(
+        n in 1usize..8, flops in 1e6f64..1e9, threads in 32f64..1e5,
+    ) {
+        let mut gpu = Gpu::new(DeviceSpec::test_gpu());
+        for _ in 0..n {
+            gpu.launch_kernel(0, kernel(flops, 0.0, threads));
+        }
+        gpu.device_synchronize();
+        let mut iv = kernel_intervals(&gpu);
+        iv.sort_by_key(|&(_, s, _)| s);
+        for w in iv.windows(2) {
+            prop_assert!(
+                w[1].1 >= w[0].1 + w[0].2,
+                "kernels overlap on one stream: {:?} then {:?}", w[0], w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn all_launched_kernels_complete(
+        streams in 1usize..4, per_stream in 1usize..5, flops in 1e5f64..1e8,
+    ) {
+        let mut gpu = Gpu::new(DeviceSpec::test_gpu());
+        let mut ids = vec![0usize];
+        for _ in 1..streams {
+            ids.push(gpu.create_stream());
+        }
+        for &s in &ids {
+            for _ in 0..per_stream {
+                gpu.launch_kernel(s, kernel(flops, 0.0, 256.0));
+            }
+        }
+        gpu.device_synchronize();
+        prop_assert_eq!(kernel_intervals(&gpu).len(), streams * per_stream);
+    }
+
+    #[test]
+    fn host_clock_is_monotonic_across_api_calls(
+        ops in prop::collection::vec(0u8..4, 1..20),
+    ) {
+        let mut gpu = Gpu::new(DeviceSpec::test_gpu());
+        let mut last = gpu.host_ns();
+        let s1 = gpu.create_stream();
+        for op in ops {
+            match op {
+                0 => gpu.launch_kernel(0, kernel(1e6, 0.0, 64.0)),
+                1 => gpu.launch_kernel(s1, kernel(1e6, 1e4, 64.0)),
+                2 => gpu.memcpy_async(0, CopyDir::H2D, 4096),
+                _ => {
+                    gpu.device_synchronize();
+                }
+            }
+            let now = gpu.host_ns();
+            prop_assert!(now >= last, "host clock went backwards");
+            last = now;
+        }
+    }
+
+    #[test]
+    fn concurrency_never_beats_serial_total_work(
+        flops in 1e8f64..1e10,
+    ) {
+        // Two saturating kernels: concurrent span >= the longer of them and
+        // >= half the serial sum (processor sharing conserves work).
+        let big = kernel(flops, 0.0, 1e7); // demand 1 on the test GPU
+        let mut serial = Gpu::new(DeviceSpec::test_gpu());
+        serial.launch_kernel(0, big.clone());
+        serial.launch_kernel(0, big.clone());
+        serial.device_synchronize();
+        let serial_span = {
+            let iv = kernel_intervals(&serial);
+            iv.iter().map(|&(_, s, d)| s + d).max().unwrap() - iv.iter().map(|&(_, s, _)| s).min().unwrap()
+        };
+
+        let mut conc = Gpu::new(DeviceSpec::test_gpu());
+        let s1 = conc.create_stream();
+        conc.launch_kernel(0, big.clone());
+        conc.launch_kernel(s1, big);
+        conc.device_synchronize();
+        let conc_span = {
+            let iv = kernel_intervals(&conc);
+            iv.iter().map(|&(_, s, d)| s + d).max().unwrap() - iv.iter().map(|&(_, s, _)| s).min().unwrap()
+        };
+        // Within scheduling epsilon, concurrency cannot create throughput.
+        prop_assert!(conc_span as f64 >= 0.95 * serial_span as f64,
+            "conc {} vs serial {}", conc_span, serial_span);
+    }
+
+    #[test]
+    fn memcpy_time_scales_with_bytes(bytes in 1u64..50_000_000) {
+        let mut gpu = Gpu::new(DeviceSpec::test_gpu());
+        gpu.memcpy_async(0, CopyDir::H2D, bytes);
+        gpu.device_synchronize();
+        let (_, b, dur) = gpu.trace().memops().next().unwrap();
+        prop_assert_eq!(b, bytes);
+        // 10 GB/s + 1 µs ramp on the test GPU.
+        let expect = 1_000.0 + bytes as f64 / 10.0;
+        prop_assert!((dur as f64 - expect).abs() < expect * 0.05 + 10.0,
+            "dur {} expect {}", dur, expect);
+    }
+
+    #[test]
+    fn sync_after_sync_is_cheap(flops in 1e6f64..1e9) {
+        let mut gpu = Gpu::new(DeviceSpec::test_gpu());
+        gpu.launch_kernel(0, kernel(flops, 0.0, 1e4));
+        gpu.device_synchronize();
+        // Device is idle now: a second sync costs only the API overhead.
+        let wait = gpu.device_synchronize();
+        prop_assert_eq!(wait, 1_000);
+    }
+
+    #[test]
+    fn memory_accounting_is_exact(
+        allocs in prop::collection::vec(1u64..1_000_000, 1..10),
+    ) {
+        let mut gpu = Gpu::new(DeviceSpec::test_gpu());
+        let mut total = 0u64;
+        for &a in &allocs {
+            gpu.malloc(a).unwrap();
+            total += a;
+            prop_assert_eq!(gpu.mem_used(), total);
+        }
+        for &a in &allocs {
+            gpu.free(a);
+            total -= a;
+            prop_assert_eq!(gpu.mem_used(), total);
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Multi-GPU data-parallel inference (extension).
+//!
+//! The paper flags multi-GPU execution as future work (§4.1) and cites HIOS
+//! — the authors' hierarchical inter-/intra-GPU scheduler — in §8.3. This
+//! module models the first rung of that ladder: **data parallelism** over
+//! `n` simulated GPUs, each running the single-GPU IOS schedule on a slice
+//! of the batch.
+//!
+//! Two host models bound the design space:
+//!
+//! * `shared_host = false` — one driving thread per GPU (DDP-style): GPUs
+//!   are fully independent and cluster latency is the slowest slice.
+//! * `shared_host = true` — a single thread dispatches to all GPUs in turn:
+//!   each GPU's work starts only after the host finished enqueueing its
+//!   predecessors, modelling the dispatch serialization that motivates
+//!   hierarchical scheduling.
+
+use crate::executor::Executor;
+use crate::graph::Graph;
+use crate::schedule::Schedule;
+use dcd_gpusim::DeviceSpec;
+use serde::{Deserialize, Serialize};
+
+/// Cluster configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Number of identical GPUs.
+    pub n_gpus: usize,
+    /// Whether one host thread serializes dispatch across GPUs.
+    pub shared_host: bool,
+}
+
+/// Result of a cluster measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterStats {
+    /// Total images per inference round.
+    pub batch_total: usize,
+    /// Per-GPU sub-batch sizes.
+    pub sub_batches: Vec<usize>,
+    /// Per-GPU inference latency for its slice, ns.
+    pub per_gpu_ns: Vec<f64>,
+    /// Host dispatch time per GPU slice (only serialized when
+    /// `shared_host`), ns.
+    pub dispatch_ns: f64,
+    /// End-to-end round latency, ns.
+    pub latency_ns: f64,
+    /// Images per second.
+    pub throughput: f64,
+    /// Throughput relative to `n × single-GPU` (1.0 = perfect scaling).
+    pub scaling_efficiency: f64,
+}
+
+/// Splits `batch` as evenly as possible across `n` GPUs (empty slices
+/// dropped).
+pub fn split_batch(batch: usize, n: usize) -> Vec<usize> {
+    assert!(n > 0, "need at least one GPU");
+    let base = batch / n;
+    let extra = batch % n;
+    (0..n)
+        .map(|g| base + usize::from(g < extra))
+        .filter(|&b| b > 0)
+        .collect()
+}
+
+/// Host-side dispatch cost of one inference round: the API call overheads
+/// the host pays before it could move on to the next GPU (launches, memcpy
+/// enqueues — not the barrier waits, which a multi-GPU driver overlaps via
+/// events).
+fn dispatch_cost_ns(schedule: &Schedule, spec: &DeviceSpec) -> f64 {
+    let launches = schedule.num_ops() as f64 * spec.api_launch_ns as f64;
+    let memcpys = 2.0 * spec.api_memcpy_ns as f64;
+    launches + memcpys
+}
+
+/// Measures data-parallel inference of `batch_total` images across the
+/// cluster, with `warmup`/`iterations` per GPU.
+pub fn measure_cluster(
+    graph: &Graph,
+    schedule: &Schedule,
+    batch_total: usize,
+    spec: &DeviceSpec,
+    cluster: ClusterConfig,
+    warmup: usize,
+    iterations: usize,
+) -> ClusterStats {
+    assert!(batch_total > 0, "batch must be positive");
+    let sub_batches = split_batch(batch_total, cluster.n_gpus);
+    let dispatch_ns = dispatch_cost_ns(schedule, spec);
+
+    let per_gpu_ns: Vec<f64> = sub_batches
+        .iter()
+        .map(|&b| {
+            let mut exec = Executor::new(graph, schedule.clone(), b, spec.clone());
+            exec.run_many(warmup, iterations).mean_ns
+        })
+        .collect();
+
+    // Round latency: GPU g starts after g serialized dispatches (if the
+    // host is shared) and then runs its slice.
+    let latency_ns = per_gpu_ns
+        .iter()
+        .enumerate()
+        .map(|(g, &t)| {
+            let start = if cluster.shared_host {
+                g as f64 * dispatch_ns
+            } else {
+                0.0
+            };
+            start + t
+        })
+        .fold(0.0, f64::max);
+    let throughput = batch_total as f64 / (latency_ns / 1e9);
+
+    // Ideal reference: n × the throughput of one GPU running the same
+    // per-GPU slice size (the classic weak-scaling reference).
+    let single = {
+        let b = sub_batches[0];
+        let mut exec = Executor::new(graph, schedule.clone(), b, spec.clone());
+        let t = exec.run_many(warmup, iterations).mean_ns;
+        b as f64 / (t / 1e9)
+    };
+    let ideal = single * sub_batches.len() as f64;
+    let scaling_efficiency = if ideal > 0.0 { throughput / ideal } else { 0.0 };
+
+    ClusterStats {
+        batch_total,
+        sub_batches,
+        per_gpu_ns,
+        dispatch_ns,
+        latency_ns,
+        throughput,
+        scaling_efficiency,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::StageCostModel;
+    use crate::dp::{ios_schedule, IosOptions};
+    use crate::lower::lower_sppnet;
+    use dcd_nn::SppNetConfig;
+
+    fn setup() -> (Graph, Schedule, DeviceSpec) {
+        let graph = lower_sppnet(&SppNetConfig::original(), (100, 100));
+        let spec = DeviceSpec::rtx_a5500();
+        let mut cost = StageCostModel::new(&graph, spec.clone(), 8);
+        let schedule = ios_schedule(&graph, &mut cost, IosOptions::default());
+        (graph, schedule, spec)
+    }
+
+    #[test]
+    fn split_batch_is_fair_and_complete() {
+        assert_eq!(split_batch(64, 4), vec![16, 16, 16, 16]);
+        assert_eq!(split_batch(10, 4), vec![3, 3, 2, 2]);
+        assert_eq!(split_batch(2, 4), vec![1, 1]); // empty slices dropped
+        assert_eq!(split_batch(7, 1), vec![7]);
+        for (b, n) in [(64, 4), (10, 4), (7, 3)] {
+            assert_eq!(split_batch(b, n).iter().sum::<usize>(), b);
+        }
+    }
+
+    #[test]
+    fn one_gpu_matches_single_executor() {
+        let (graph, schedule, spec) = setup();
+        let stats = measure_cluster(
+            &graph,
+            &schedule,
+            16,
+            &spec,
+            ClusterConfig {
+                n_gpus: 1,
+                shared_host: false,
+            },
+            1,
+            2,
+        );
+        let mut exec = Executor::new(&graph, schedule.clone(), 16, spec.clone());
+        let single = exec.run_many(1, 2).mean_ns;
+        assert!((stats.latency_ns - single).abs() < 10.0);
+        assert!((stats.scaling_efficiency - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn independent_hosts_scale_throughput() {
+        let (graph, schedule, spec) = setup();
+        let one = measure_cluster(
+            &graph,
+            &schedule,
+            64,
+            &spec,
+            ClusterConfig {
+                n_gpus: 1,
+                shared_host: false,
+            },
+            1,
+            2,
+        );
+        let four = measure_cluster(
+            &graph,
+            &schedule,
+            64,
+            &spec,
+            ClusterConfig {
+                n_gpus: 4,
+                shared_host: false,
+            },
+            1,
+            2,
+        );
+        // 4 GPUs on a quarter slice each: much faster than 1 GPU on 64,
+        // though sublinear (per-image fixed costs grow at smaller batch).
+        assert!(
+            four.throughput > 2.0 * one.throughput,
+            "4-GPU throughput {} vs 1-GPU {}",
+            four.throughput,
+            one.throughput
+        );
+        assert!(four.scaling_efficiency > 0.95, "eff {}", four.scaling_efficiency);
+    }
+
+    #[test]
+    fn shared_host_pays_dispatch_serialization() {
+        let (graph, schedule, spec) = setup();
+        let free = measure_cluster(
+            &graph,
+            &schedule,
+            32,
+            &spec,
+            ClusterConfig {
+                n_gpus: 4,
+                shared_host: false,
+            },
+            1,
+            2,
+        );
+        let shared = measure_cluster(
+            &graph,
+            &schedule,
+            32,
+            &spec,
+            ClusterConfig {
+                n_gpus: 4,
+                shared_host: true,
+            },
+            1,
+            2,
+        );
+        assert!(shared.latency_ns > free.latency_ns);
+        assert!(shared.scaling_efficiency < free.scaling_efficiency);
+        // The gap equals (n−1) dispatches.
+        let gap = shared.latency_ns - free.latency_ns;
+        assert!((gap - 3.0 * shared.dispatch_ns).abs() < 1e3, "gap {gap}");
+    }
+
+    #[test]
+    fn more_gpus_than_images_degrades_gracefully() {
+        let (graph, schedule, spec) = setup();
+        let stats = measure_cluster(
+            &graph,
+            &schedule,
+            2,
+            &spec,
+            ClusterConfig {
+                n_gpus: 8,
+                shared_host: false,
+            },
+            1,
+            1,
+        );
+        assert_eq!(stats.sub_batches, vec![1, 1]);
+        assert_eq!(stats.per_gpu_ns.len(), 2);
+    }
+}

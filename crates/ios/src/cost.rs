@@ -1,0 +1,165 @@
+//! Stage cost model: candidate stages are "profiled" on the simulator.
+//!
+//! IOS measures every candidate stage on the target device and feeds the
+//! measured latency to its dynamic program. Here the target device is
+//! `dcd-gpusim`; a stage is costed by actually simulating it — launch each
+//! group on its own stream, barrier, read the host clock — and memoizing the
+//! result.
+
+use crate::graph::{Graph, OpId};
+use dcd_gpusim::{DeviceSpec, Gpu};
+use std::collections::HashMap;
+
+/// Memoizing stage profiler.
+pub struct StageCostModel<'g> {
+    graph: &'g Graph,
+    device: DeviceSpec,
+    batch: usize,
+    memo: HashMap<Vec<Vec<OpId>>, f64>,
+}
+
+impl<'g> StageCostModel<'g> {
+    /// Creates a cost model for one graph / device / batch size.
+    pub fn new(graph: &'g Graph, device: DeviceSpec, batch: usize) -> Self {
+        assert!(batch > 0, "batch must be positive");
+        StageCostModel {
+            graph,
+            device,
+            batch,
+            memo: HashMap::new(),
+        }
+    }
+
+    /// The batch size this model profiles at.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Latency of one stage in ns: concurrent groups on separate streams,
+    /// sequential ops within a group, one device barrier at the end.
+    pub fn stage_latency(&mut self, groups: &[Vec<OpId>]) -> f64 {
+        if let Some(&t) = self.memo.get(groups) {
+            return t;
+        }
+        // Profile on a pristine context with free module loading (module
+        // loads are a per-process cost, not a per-stage cost).
+        let mut spec = self.device.clone();
+        spec.api_library_load_ns = 0;
+        let mut gpu = Gpu::new(spec);
+        let mut streams = vec![0usize];
+        for _ in 1..groups.len() {
+            streams.push(gpu.create_stream());
+        }
+        let t0 = gpu.host_ns();
+        // Interleave launches across groups the way the executor's host
+        // thread does (round-robin), so host-dispatch overlap is modelled
+        // the same way it will execute.
+        let max_len = groups.iter().map(|g| g.len()).max().unwrap_or(0);
+        for i in 0..max_len {
+            for (gi, group) in groups.iter().enumerate() {
+                if let Some(&op) = group.get(i) {
+                    gpu.launch_kernel(streams[gi], self.graph.kernel_for(op, self.batch));
+                }
+            }
+        }
+        gpu.device_synchronize();
+        let latency = (gpu.host_ns() - t0) as f64;
+        self.memo.insert(groups.to_vec(), latency);
+        latency
+    }
+
+    /// Total latency of a full schedule under this model: the sum of its
+    /// stage latencies (stages are separated by barriers, so they add).
+    pub fn schedule_latency(&mut self, schedule: &crate::schedule::Schedule) -> f64 {
+        schedule
+            .stages
+            .iter()
+            .map(|s| self.stage_latency(&s.groups))
+            .sum()
+    }
+
+    /// Number of distinct stages profiled so far.
+    pub fn profiled_stages(&self) -> usize {
+        self.memo.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::OpKind;
+    use crate::schedule::{Schedule, Stage};
+
+    /// in → a → {b, c} → d with small pool branches.
+    fn diamond() -> Graph {
+        let mut g = Graph::new();
+        let input = g.add_input("in", (8, 16, 16));
+        let a = g.add("a", OpKind::Relu, vec![input]);
+        let b = g.add("b", OpKind::AdaptivePool { out_size: 2 }, vec![a]);
+        let c = g.add("c", OpKind::AdaptivePool { out_size: 1 }, vec![a]);
+        g.add("d", OpKind::Concat, vec![b, c]);
+        g
+    }
+
+    #[test]
+    fn parallel_stage_cheaper_than_two_solo_stages() {
+        let g = diamond();
+        let mut m = StageCostModel::new(&g, DeviceSpec::test_gpu(), 1);
+        let parallel = m.stage_latency(&[vec![2], vec![3]]);
+        let solo_b = m.stage_latency(&[vec![2]]);
+        let solo_c = m.stage_latency(&[vec![3]]);
+        assert!(
+            parallel < solo_b + solo_c,
+            "parallel {parallel} vs serial {}",
+            solo_b + solo_c
+        );
+    }
+
+    #[test]
+    fn chained_group_cheaper_than_two_stages() {
+        // One group [a, b] = one barrier; two stages = two barriers.
+        let g = diamond();
+        let mut m = StageCostModel::new(&g, DeviceSpec::test_gpu(), 1);
+        let chained = m.stage_latency(&[vec![1, 2]]);
+        let split = m.stage_latency(&[vec![1]]) + m.stage_latency(&[vec![2]]);
+        assert!(chained < split, "chained {chained} vs split {split}");
+    }
+
+    #[test]
+    fn memoization_hits() {
+        let g = diamond();
+        let mut m = StageCostModel::new(&g, DeviceSpec::test_gpu(), 1);
+        let a = m.stage_latency(&[vec![1]]);
+        let b = m.stage_latency(&[vec![1]]);
+        assert_eq!(a, b);
+        assert_eq!(m.profiled_stages(), 1);
+    }
+
+    #[test]
+    fn schedule_latency_sums_stages() {
+        let g = diamond();
+        let mut m = StageCostModel::new(&g, DeviceSpec::test_gpu(), 1);
+        let s = Schedule {
+            stages: vec![
+                Stage::solo(1),
+                Stage {
+                    groups: vec![vec![2], vec![3]],
+                },
+                Stage::solo(4),
+            ],
+        };
+        let total = m.schedule_latency(&s);
+        let parts = m.stage_latency(&[vec![1]])
+            + m.stage_latency(&[vec![2], vec![3]])
+            + m.stage_latency(&[vec![4]]);
+        assert!((total - parts).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_grows_with_batch() {
+        let g = diamond();
+        let mut m1 = StageCostModel::new(&g, DeviceSpec::test_gpu(), 1);
+        let mut m64 = StageCostModel::new(&g, DeviceSpec::test_gpu(), 64);
+        assert!(m64.stage_latency(&[vec![1]]) > m1.stage_latency(&[vec![1]]));
+    }
+}

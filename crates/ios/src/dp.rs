@@ -1,0 +1,385 @@
+//! The three schedulers: sequential baseline, greedy (Nimble-like) baseline,
+//! and the IOS dynamic program.
+
+use crate::cost::StageCostModel;
+use crate::graph::{Graph, OpId};
+use crate::schedule::{Schedule, Stage};
+use std::collections::{HashMap, HashSet};
+
+/// Pruning options for the IOS dynamic program (the paper's IOS exposes the
+/// same two knobs as "max number of groups / max stage size").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IosOptions {
+    /// Maximum concurrent groups in one stage.
+    pub max_groups: usize,
+    /// Maximum ops in one group (chain length bound).
+    pub max_group_len: usize,
+}
+
+impl Default for IosOptions {
+    fn default() -> Self {
+        IosOptions {
+            max_groups: 4,
+            max_group_len: 6,
+        }
+    }
+}
+
+/// The degenerate baseline: every op is its own stage, in topological order.
+/// Maximum number of barriers, no concurrency — the "Sequential Inference
+/// Latency" column of Table 2.
+pub fn sequential_schedule(graph: &Graph) -> Schedule {
+    Schedule {
+        stages: graph.kernel_ops().into_iter().map(Stage::solo).collect(),
+    }
+}
+
+/// Nimble-style greedy wavefront schedule: each stage executes *all* ready
+/// ops, one group per op. Maximum width, but no grouping choice and no
+/// latency model — the ablation baseline between sequential and IOS.
+pub fn greedy_schedule(graph: &Graph) -> Schedule {
+    let mut done: HashSet<OpId> = graph
+        .ops
+        .iter()
+        .filter(|o| !o.has_kernel())
+        .map(|o| o.id)
+        .collect();
+    let kernel_ops: Vec<OpId> = graph.kernel_ops();
+    let mut remaining: HashSet<OpId> = kernel_ops.iter().copied().collect();
+    let mut stages = Vec::new();
+    while !remaining.is_empty() {
+        let ready: Vec<OpId> = kernel_ops
+            .iter()
+            .copied()
+            .filter(|op| {
+                remaining.contains(op)
+                    && graph.ops[*op].inputs.iter().all(|i| done.contains(i))
+            })
+            .collect();
+        assert!(!ready.is_empty(), "graph has a dependency cycle");
+        stages.push(Stage {
+            groups: ready.iter().map(|&op| vec![op]).collect(),
+        });
+        for op in ready {
+            remaining.remove(&op);
+            done.insert(op);
+        }
+    }
+    Schedule { stages }
+}
+
+/// The IOS dynamic program.
+///
+/// States are dependence-closed sets of completed kernel ops (bitmask over
+/// the kernel ops). From each state the candidate next stages are built from
+/// subsets of the ready frontier, in two families:
+///
+/// 1. **wide** — each selected ready op forms a single-op group (pure branch
+///    parallelism, what the greedy baseline does one wavefront at a time);
+/// 2. **chained** — each selected ready op seeds a group that is greedily
+///    extended along the dependence chain while every predecessor of the
+///    extension lies in the completed set or earlier in the same group
+///    (fewer barriers for linear backbone sections).
+///
+/// Each candidate stage is profiled through [`StageCostModel`] (simulated
+/// execution on the target device) and the DP minimizes total latency.
+/// Memoization is over the completed-set bitmask, so the result is optimal
+/// within the candidate family and pruning bounds.
+pub fn ios_schedule(graph: &Graph, cost: &mut StageCostModel<'_>, opts: IosOptions) -> Schedule {
+    let kernel_ops = graph.kernel_ops();
+    let n = kernel_ops.len();
+    assert!(n <= 63, "bitmask DP supports at most 63 kernel ops, got {n}");
+    assert!(opts.max_groups >= 1 && opts.max_group_len >= 1);
+
+    // op id -> bit position
+    let bit: HashMap<OpId, usize> = kernel_ops.iter().enumerate().map(|(i, &op)| (op, i)).collect();
+    let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+
+    // Predecessor masks (non-kernel inputs are always satisfied).
+    let pred_mask: Vec<u64> = kernel_ops
+        .iter()
+        .map(|&op| {
+            graph.ops[op]
+                .inputs
+                .iter()
+                .filter_map(|i| bit.get(i))
+                .fold(0u64, |m, &b| m | (1 << b))
+        })
+        .collect();
+
+    let ready_of = |mask: u64| -> Vec<usize> {
+        (0..n)
+            .filter(|&b| mask & (1 << b) == 0 && pred_mask[b] & !mask == 0)
+            .collect()
+    };
+
+    /// Extends a seed op into a chain while dependences stay inside
+    /// `mask ∪ group` and the op is not claimed by the stage already.
+    fn extend_chain(
+        seed: usize,
+        mask: u64,
+        claimed: u64,
+        succ_bits: &[Vec<usize>],
+        pred_mask: &[u64],
+        max_len: usize,
+    ) -> Vec<usize> {
+        let mut group = vec![seed];
+        let mut group_mask = 1u64 << seed;
+        while group.len() < max_len {
+            let last = *group.last().expect("non-empty");
+            let mut next = None;
+            for &s in &succ_bits[last] {
+                let taken = claimed | group_mask;
+                if taken & (1 << s) != 0 {
+                    continue;
+                }
+                if pred_mask[s] & !(mask | group_mask) == 0 {
+                    next = Some(s);
+                    break;
+                }
+            }
+            match next {
+                Some(s) => {
+                    group.push(s);
+                    group_mask |= 1 << s;
+                }
+                None => break,
+            }
+        }
+        group
+    }
+
+    // Successor lists in bit space.
+    let succ = graph.successors();
+    let succ_bits: Vec<Vec<usize>> = kernel_ops
+        .iter()
+        .map(|&op| succ[op].iter().filter_map(|s| bit.get(s)).copied().collect())
+        .collect();
+
+    // Candidate stages (as groups of bit indices) from a state.
+    let candidates = |mask: u64| -> Vec<Vec<Vec<usize>>> {
+        let ready = ready_of(mask);
+        let r = ready.len();
+        let mut out: Vec<Vec<Vec<usize>>> = Vec::new();
+        let mut seen: HashSet<Vec<Vec<usize>>> = HashSet::new();
+        // Non-empty subsets of the ready frontier, bounded by max_groups.
+        for subset in 1u32..(1u32 << r) {
+            if (subset.count_ones() as usize) > opts.max_groups {
+                continue;
+            }
+            let seeds: Vec<usize> = (0..r)
+                .filter(|i| subset & (1 << i) != 0)
+                .map(|i| ready[i])
+                .collect();
+            // Family 1: singleton groups.
+            let wide: Vec<Vec<usize>> = seeds.iter().map(|&s| vec![s]).collect();
+            if seen.insert(wide.clone()) {
+                out.push(wide);
+            }
+            // Family 2: chain-extended groups.
+            let mut claimed: u64 = seeds.iter().fold(0, |m, &s| m | (1 << s));
+            let mut chained: Vec<Vec<usize>> = Vec::with_capacity(seeds.len());
+            for &s in &seeds {
+                let grp = extend_chain(s, mask, claimed, &succ_bits, &pred_mask, opts.max_group_len);
+                claimed |= grp.iter().fold(0u64, |m, &b| m | (1 << b));
+                chained.push(grp);
+            }
+            if seen.insert(chained.clone()) {
+                out.push(chained);
+            }
+        }
+        out
+    };
+
+    // Memoized DP over completed-set masks.
+    let mut memo: HashMap<u64, (f64, Vec<Vec<usize>>)> = HashMap::new();
+    let mut order: Vec<u64> = vec![full];
+    // Iterative post-order: discover reachable states, then solve in
+    // decreasing popcount order.
+    let mut discovered: HashSet<u64> = HashSet::new();
+    let mut stack = vec![0u64];
+    discovered.insert(0);
+    while let Some(mask) = stack.pop() {
+        if mask == full {
+            continue;
+        }
+        for stage in candidates(mask) {
+            let add: u64 = stage.iter().flatten().fold(0, |m, &b| m | (1 << b));
+            let next = mask | add;
+            if discovered.insert(next) {
+                stack.push(next);
+            }
+        }
+    }
+    order.extend(discovered.iter().copied());
+    order.sort_by_key(|m| std::cmp::Reverse(m.count_ones()));
+    order.dedup();
+
+    memo.insert(full, (0.0, Vec::new()));
+    for &mask in &order {
+        if mask == full || memo.contains_key(&mask) {
+            continue;
+        }
+        let mut best = f64::INFINITY;
+        let mut best_stage: Vec<Vec<usize>> = Vec::new();
+        for stage in candidates(mask) {
+            let add: u64 = stage.iter().flatten().fold(0, |m, &b| m | (1 << b));
+            let next = mask | add;
+            let tail = match memo.get(&next) {
+                Some((t, _)) => *t,
+                None => continue, // unreachable under pruning from here
+            };
+            let groups_ops: Vec<Vec<OpId>> = stage
+                .iter()
+                .map(|g| g.iter().map(|&b| kernel_ops[b]).collect())
+                .collect();
+            let latency = cost.stage_latency(&groups_ops) + tail;
+            if latency < best {
+                best = latency;
+                best_stage = stage;
+            }
+        }
+        assert!(best.is_finite(), "no candidate stage from state {mask:#b}");
+        memo.insert(mask, (best, best_stage));
+    }
+
+    // Reconstruct.
+    let mut stages = Vec::new();
+    let mut mask = 0u64;
+    while mask != full {
+        let (_, stage) = memo.get(&mask).expect("state solved").clone();
+        let add: u64 = stage.iter().flatten().fold(0, |m, &b| m | (1 << b));
+        stages.push(Stage {
+            groups: stage
+                .iter()
+                .map(|g| g.iter().map(|&b| kernel_ops[b]).collect())
+                .collect(),
+        });
+        mask |= add;
+    }
+    let schedule = Schedule { stages };
+    debug_assert_eq!(schedule.validate(graph), Ok(()));
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::OpKind;
+    use crate::lower::lower_sppnet;
+    use dcd_gpusim::DeviceSpec;
+    use dcd_nn::SppNetConfig;
+
+    fn diamond() -> Graph {
+        let mut g = Graph::new();
+        let input = g.add_input("in", (8, 16, 16));
+        let a = g.add("a", OpKind::Relu, vec![input]);
+        let b = g.add("b", OpKind::AdaptivePool { out_size: 2 }, vec![a]);
+        let c = g.add("c", OpKind::AdaptivePool { out_size: 1 }, vec![a]);
+        g.add("d", OpKind::Concat, vec![b, c]);
+        g
+    }
+
+    #[test]
+    fn sequential_is_one_op_per_stage() {
+        let g = diamond();
+        let s = sequential_schedule(&g);
+        assert_eq!(s.num_stages(), 4);
+        assert_eq!(s.max_width(), 1);
+        assert_eq!(s.validate(&g), Ok(()));
+    }
+
+    #[test]
+    fn greedy_runs_branches_in_one_stage() {
+        let g = diamond();
+        let s = greedy_schedule(&g);
+        assert_eq!(s.validate(&g), Ok(()));
+        assert_eq!(s.num_stages(), 3); // a | {b,c} | d
+        assert_eq!(s.stages[1].width(), 2);
+    }
+
+    #[test]
+    fn ios_beats_or_matches_sequential_and_greedy() {
+        let g = diamond();
+        let dev = DeviceSpec::test_gpu();
+        let mut cost = StageCostModel::new(&g, dev, 1);
+        let ios = ios_schedule(&g, &mut cost, IosOptions::default());
+        assert_eq!(ios.validate(&g), Ok(()));
+        let t_ios = cost.schedule_latency(&ios);
+        let t_seq = cost.schedule_latency(&sequential_schedule(&g));
+        let t_greedy = cost.schedule_latency(&greedy_schedule(&g));
+        assert!(t_ios <= t_seq, "ios {t_ios} > sequential {t_seq}");
+        assert!(t_ios <= t_greedy, "ios {t_ios} > greedy {t_greedy}");
+        assert!(t_ios < t_seq, "ios should strictly beat the sequential baseline");
+    }
+
+    #[test]
+    fn ios_on_pure_chain_merges_into_groups() {
+        // in → relu → relu → relu: best schedule is one stage, one group.
+        let mut g = Graph::new();
+        let input = g.add_input("in", (4, 8, 8));
+        let a = g.add("a", OpKind::Relu, vec![input]);
+        let b = g.add("b", OpKind::Relu, vec![a]);
+        g.add("c", OpKind::Relu, vec![b]);
+        let dev = DeviceSpec::test_gpu();
+        let mut cost = StageCostModel::new(&g, dev, 1);
+        let s = ios_schedule(&g, &mut cost, IosOptions::default());
+        assert_eq!(s.validate(&g), Ok(()));
+        assert_eq!(s.num_stages(), 1, "chain should fuse into one stage: {}", s.render(&g));
+        assert_eq!(s.stages[0].groups[0], vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ios_respects_max_group_len() {
+        let mut g = Graph::new();
+        let mut prev = g.add_input("in", (4, 8, 8));
+        for i in 0..5 {
+            prev = g.add(format!("r{i}"), OpKind::Relu, vec![prev]);
+        }
+        let dev = DeviceSpec::test_gpu();
+        let mut cost = StageCostModel::new(&g, dev, 1);
+        let s = ios_schedule(
+            &g,
+            &mut cost,
+            IosOptions {
+                max_groups: 2,
+                max_group_len: 2,
+            },
+        );
+        assert_eq!(s.validate(&g), Ok(()));
+        assert!(s.stages.iter().all(|st| st.groups.iter().all(|gr| gr.len() <= 2)));
+        assert_eq!(s.num_stages(), 3); // 5 ops in chains of ≤2 → ≥3 stages
+    }
+
+    #[test]
+    fn ios_schedules_full_sppnet() {
+        let cfg = SppNetConfig::original();
+        let g = lower_sppnet(&cfg, (100, 100));
+        let dev = DeviceSpec::rtx_a5500();
+        let mut cost = StageCostModel::new(&g, dev, 1);
+        let s = ios_schedule(&g, &mut cost, IosOptions::default());
+        assert_eq!(s.validate(&g), Ok(()));
+        // The SPP branches must end up in one parallel stage.
+        let spp_stage = s
+            .stages
+            .iter()
+            .find(|st| st.ops().any(|op| g.ops[op].name == "spp4"));
+        assert!(spp_stage.is_some());
+        // IOS should use fewer stages than the sequential baseline.
+        assert!(s.num_stages() < sequential_schedule(&g).num_stages());
+        let t_ios = cost.schedule_latency(&s);
+        let t_seq = cost.schedule_latency(&sequential_schedule(&g));
+        assert!(t_ios < t_seq, "IOS {t_ios} must beat sequential {t_seq}");
+    }
+
+    #[test]
+    fn dp_is_deterministic() {
+        let g = diamond();
+        let dev = DeviceSpec::test_gpu();
+        let mut c1 = StageCostModel::new(&g, dev.clone(), 1);
+        let mut c2 = StageCostModel::new(&g, dev, 1);
+        let s1 = ios_schedule(&g, &mut c1, IosOptions::default());
+        let s2 = ios_schedule(&g, &mut c2, IosOptions::default());
+        assert_eq!(s1, s2);
+    }
+}

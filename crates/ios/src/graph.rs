@@ -1,0 +1,458 @@
+//! Operator graph IR.
+//!
+//! A [`Graph`] is a DAG of [`Op`]s in topological order. Each op carries its
+//! output activation shape `(channels, height, width)` for a single sample;
+//! batch size is applied when a kernel descriptor is materialized.
+
+use dcd_gpusim::{DeviceSpec, KernelClass, KernelDesc};
+use serde::{Deserialize, Serialize};
+
+/// Index of an op within its graph.
+pub type OpId = usize;
+
+/// Operator kinds the SPP-Net pipeline needs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Graph input (no kernel; realized as an H2D copy by the executor).
+    Input,
+    /// 2-D convolution.
+    Conv {
+        /// Input channels.
+        c_in: usize,
+        /// Output channels.
+        c_out: usize,
+        /// Square kernel size.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Padding.
+        pad: usize,
+    },
+    /// Rectified linear unit.
+    Relu,
+    /// Fixed-window max pooling.
+    MaxPool {
+        /// Window.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Adaptive max pooling to `out × out` (one SPP pyramid branch). The
+    /// output is already flattened to `(c·out², 1, 1)`.
+    AdaptivePool {
+        /// Output bins per side.
+        out_size: usize,
+    },
+    /// Channel-wise concatenation of flattened vectors.
+    Concat,
+    /// Fully-connected layer.
+    Gemm {
+        /// Input features.
+        in_f: usize,
+        /// Output features.
+        out_f: usize,
+    },
+}
+
+/// One operator in the graph.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Op {
+    /// Index in [`Graph::ops`].
+    pub id: OpId,
+    /// Display name (also the simulated kernel name).
+    pub name: String,
+    /// Operator kind.
+    pub kind: OpKind,
+    /// Producer ops.
+    pub inputs: Vec<OpId>,
+    /// Output shape `(c, h, w)` per sample.
+    pub out_shape: (usize, usize, usize),
+}
+
+impl Op {
+    /// Elements produced per sample.
+    pub fn out_numel(&self) -> usize {
+        self.out_shape.0 * self.out_shape.1 * self.out_shape.2
+    }
+
+    /// Trainable parameter count (weights + bias), zero for stateless ops.
+    pub fn param_count(&self) -> usize {
+        match &self.kind {
+            OpKind::Conv {
+                c_in,
+                c_out,
+                kernel,
+                ..
+            } => c_out * c_in * kernel * kernel + c_out,
+            OpKind::Gemm { in_f, out_f } => in_f * out_f + out_f,
+            _ => 0,
+        }
+    }
+
+    /// Whether this op launches a device kernel (`Input` does not).
+    pub fn has_kernel(&self) -> bool {
+        !matches!(self.kind, OpKind::Input)
+    }
+
+    /// Kernel class for profiling buckets.
+    pub fn kernel_class(&self) -> KernelClass {
+        match &self.kind {
+            OpKind::Input => KernelClass::Other,
+            OpKind::Conv { .. } => KernelClass::Conv,
+            OpKind::Relu => KernelClass::Elementwise,
+            OpKind::MaxPool { .. } | OpKind::AdaptivePool { .. } => KernelClass::Pool,
+            OpKind::Concat => KernelClass::Copy,
+            OpKind::Gemm { .. } => KernelClass::Gemm,
+        }
+    }
+
+    /// Materializes the simulated kernel for a given batch size.
+    ///
+    /// `in_numel` is the per-sample element count of this op's inputs
+    /// (summed over producers). FLOP/byte accounting:
+    /// * Conv — `2·C_out·C_in·K²·OH·OW·b` FLOPs; bytes = weights + in/out
+    ///   activations (weights are read once per launch, which is what makes
+    ///   small-batch FC memory-bound and large-batch conv compute-bound).
+    /// * Gemm — `2·in_f·out_f·b` FLOPs; bytes = weight matrix + activations.
+    /// * Pool/ReLU/Concat — bandwidth-bound: bytes ≈ in + out.
+    pub fn kernel_desc(&self, batch: usize, in_numel: usize) -> KernelDesc {
+        let b = batch as f64;
+        let out = self.out_numel() as f64;
+        let inp = in_numel as f64;
+        let act_bytes = 4.0 * b * (inp + out);
+        let (flops, bytes, threads) = match &self.kind {
+            OpKind::Input => (0.0, 0.0, 0.0),
+            OpKind::Conv {
+                c_in,
+                c_out,
+                kernel,
+                ..
+            } => {
+                let macs = (*c_out * *c_in * *kernel * *kernel) as f64 * out
+                    / self.out_shape.0 as f64
+                    * b;
+                let weight_bytes = 4.0 * (*c_out * *c_in * *kernel * *kernel) as f64;
+                (2.0 * macs, weight_bytes + act_bytes, out * b)
+            }
+            OpKind::Relu => (out * b, act_bytes, out * b),
+            OpKind::MaxPool { kernel, .. } => {
+                ((kernel * kernel) as f64 * out * b, act_bytes, out * b)
+            }
+            OpKind::AdaptivePool { .. } => {
+                // Each input element is visited once when reducing into bins.
+                (inp * b, act_bytes, out * b)
+            }
+            OpKind::Concat => (0.0, act_bytes, out * b),
+            OpKind::Gemm { in_f, out_f } => {
+                let weight_bytes = 4.0 * (*in_f * *out_f) as f64;
+                (
+                    2.0 * (*in_f * *out_f) as f64 * b,
+                    weight_bytes + act_bytes,
+                    *out_f as f64 * b,
+                )
+            }
+        };
+        KernelDesc::new(self.name.clone(), self.kernel_class(), flops, bytes, threads)
+    }
+}
+
+/// A DAG of ops in topological order (every op's inputs precede it).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Graph {
+    /// Ops, id == index.
+    pub ops: Vec<Op>,
+}
+
+impl Graph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Appends an op, computing its output shape from its inputs.
+    ///
+    /// Panics on malformed wiring (unknown input ids, shape mismatches) —
+    /// graphs are built by trusted lowering code.
+    pub fn add(&mut self, name: impl Into<String>, kind: OpKind, inputs: Vec<OpId>) -> OpId {
+        let id = self.ops.len();
+        for &i in &inputs {
+            assert!(i < id, "op input {i} must precede op {id}");
+        }
+        let out_shape = self.infer_shape(&kind, &inputs);
+        self.ops.push(Op {
+            id,
+            name: name.into(),
+            kind,
+            inputs,
+            out_shape,
+        });
+        id
+    }
+
+    /// Adds the graph input with an explicit shape.
+    pub fn add_input(&mut self, name: impl Into<String>, shape: (usize, usize, usize)) -> OpId {
+        let id = self.ops.len();
+        self.ops.push(Op {
+            id,
+            name: name.into(),
+            kind: OpKind::Input,
+            inputs: Vec::new(),
+            out_shape: shape,
+        });
+        id
+    }
+
+    fn infer_shape(&self, kind: &OpKind, inputs: &[OpId]) -> (usize, usize, usize) {
+        let shape_of = |id: OpId| self.ops[id].out_shape;
+        match kind {
+            OpKind::Input => panic!("use add_input for inputs"),
+            OpKind::Conv {
+                c_in,
+                c_out,
+                kernel,
+                stride,
+                pad,
+            } => {
+                assert_eq!(inputs.len(), 1, "conv takes one input");
+                let (c, h, w) = shape_of(inputs[0]);
+                assert_eq!(c, *c_in, "conv input channels");
+                let oh = (h + 2 * pad - kernel) / stride + 1;
+                let ow = (w + 2 * pad - kernel) / stride + 1;
+                (*c_out, oh, ow)
+            }
+            OpKind::Relu => {
+                assert_eq!(inputs.len(), 1, "relu takes one input");
+                shape_of(inputs[0])
+            }
+            OpKind::MaxPool { kernel, stride } => {
+                assert_eq!(inputs.len(), 1, "pool takes one input");
+                let (c, h, w) = shape_of(inputs[0]);
+                ((c), (h - kernel) / stride + 1, (w - kernel) / stride + 1)
+            }
+            OpKind::AdaptivePool { out_size } => {
+                assert_eq!(inputs.len(), 1, "adaptive pool takes one input");
+                let (c, _, _) = shape_of(inputs[0]);
+                (c * out_size * out_size, 1, 1)
+            }
+            OpKind::Concat => {
+                assert!(!inputs.is_empty(), "concat needs inputs");
+                let mut total = 0;
+                for &i in inputs {
+                    let (c, h, w) = shape_of(i);
+                    assert_eq!((h, w), (1, 1), "concat expects flattened inputs");
+                    total += c;
+                }
+                (total, 1, 1)
+            }
+            OpKind::Gemm { in_f, out_f } => {
+                assert_eq!(inputs.len(), 1, "gemm takes one input");
+                let (c, h, w) = shape_of(inputs[0]);
+                assert_eq!(c * h * w, *in_f, "gemm input features");
+                (*out_f, 1, 1)
+            }
+        }
+    }
+
+    /// Number of ops (including the input).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Ids of ops that launch kernels (everything but `Input`).
+    pub fn kernel_ops(&self) -> Vec<OpId> {
+        self.ops.iter().filter(|o| o.has_kernel()).map(|o| o.id).collect()
+    }
+
+    /// Consumers of each op.
+    pub fn successors(&self) -> Vec<Vec<OpId>> {
+        let mut succ = vec![Vec::new(); self.ops.len()];
+        for op in &self.ops {
+            for &i in &op.inputs {
+                succ[i].push(op.id);
+            }
+        }
+        succ
+    }
+
+    /// Per-sample input element count of an op (sum over producers).
+    pub fn in_numel(&self, id: OpId) -> usize {
+        self.ops[id].inputs.iter().map(|&i| self.ops[i].out_numel()).sum()
+    }
+
+    /// Kernel descriptor for op `id` at the given batch size.
+    pub fn kernel_for(&self, id: OpId, batch: usize) -> KernelDesc {
+        self.ops[id].kernel_desc(batch, self.in_numel(id))
+    }
+
+    /// Total trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.ops.iter().map(|o| o.param_count()).sum()
+    }
+
+    /// Total device bytes for weights (f32).
+    pub fn weight_bytes(&self) -> u64 {
+        4 * self.param_count() as u64
+    }
+
+    /// Device bytes for all activations at a batch size (f32, no reuse —
+    /// an upper bound matching an allocator without in-place sharing).
+    pub fn activation_bytes(&self, batch: usize) -> u64 {
+        4 * batch as u64 * self.ops.iter().map(|o| o.out_numel() as u64).sum::<u64>()
+    }
+
+    /// Sum of isolated kernel times at a batch size — a lower bound on any
+    /// sequential execution (useful for sanity checks and tests).
+    pub fn serial_kernel_ns(&self, batch: usize, dev: &DeviceSpec) -> f64 {
+        self.kernel_ops()
+            .iter()
+            .map(|&id| self.kernel_for(id, batch).isolated_ns(dev))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// input(2,8,8) → conv(4) → relu → pool → two adaptive pools → concat → gemm
+    fn toy_graph() -> Graph {
+        let mut g = Graph::new();
+        let input = g.add_input("input", (2, 8, 8));
+        let conv = g.add(
+            "conv",
+            OpKind::Conv {
+                c_in: 2,
+                c_out: 4,
+                kernel: 3,
+                stride: 1,
+                pad: 1,
+            },
+            vec![input],
+        );
+        let relu = g.add("relu", OpKind::Relu, vec![conv]);
+        let pool = g.add(
+            "pool",
+            OpKind::MaxPool {
+                kernel: 2,
+                stride: 2,
+            },
+            vec![relu],
+        );
+        let spp2 = g.add("spp2", OpKind::AdaptivePool { out_size: 2 }, vec![pool]);
+        let spp1 = g.add("spp1", OpKind::AdaptivePool { out_size: 1 }, vec![pool]);
+        let cat = g.add("concat", OpKind::Concat, vec![spp2, spp1]);
+        g.add(
+            "fc",
+            OpKind::Gemm {
+                in_f: 4 * 5,
+                out_f: 3,
+            },
+            vec![cat],
+        );
+        g
+    }
+
+    #[test]
+    fn shapes_propagate() {
+        let g = toy_graph();
+        assert_eq!(g.ops[1].out_shape, (4, 8, 8)); // same-pad conv
+        assert_eq!(g.ops[3].out_shape, (4, 4, 4)); // 2x2/2 pool
+        assert_eq!(g.ops[4].out_shape, (16, 1, 1)); // adaptive 2x2 flattened
+        assert_eq!(g.ops[6].out_shape, (20, 1, 1)); // concat 16+4
+        assert_eq!(g.ops[7].out_shape, (3, 1, 1)); // gemm
+    }
+
+    #[test]
+    fn successors_mirror_inputs() {
+        let g = toy_graph();
+        let succ = g.successors();
+        assert_eq!(succ[3], vec![4, 5]); // pool feeds both SPP branches
+        assert_eq!(succ[6], vec![7]);
+        assert!(succ[7].is_empty());
+    }
+
+    #[test]
+    fn param_count_covers_conv_and_gemm() {
+        let g = toy_graph();
+        // conv: 4·2·9+4 = 76; gemm: 20·3+3 = 63
+        assert_eq!(g.param_count(), 76 + 63);
+        assert_eq!(g.weight_bytes(), 4 * 139);
+    }
+
+    #[test]
+    fn kernel_ops_excludes_input() {
+        let g = toy_graph();
+        assert_eq!(g.kernel_ops().len(), g.len() - 1);
+    }
+
+    #[test]
+    fn conv_flops_scale_with_batch() {
+        let g = toy_graph();
+        let k1 = g.kernel_for(1, 1);
+        let k4 = g.kernel_for(1, 4);
+        assert!((k4.flops / k1.flops - 4.0).abs() < 1e-9);
+        // Weight bytes do not scale with batch: bytes grow sublinearly.
+        assert!(k4.bytes < 4.0 * k1.bytes);
+    }
+
+    #[test]
+    fn gemm_bytes_dominated_by_weights_at_batch_1() {
+        let mut g = Graph::new();
+        let input = g.add_input("in", (1024, 1, 1));
+        let fc = g.add(
+            "fc",
+            OpKind::Gemm {
+                in_f: 1024,
+                out_f: 4096,
+            },
+            vec![input],
+        );
+        let k = g.kernel_for(fc, 1);
+        let weight_bytes = 4.0 * 1024.0 * 4096.0;
+        assert!(k.bytes >= weight_bytes);
+        assert!(k.bytes < 1.02 * weight_bytes);
+    }
+
+    #[test]
+    fn activation_bytes_scale_linearly() {
+        let g = toy_graph();
+        assert_eq!(g.activation_bytes(2), 2 * g.activation_bytes(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "gemm input features")]
+    fn gemm_shape_mismatch_panics() {
+        let mut g = Graph::new();
+        let input = g.add_input("in", (8, 1, 1));
+        g.add(
+            "fc",
+            OpKind::Gemm {
+                in_f: 9,
+                out_f: 2,
+            },
+            vec![input],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must precede")]
+    fn forward_references_panic() {
+        let mut g = Graph::new();
+        g.add("bad", OpKind::Relu, vec![3]);
+    }
+
+    #[test]
+    fn serial_kernel_ns_positive_and_monotonic_in_batch() {
+        let g = toy_graph();
+        let dev = DeviceSpec::test_gpu();
+        let t1 = g.serial_kernel_ns(1, &dev);
+        let t8 = g.serial_kernel_ns(8, &dev);
+        assert!(t1 > 0.0);
+        assert!(t8 > t1);
+    }
+}

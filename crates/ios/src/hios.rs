@@ -1,0 +1,316 @@
+//! HIOS-lite: inter-GPU *operator* parallelism (extension, §8.3).
+//!
+//! The paper cites HIOS (Kundu & Shu, Cluster 2023) — a hierarchical
+//! scheduler that spreads a DAG's concurrent operators across GPUs while
+//! keeping chains on one device. This module implements the essential
+//! mechanism at simulator fidelity:
+//!
+//! * groups within a stage are placed on different GPUs (round-robin or
+//!   all-on-one);
+//! * a dependency whose producer ran on a different GPU than its consumer
+//!   pays an inter-GPU transfer (PCIe peer-to-peer) of the producer's
+//!   output activation before the consumer stage begins;
+//! * each GPU executes its groups concurrently on local streams; the stage
+//!   barrier waits for every device and every transfer.
+//!
+//! The interesting (and honest) result on SPP-Net: at small batch the
+//! branches are tiny, so crossing the PCIe boundary costs more than the
+//! parallelism buys — exactly the regime observation that motivates
+//! *hierarchical* placement in HIOS rather than blind spreading.
+
+use crate::graph::{Graph, OpId};
+use crate::schedule::Schedule;
+use dcd_gpusim::{CopyDir, DeviceSpec, Gpu, StreamId};
+use std::collections::HashMap;
+
+/// How groups are assigned to GPUs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Everything on GPU 0 (baseline; equals the single-GPU executor up to
+    /// bookkeeping).
+    SingleGpu,
+    /// Groups within each stage round-robin across the GPUs.
+    RoundRobin,
+}
+
+/// A multi-GPU execution context for one schedule.
+pub struct HiosExecutor<'g> {
+    graph: &'g Graph,
+    schedule: Schedule,
+    batch: usize,
+    gpus: Vec<Gpu>,
+    /// One stream pool per GPU.
+    streams: Vec<Vec<StreamId>>,
+    placement: Placement,
+    /// Effective inter-GPU bandwidth, bytes/ns (PCIe peer-to-peer).
+    p2p_bytes_per_ns: f64,
+    /// Fixed per-transfer latency, ns.
+    p2p_latency_ns: f64,
+}
+
+impl<'g> HiosExecutor<'g> {
+    /// Builds a context over `n_gpus` identical devices.
+    pub fn new(
+        graph: &'g Graph,
+        schedule: Schedule,
+        batch: usize,
+        spec: DeviceSpec,
+        n_gpus: usize,
+        placement: Placement,
+    ) -> Self {
+        assert!(n_gpus >= 1, "need at least one GPU");
+        schedule
+            .validate(graph)
+            .unwrap_or_else(|e| panic!("invalid schedule: {e}"));
+        let p2p = spec.pcie_bytes_per_ns();
+        let mut gpus = Vec::with_capacity(n_gpus);
+        let mut streams = Vec::with_capacity(n_gpus);
+        let width = schedule.max_width().max(1);
+        for _ in 0..n_gpus {
+            let mut gpu = Gpu::new(spec.clone());
+            gpu.malloc(graph.weight_bytes()).expect("weights fit");
+            gpu.malloc(graph.activation_bytes(batch)).expect("activations fit");
+            let mut pool = vec![0usize];
+            for _ in 1..width {
+                pool.push(gpu.create_stream());
+            }
+            gpus.push(gpu);
+            streams.push(pool);
+        }
+        HiosExecutor {
+            graph,
+            schedule,
+            batch,
+            gpus,
+            streams,
+            placement,
+            p2p_bytes_per_ns: p2p,
+            p2p_latency_ns: 9_000.0,
+        }
+    }
+
+    /// GPU index a group of stage `si` lands on.
+    fn gpu_for(&self, si: usize, gi: usize) -> usize {
+        match self.placement {
+            Placement::SingleGpu => 0,
+            Placement::RoundRobin => (si + gi) % self.gpus.len(),
+        }
+    }
+
+    /// Runs one inference round; returns its latency in ns.
+    ///
+    /// Host timelines: one driving thread per GPU (they dispatch in
+    /// parallel); the stage barrier is the max over devices plus any
+    /// cross-GPU activation transfers for the *next* stage.
+    pub fn run_inference(&mut self) -> u64 {
+        // Where each op's output currently lives.
+        let mut located: HashMap<OpId, usize> = HashMap::new();
+        // Treat the graph input as resident everywhere (broadcast H2D copy).
+        let t0: Vec<u64> = self.gpus.iter().map(|g| g.host_ns()).collect();
+        let input_bytes = 4 * self.batch as u64 * self.graph.ops[0].out_numel() as u64;
+        for gpu in &mut self.gpus {
+            gpu.memcpy_async(0, CopyDir::H2D, input_bytes);
+            gpu.device_synchronize();
+        }
+        located.insert(0, usize::MAX); // input: everywhere
+
+        let stages = self.schedule.stages.clone();
+        let mut transfer_penalty_ns = 0.0f64;
+        for (si, stage) in stages.iter().enumerate() {
+            // Cross-GPU input transfers for this stage.
+            for (gi, group) in stage.groups.iter().enumerate() {
+                let dst = self.gpu_for(si, gi);
+                for &op in group {
+                    for &dep in &self.graph.ops[op].inputs {
+                        let src = located.get(&dep).copied().unwrap_or(usize::MAX);
+                        if src != usize::MAX && src != dst {
+                            let bytes =
+                                4.0 * self.batch as f64 * self.graph.ops[dep].out_numel() as f64;
+                            transfer_penalty_ns +=
+                                self.p2p_latency_ns + bytes / self.p2p_bytes_per_ns;
+                        }
+                    }
+                }
+            }
+            // Launch each group on its GPU.
+            for (gi, group) in stage.groups.iter().enumerate() {
+                let dst = self.gpu_for(si, gi);
+                let stream = self.streams[dst][gi % self.streams[dst].len()];
+                for &op in group {
+                    let desc = self.graph.kernel_for(op, self.batch);
+                    self.gpus[dst].launch_kernel(stream, desc);
+                    located.insert(op, dst);
+                }
+            }
+            // Stage barrier across all devices.
+            for gpu in &mut self.gpus {
+                gpu.device_synchronize();
+            }
+        }
+        // Output D2H from wherever the last op lives.
+        let last = self.graph.ops.last().expect("non-empty").id;
+        let out_gpu = located.get(&last).copied().unwrap_or(0);
+        let out_gpu = if out_gpu == usize::MAX { 0 } else { out_gpu };
+        let out_bytes = 4 * self.batch as u64 * self.graph.ops[last].out_numel() as u64;
+        self.gpus[out_gpu].memcpy_async(0, CopyDir::D2H, out_bytes);
+        self.gpus[out_gpu].device_synchronize();
+
+        // Round latency: the slowest device timeline plus transfer time
+        // (transfers serialize on the P2P link between stages).
+        let device_latency = self
+            .gpus
+            .iter()
+            .zip(t0.iter())
+            .map(|(g, &t)| g.host_ns() - t)
+            .max()
+            .unwrap_or(0);
+        device_latency + transfer_penalty_ns as u64
+    }
+
+    /// Mean latency over warmup + measured iterations.
+    pub fn measure(&mut self, warmup: usize, iterations: usize) -> f64 {
+        assert!(iterations > 0);
+        for _ in 0..warmup {
+            self.run_inference();
+        }
+        let mut total = 0u64;
+        for _ in 0..iterations {
+            total += self.run_inference();
+        }
+        total as f64 / iterations as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::StageCostModel;
+    use crate::dp::{ios_schedule, IosOptions};
+    use crate::graph::OpKind;
+    use crate::lower::lower_sppnet;
+    use crate::schedule::Stage;
+    use dcd_nn::SppNetConfig;
+
+    #[test]
+    fn single_gpu_placement_close_to_plain_executor() {
+        let graph = lower_sppnet(&SppNetConfig::original(), (100, 100));
+        let spec = DeviceSpec::rtx_a5500();
+        let mut cost = StageCostModel::new(&graph, spec.clone(), 1);
+        let schedule = ios_schedule(&graph, &mut cost, IosOptions::default());
+        let mut hios = HiosExecutor::new(
+            &graph,
+            schedule.clone(),
+            1,
+            spec.clone(),
+            1,
+            Placement::SingleGpu,
+        );
+        let t_hios = hios.measure(1, 3);
+        let t_plain =
+            crate::executor::measure_latency(&graph, &schedule, 1, &spec, 1, 3).mean_ns;
+        let ratio = t_hios / t_plain;
+        assert!(
+            (0.9..1.1).contains(&ratio),
+            "single-GPU HIOS {t_hios} vs plain {t_plain}"
+        );
+    }
+
+    #[test]
+    fn spreading_tiny_branches_across_gpus_hurts() {
+        // The HIOS regime observation: SPP-Net's branches are too small to
+        // amortize PCIe transfers, so blind round-robin loses to one GPU.
+        let graph = lower_sppnet(&SppNetConfig::candidate2(), (100, 100));
+        let spec = DeviceSpec::rtx_a5500();
+        let mut cost = StageCostModel::new(&graph, spec.clone(), 1);
+        let schedule = ios_schedule(&graph, &mut cost, IosOptions::default());
+        let t_one = HiosExecutor::new(
+            &graph,
+            schedule.clone(),
+            1,
+            spec.clone(),
+            2,
+            Placement::SingleGpu,
+        )
+        .measure(1, 3);
+        let t_spread =
+            HiosExecutor::new(&graph, schedule, 1, spec, 2, Placement::RoundRobin).measure(1, 3);
+        assert!(
+            t_spread > t_one,
+            "spreading tiny branches should cost: {t_spread} vs {t_one}"
+        );
+    }
+
+    /// A graph with two heavy independent conv branches — the shape that
+    /// *does* profit from inter-GPU operator parallelism.
+    fn heavy_branches() -> (Graph, Schedule) {
+        let mut g = Graph::new();
+        let input = g.add_input("in", (64, 64, 64));
+        let a = g.add(
+            "conv_a",
+            OpKind::Conv {
+                c_in: 64,
+                c_out: 128,
+                kernel: 3,
+                stride: 1,
+                pad: 1,
+            },
+            vec![input],
+        );
+        let b = g.add(
+            "conv_b",
+            OpKind::Conv {
+                c_in: 64,
+                c_out: 128,
+                kernel: 3,
+                stride: 1,
+                pad: 1,
+            },
+            vec![input],
+        );
+        let pa = g.add("spp_a", OpKind::AdaptivePool { out_size: 1 }, vec![a]);
+        let pb = g.add("spp_b", OpKind::AdaptivePool { out_size: 1 }, vec![b]);
+        g.add("merge", OpKind::Concat, vec![pa, pb]);
+        let schedule = Schedule {
+            stages: vec![
+                Stage {
+                    groups: vec![vec![1, 3], vec![2, 4]],
+                },
+                Stage::solo(5),
+            ],
+        };
+        (g, schedule)
+    }
+
+    #[test]
+    fn heavy_branches_profit_from_two_gpus() {
+        let (g, schedule) = heavy_branches();
+        let spec = DeviceSpec::rtx_a5500();
+        // Large batch so each branch saturates one GPU.
+        let batch = 16;
+        let t_one = HiosExecutor::new(
+            &g,
+            schedule.clone(),
+            batch,
+            spec.clone(),
+            2,
+            Placement::SingleGpu,
+        )
+        .measure(1, 3);
+        let t_spread =
+            HiosExecutor::new(&g, schedule, batch, spec, 2, Placement::RoundRobin).measure(1, 3);
+        assert!(
+            t_spread < t_one,
+            "heavy branches should profit: spread {t_spread} vs single {t_one}"
+        );
+    }
+
+    #[test]
+    fn round_robin_alternates_devices() {
+        let (g, schedule) = heavy_branches();
+        let spec = DeviceSpec::test_gpu();
+        let hios = HiosExecutor::new(&g, schedule, 1, spec, 2, Placement::RoundRobin);
+        assert_eq!(hios.gpu_for(0, 0), 0);
+        assert_eq!(hios.gpu_for(0, 1), 1);
+        assert_eq!(hios.gpu_for(1, 0), 1);
+    }
+}

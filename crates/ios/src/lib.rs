@@ -1,0 +1,41 @@
+//! # dcd-ios
+//!
+//! A clean-room implementation of the **Inter-Operator Scheduler** (Ding et
+//! al., MLSys 2021) as used by the paper to optimize SPP-Net inference.
+//!
+//! IOS partitions a model's operator DAG into sequential **stages**; each
+//! stage holds one or more **groups** that execute *concurrently* (one CUDA
+//! stream per group), and the ops inside a group execute sequentially. A
+//! barrier synchronizes the device after every stage. A dynamic program over
+//! dependence-closed op subsets picks the stage partition with the lowest
+//! total latency, where each candidate stage is *profiled on the device*
+//! (here: the `dcd-gpusim` simulator, playing the role of the paper's RTX
+//! A5500).
+//!
+//! Three schedulers are provided, forming the ablation of DESIGN.md:
+//!
+//! * [`dp::sequential_schedule`] — one op per stage (the paper's
+//!   "sequential" baseline: maximum barriers, no concurrency);
+//! * [`dp::greedy_schedule`] — Nimble-style: every ready op starts
+//!   immediately, one stage per wavefront (maximum width, no grouping
+//!   choice);
+//! * [`dp::ios_schedule`] — the IOS dynamic program (chain grouping + branch
+//!   parallelism, latency-optimal over its candidate space).
+
+pub mod cluster;
+pub mod cost;
+pub mod dp;
+pub mod executor;
+pub mod graph;
+pub mod hios;
+pub mod lower;
+pub mod schedule;
+
+pub use cluster::{measure_cluster, split_batch, ClusterConfig, ClusterStats};
+pub use cost::StageCostModel;
+pub use dp::{greedy_schedule, ios_schedule, sequential_schedule, IosOptions};
+pub use executor::{measure_latency, Executor, RunStats};
+pub use graph::{Graph, Op, OpId, OpKind};
+pub use hios::{HiosExecutor, Placement};
+pub use lower::{branched_graph, lower_sppnet};
+pub use schedule::{Schedule, Stage};

@@ -1,0 +1,277 @@
+//! Lowering an [`SppNetConfig`] to the graph IR.
+//!
+//! [`SppNetConfig`]: dcd_nn::SppNetConfig
+
+use crate::graph::{Graph, OpKind};
+use dcd_nn::SppNetConfig;
+
+/// Lowers an SPP-Net configuration to the operator graph the scheduler and
+/// the GPU simulator consume.
+///
+/// `input_hw` is the patch size (the paper uses 100×100). The resulting DAG
+/// is the conv backbone chain, the parallel SPP pyramid branches converging
+/// in a `Concat`, the FC trunk, and the two parallel detection heads
+/// converging in the output `Concat`:
+///
+/// ```text
+/// in → c1 → r → p → c2 → r → p → c3 → r → p →  {spp_a, spp_b, spp_c} →
+///   concat → fc1 → r [→ fc2 → r] → {head_obj, head_box} → out
+/// ```
+pub fn lower_sppnet(config: &SppNetConfig, input_hw: (usize, usize)) -> Graph {
+    let mut g = Graph::new();
+    let [c1, c2, c3] = config.channels;
+    let input = g.add_input("input", (config.in_channels, input_hw.0, input_hw.1));
+
+    let conv1 = g.add(
+        "conv1",
+        OpKind::Conv {
+            c_in: config.in_channels,
+            c_out: c1,
+            kernel: config.conv1_kernel,
+            stride: 1,
+            pad: config.conv1_kernel / 2,
+        },
+        vec![input],
+    );
+    let relu1 = g.add("relu1", OpKind::Relu, vec![conv1]);
+    let pool1 = g.add(
+        "pool1",
+        OpKind::MaxPool {
+            kernel: 2,
+            stride: 2,
+        },
+        vec![relu1],
+    );
+    let conv2 = g.add(
+        "conv2",
+        OpKind::Conv {
+            c_in: c1,
+            c_out: c2,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+        },
+        vec![pool1],
+    );
+    let relu2 = g.add("relu2", OpKind::Relu, vec![conv2]);
+    let pool2 = g.add(
+        "pool2",
+        OpKind::MaxPool {
+            kernel: 2,
+            stride: 2,
+        },
+        vec![relu2],
+    );
+    let conv3 = g.add(
+        "conv3",
+        OpKind::Conv {
+            c_in: c2,
+            c_out: c3,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+        },
+        vec![pool2],
+    );
+    let relu3 = g.add("relu3", OpKind::Relu, vec![conv3]);
+    let pool3 = g.add(
+        "pool3",
+        OpKind::MaxPool {
+            kernel: 2,
+            stride: 2,
+        },
+        vec![relu3],
+    );
+
+    // SPP pyramid: one adaptive-pool branch per level — the branched block
+    // IOS parallelizes.
+    let branches: Vec<_> = config
+        .spp_levels()
+        .into_iter()
+        .map(|level| {
+            g.add(
+                format!("spp{level}"),
+                OpKind::AdaptivePool { out_size: level },
+                vec![pool3],
+            )
+        })
+        .collect();
+    let concat = g.add("spp_concat", OpKind::Concat, branches);
+
+    let fc1 = g.add(
+        "fc1",
+        OpKind::Gemm {
+            in_f: config.spp_features(),
+            out_f: config.fc1,
+        },
+        vec![concat],
+    );
+    let mut trunk = g.add("fc1_relu", OpKind::Relu, vec![fc1]);
+    let mut trunk_features = config.fc1;
+    if let Some(f2) = config.fc2 {
+        let fc2 = g.add(
+            "fc2",
+            OpKind::Gemm {
+                in_f: trunk_features,
+                out_f: f2,
+            },
+            vec![trunk],
+        );
+        trunk = g.add("fc2_relu", OpKind::Relu, vec![fc2]);
+        trunk_features = f2;
+    }
+
+    // Detection heads: two parallel GEMVs converging in the output concat.
+    let head_obj = g.add(
+        "head_obj",
+        OpKind::Gemm {
+            in_f: trunk_features,
+            out_f: 1,
+        },
+        vec![trunk],
+    );
+    let head_box = g.add(
+        "head_box",
+        OpKind::Gemm {
+            in_f: trunk_features,
+            out_f: 4,
+        },
+        vec![trunk],
+    );
+    g.add("output", OpKind::Concat, vec![head_obj, head_box]);
+    g
+}
+
+/// Builds a synthetic Inception-style block: `branches` parallel conv→pool
+/// chains over a shared input, converging in a concat — the graph family the
+/// IOS paper originally targets, where branch parallelism (not just chain
+/// grouping) carries the win.
+///
+/// `input` is `(channels, h, w)`; each branch convolves to `branch_width`
+/// channels and adaptive-pools to 1×1.
+pub fn branched_graph(
+    branches: usize,
+    input: (usize, usize, usize),
+    branch_width: usize,
+) -> Graph {
+    assert!(branches >= 1, "need at least one branch");
+    let mut g = Graph::new();
+    let inp = g.add_input("input", input);
+    let outs: Vec<_> = (0..branches)
+        .map(|b| {
+            let conv = g.add(
+                format!("branch{b}_conv"),
+                OpKind::Conv {
+                    c_in: input.0,
+                    c_out: branch_width,
+                    kernel: 3,
+                    stride: 1,
+                    pad: 1,
+                },
+                vec![inp],
+            );
+            let relu = g.add(format!("branch{b}_relu"), OpKind::Relu, vec![conv]);
+            g.add(
+                format!("branch{b}_pool"),
+                OpKind::AdaptivePool { out_size: 1 },
+                vec![relu],
+            )
+        })
+        .collect();
+    g.add("merge", OpKind::Concat, outs);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcd_tensor::SeededRng;
+
+    #[test]
+    fn branched_graph_shape() {
+        let g = branched_graph(4, (16, 32, 32), 32);
+        // input + 4×(conv, relu, pool) + merge
+        assert_eq!(g.len(), 1 + 12 + 1);
+        assert_eq!(g.ops.last().unwrap().out_shape, (4 * 32, 1, 1));
+    }
+
+    #[test]
+    fn branched_graph_wavefront_is_wide() {
+        let g = branched_graph(3, (8, 16, 16), 16);
+        let s = crate::dp::greedy_schedule(&g);
+        assert_eq!(s.validate(&g), Ok(()));
+        // First wavefront: all three convs.
+        assert_eq!(s.stages[0].width(), 3);
+    }
+
+    #[test]
+    fn original_sppnet_lowers_to_expected_size() {
+        let g = lower_sppnet(&SppNetConfig::original(), (100, 100));
+        // input + 3×(conv,relu,pool) + 3 spp + concat + fc1 + relu +
+        // 2 heads + output = 1 + 9 + 3 + 1 + 2 + 2 + 1 = 19
+        assert_eq!(g.len(), 19);
+    }
+
+    #[test]
+    fn fc2_adds_two_ops() {
+        let mut cfg = SppNetConfig::original();
+        let base = lower_sppnet(&cfg, (100, 100)).len();
+        cfg.fc2 = Some(512);
+        assert_eq!(lower_sppnet(&cfg, (100, 100)).len(), base + 2);
+    }
+
+    #[test]
+    fn spp_branch_count_follows_levels() {
+        let mut cfg = SppNetConfig::original();
+        cfg.spp_top_level = 5; // [5,2,1]
+        let g = lower_sppnet(&cfg, (100, 100));
+        let branches = g
+            .ops
+            .iter()
+            .filter(|o| matches!(o.kind, OpKind::AdaptivePool { .. }))
+            .count();
+        assert_eq!(branches, 3);
+        cfg.spp_top_level = 2; // [2,1]
+        let g2 = lower_sppnet(&cfg, (100, 100));
+        let branches2 = g2
+            .ops
+            .iter()
+            .filter(|o| matches!(o.kind, OpKind::AdaptivePool { .. }))
+            .count();
+        assert_eq!(branches2, 2);
+    }
+
+    #[test]
+    fn backbone_shrinks_100_to_12() {
+        let g = lower_sppnet(&SppNetConfig::original(), (100, 100));
+        let pool3 = g.ops.iter().find(|o| o.name == "pool3").unwrap();
+        assert_eq!(pool3.out_shape, (256, 12, 12));
+    }
+
+    #[test]
+    fn param_count_matches_nn_model() {
+        // The lowered graph must account for exactly the same parameters as
+        // the executable dcd-nn model.
+        let cfg = SppNetConfig::tiny();
+        let g = lower_sppnet(&cfg, (16, 16));
+        let mut rng = SeededRng::new(0);
+        let mut model = dcd_nn::SppNet::new(cfg, &mut rng);
+        assert_eq!(g.param_count(), model.num_params());
+    }
+
+    #[test]
+    fn output_concat_is_five_wide() {
+        let g = lower_sppnet(&SppNetConfig::original(), (100, 100));
+        let out = g.ops.last().unwrap();
+        assert_eq!(out.out_shape, (5, 1, 1)); // objectness + 4 box coords
+    }
+
+    #[test]
+    fn table1_configs_all_lower() {
+        for (name, cfg) in SppNetConfig::table1() {
+            let g = lower_sppnet(&cfg, (100, 100));
+            assert!(g.len() >= 19, "{name} lowered to {} ops", g.len());
+            assert!(g.param_count() > 100_000, "{name} has real weights");
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Schedule representation and validation.
+
+use crate::graph::{Graph, OpId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// One stage: groups execute concurrently (one stream each); ops inside a
+/// group execute sequentially in order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Stage {
+    /// Parallel groups of sequential op chains.
+    pub groups: Vec<Vec<OpId>>,
+}
+
+impl Stage {
+    /// A stage of a single one-op group.
+    pub fn solo(op: OpId) -> Self {
+        Stage {
+            groups: vec![vec![op]],
+        }
+    }
+
+    /// All ops in the stage.
+    pub fn ops(&self) -> impl Iterator<Item = OpId> + '_ {
+        self.groups.iter().flatten().copied()
+    }
+
+    /// Number of ops across groups.
+    pub fn num_ops(&self) -> usize {
+        self.groups.iter().map(|g| g.len()).sum()
+    }
+
+    /// Width (number of concurrent groups).
+    pub fn width(&self) -> usize {
+        self.groups.len()
+    }
+}
+
+/// A complete execution schedule: stages run in order with a device barrier
+/// between consecutive stages.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Stages in execution order.
+    pub stages: Vec<Stage>,
+}
+
+/// Why a schedule is invalid for a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// An op appears more than once.
+    Duplicate(OpId),
+    /// A kernel op is missing from the schedule.
+    Missing(OpId),
+    /// An op references a producer that is not finished when it starts.
+    DependencyViolated {
+        /// The consumer.
+        op: OpId,
+        /// The producer that is not available.
+        needs: OpId,
+    },
+    /// A non-kernel op (graph input) was scheduled.
+    NotSchedulable(OpId),
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::Duplicate(op) => write!(f, "op {op} scheduled twice"),
+            ScheduleError::Missing(op) => write!(f, "op {op} not scheduled"),
+            ScheduleError::DependencyViolated { op, needs } => {
+                write!(f, "op {op} runs before its producer {needs} finished")
+            }
+            ScheduleError::NotSchedulable(op) => write!(f, "op {op} launches no kernel"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+impl Schedule {
+    /// Number of stages.
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Maximum group width across stages (streams the executor needs).
+    pub fn max_width(&self) -> usize {
+        self.stages.iter().map(|s| s.width()).max().unwrap_or(0)
+    }
+
+    /// Total ops scheduled.
+    pub fn num_ops(&self) -> usize {
+        self.stages.iter().map(|s| s.num_ops()).sum()
+    }
+
+    /// Checks the schedule against the graph's dependences:
+    ///
+    /// * every kernel op appears exactly once;
+    /// * an op's producers are either the graph input, in an earlier stage,
+    ///   or earlier in the *same group*.
+    pub fn validate(&self, graph: &Graph) -> Result<(), ScheduleError> {
+        let mut seen: HashSet<OpId> = HashSet::new();
+        for stage in &self.stages {
+            for group in &stage.groups {
+                for &op in group {
+                    if !graph.ops[op].has_kernel() {
+                        return Err(ScheduleError::NotSchedulable(op));
+                    }
+                    if !seen.insert(op) {
+                        return Err(ScheduleError::Duplicate(op));
+                    }
+                }
+            }
+        }
+        for &op in &graph.kernel_ops() {
+            if !seen.contains(&op) {
+                return Err(ScheduleError::Missing(op));
+            }
+        }
+        // Dependence check: completed = ops done at the stage barrier.
+        let mut completed: HashSet<OpId> = graph
+            .ops
+            .iter()
+            .filter(|o| !o.has_kernel())
+            .map(|o| o.id)
+            .collect();
+        for stage in &self.stages {
+            for group in &stage.groups {
+                let mut done_in_group: HashSet<OpId> = HashSet::new();
+                for &op in group {
+                    for &need in &graph.ops[op].inputs {
+                        if !completed.contains(&need) && !done_in_group.contains(&need) {
+                            return Err(ScheduleError::DependencyViolated { op, needs: need });
+                        }
+                    }
+                    done_in_group.insert(op);
+                }
+            }
+            completed.extend(stage.ops());
+        }
+        Ok(())
+    }
+
+    /// Compact human-readable rendering, e.g.
+    /// `[conv1] → [relu1] → [spp4 | spp2 | spp1]`.
+    pub fn render(&self, graph: &Graph) -> String {
+        self.stages
+            .iter()
+            .map(|stage| {
+                let groups: Vec<String> = stage
+                    .groups
+                    .iter()
+                    .map(|g| {
+                        g.iter()
+                            .map(|&op| graph.ops[op].name.as_str())
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    })
+                    .collect();
+                format!("[{}]", groups.join(" | "))
+            })
+            .collect::<Vec<_>>()
+            .join(" → ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::OpKind;
+
+    /// in → a → {b, c} → d (diamond)
+    fn diamond() -> Graph {
+        let mut g = Graph::new();
+        let input = g.add_input("in", (4, 4, 4));
+        let a = g.add("a", OpKind::Relu, vec![input]);
+        let b = g.add("b", OpKind::AdaptivePool { out_size: 2 }, vec![a]);
+        let c = g.add("c", OpKind::AdaptivePool { out_size: 1 }, vec![a]);
+        g.add("d", OpKind::Concat, vec![b, c]);
+        g
+    }
+
+    #[test]
+    fn valid_parallel_schedule() {
+        let g = diamond();
+        let s = Schedule {
+            stages: vec![
+                Stage::solo(1),
+                Stage {
+                    groups: vec![vec![2], vec![3]],
+                },
+                Stage::solo(4),
+            ],
+        };
+        assert_eq!(s.validate(&g), Ok(()));
+        assert_eq!(s.max_width(), 2);
+        assert_eq!(s.num_ops(), 4);
+    }
+
+    #[test]
+    fn chain_grouping_is_valid() {
+        let g = diamond();
+        // a and b in one sequential group, c parallel — c depends only on a,
+        // which is in the *other* group, so this must FAIL.
+        let s = Schedule {
+            stages: vec![
+                Stage {
+                    groups: vec![vec![1, 2], vec![3]],
+                },
+                Stage::solo(4),
+            ],
+        };
+        assert_eq!(
+            s.validate(&g),
+            Err(ScheduleError::DependencyViolated { op: 3, needs: 1 })
+        );
+        // But a→b as one group with c in the NEXT stage is fine.
+        let s2 = Schedule {
+            stages: vec![
+                Stage {
+                    groups: vec![vec![1, 2]],
+                },
+                Stage::solo(3),
+                Stage::solo(4),
+            ],
+        };
+        assert_eq!(s2.validate(&g), Ok(()));
+    }
+
+    #[test]
+    fn duplicate_and_missing_detected() {
+        let g = diamond();
+        let dup = Schedule {
+            stages: vec![Stage::solo(1), Stage::solo(1)],
+        };
+        assert_eq!(dup.validate(&g), Err(ScheduleError::Duplicate(1)));
+        let missing = Schedule {
+            stages: vec![Stage::solo(1), Stage::solo(2), Stage::solo(3)],
+        };
+        assert_eq!(missing.validate(&g), Err(ScheduleError::Missing(4)));
+    }
+
+    #[test]
+    fn scheduling_the_input_is_rejected() {
+        let g = diamond();
+        let s = Schedule {
+            stages: vec![Stage::solo(0)],
+        };
+        assert_eq!(s.validate(&g), Err(ScheduleError::NotSchedulable(0)));
+    }
+
+    #[test]
+    fn dependency_order_within_stage_groups() {
+        let g = diamond();
+        // b before a in the same group violates the intra-group order.
+        let s = Schedule {
+            stages: vec![
+                Stage {
+                    groups: vec![vec![2, 1]],
+                },
+                Stage::solo(3),
+                Stage::solo(4),
+            ],
+        };
+        assert_eq!(
+            s.validate(&g),
+            Err(ScheduleError::DependencyViolated { op: 2, needs: 1 })
+        );
+    }
+
+    #[test]
+    fn render_is_readable() {
+        let g = diamond();
+        let s = Schedule {
+            stages: vec![
+                Stage::solo(1),
+                Stage {
+                    groups: vec![vec![2], vec![3]],
+                },
+                Stage::solo(4),
+            ],
+        };
+        assert_eq!(s.render(&g), "[a] → [b | c] → [d]");
+    }
+}

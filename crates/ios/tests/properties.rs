@@ -1,0 +1,131 @@
+//! Property-based tests: scheduler correctness over random DAGs and
+//! simulator invariants.
+
+use dcd_gpusim::DeviceSpec;
+use dcd_ios::{
+    greedy_schedule, ios_schedule, sequential_schedule, Graph, IosOptions, OpKind, StageCostModel,
+};
+use proptest::prelude::*;
+
+/// Builds a random layered DAG of cheap ops: `widths[i]` ops in layer `i`,
+/// each consuming 1–2 ops of the previous layer via a Concat/Relu mix, all
+/// flattened vectors so shapes always match.
+fn random_graph(widths: &[usize], seed: u64) -> Graph {
+    let mut g = Graph::new();
+    let input = g.add_input("in", (8, 1, 1));
+    let mut prev = vec![input];
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    let mut next_rand = move |n: usize| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state as usize) % n.max(1)
+    };
+    for (li, &width) in widths.iter().enumerate() {
+        let mut layer = Vec::with_capacity(width);
+        for oi in 0..width {
+            // Choose 1 or 2 producers from the previous layer.
+            let a = prev[next_rand(prev.len())];
+            let two = prev.len() > 1 && next_rand(2) == 1;
+            if two {
+                let mut b = prev[next_rand(prev.len())];
+                if b == a {
+                    b = prev[(prev.iter().position(|&p| p == a).unwrap() + 1) % prev.len()];
+                }
+                // Concat keeps shapes flat: (c,1,1)+(c,1,1).
+                layer.push(g.add(format!("c{li}_{oi}"), OpKind::Concat, vec![a, b]));
+            } else {
+                layer.push(g.add(format!("r{li}_{oi}"), OpKind::Relu, vec![a]));
+            }
+        }
+        prev = layer;
+    }
+    // Converge to one output so the graph is a valid block.
+    if prev.len() > 1 {
+        g.add("out", OpKind::Concat, prev);
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_schedulers_produce_valid_schedules(
+        w1 in 1usize..4, w2 in 1usize..4, w3 in 1usize..3, seed in 0u64..10_000,
+    ) {
+        let g = random_graph(&[w1, w2, w3], seed);
+        prop_assert_eq!(sequential_schedule(&g).validate(&g), Ok(()));
+        prop_assert_eq!(greedy_schedule(&g).validate(&g), Ok(()));
+        let mut cost = StageCostModel::new(&g, DeviceSpec::test_gpu(), 1);
+        let ios = ios_schedule(&g, &mut cost, IosOptions::default());
+        prop_assert_eq!(ios.validate(&g), Ok(()));
+    }
+
+    #[test]
+    fn ios_never_loses_to_baselines(
+        w1 in 1usize..4, w2 in 1usize..4, seed in 0u64..10_000,
+    ) {
+        let g = random_graph(&[w1, w2], seed);
+        let dev = DeviceSpec::test_gpu();
+        let mut cost = StageCostModel::new(&g, dev, 1);
+        let ios = ios_schedule(&g, &mut cost, IosOptions::default());
+        let t_ios = cost.schedule_latency(&ios);
+        let t_seq = cost.schedule_latency(&sequential_schedule(&g));
+        let t_greedy = cost.schedule_latency(&greedy_schedule(&g));
+        prop_assert!(t_ios <= t_seq + 1.0, "ios {} > seq {}", t_ios, t_seq);
+        prop_assert!(t_ios <= t_greedy + 1.0, "ios {} > greedy {}", t_ios, t_greedy);
+    }
+
+    #[test]
+    fn schedules_cover_each_kernel_op_exactly_once(
+        w1 in 1usize..4, w2 in 1usize..4, w3 in 1usize..3, seed in 0u64..10_000,
+    ) {
+        let g = random_graph(&[w1, w2, w3], seed);
+        let mut cost = StageCostModel::new(&g, DeviceSpec::test_gpu(), 1);
+        let ios = ios_schedule(&g, &mut cost, IosOptions::default());
+        let mut scheduled: Vec<_> = ios
+            .stages
+            .iter()
+            .flat_map(|s| s.ops().collect::<Vec<_>>())
+            .collect();
+        scheduled.sort_unstable();
+        let mut expected = g.kernel_ops();
+        expected.sort_unstable();
+        prop_assert_eq!(scheduled, expected);
+    }
+
+    #[test]
+    fn executor_latency_positive_and_monotone_in_batch(
+        w1 in 1usize..3, w2 in 1usize..3, seed in 0u64..1_000,
+    ) {
+        let g = random_graph(&[w1, w2], seed);
+        let dev = DeviceSpec::test_gpu();
+        let s = sequential_schedule(&g);
+        let t1 = dcd_ios::measure_latency(&g, &s, 1, &dev, 0, 1).mean_ns;
+        let t16 = dcd_ios::measure_latency(&g, &s, 16, &dev, 0, 1).mean_ns;
+        prop_assert!(t1 > 0.0);
+        prop_assert!(t16 >= t1 * 0.99, "batch 16 ({t16}) cheaper than batch 1 ({t1})");
+    }
+
+    #[test]
+    fn stage_cost_superadditive_under_serialization(
+        seed in 0u64..10_000,
+    ) {
+        // Running two ops in one chained group never costs more than two
+        // separate stages (one barrier saved), for any random pair.
+        let g = random_graph(&[2, 2], seed);
+        let ops = g.kernel_ops();
+        let mut cost = StageCostModel::new(&g, DeviceSpec::test_gpu(), 1);
+        // Find a dependent chain pair (a -> b) if one exists.
+        for &b in &ops {
+            for &a in &g.ops[b].inputs {
+                if g.ops[a].has_kernel() {
+                    let chained = cost.stage_latency(&[vec![a, b]]);
+                    let split = cost.stage_latency(&[vec![a]]) + cost.stage_latency(&[vec![b]]);
+                    prop_assert!(chained <= split, "chained {} > split {}", chained, split);
+                }
+            }
+        }
+    }
+}

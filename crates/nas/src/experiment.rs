@@ -1,0 +1,228 @@
+//! Multi-trial experiment runner with an NNI-style journal.
+
+use crate::evaluator::Evaluator;
+use crate::strategy::ExplorationStrategy;
+use dcd_nn::SppNetConfig;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One completed trial.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trial {
+    /// Sequential trial id.
+    pub id: usize,
+    /// The architecture evaluated.
+    pub config: SppNetConfig,
+    /// The paper's compact architecture string.
+    pub summary: String,
+    /// Score (`a(n)`, e.g. test AP).
+    pub score: f64,
+    /// Wall-clock evaluation time, seconds.
+    pub duration_s: f64,
+}
+
+/// A multi-trial NAS experiment: strategy proposes, evaluator scores,
+/// journal records.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct Experiment {
+    /// All completed trials in execution order.
+    pub trials: Vec<Trial>,
+}
+
+impl Experiment {
+    /// An empty experiment.
+    pub fn new() -> Self {
+        Experiment::default()
+    }
+
+    /// Runs trials until the strategy is exhausted or `max_trials` is hit.
+    pub fn run(
+        strategy: &mut dyn ExplorationStrategy,
+        evaluator: &dyn Evaluator,
+        max_trials: usize,
+    ) -> Self {
+        let mut exp = Experiment::new();
+        let mut history: Vec<(SppNetConfig, f64)> = Vec::new();
+        while exp.trials.len() < max_trials {
+            let Some(config) = strategy.next(&history) else {
+                break;
+            };
+            let start = Instant::now();
+            let score = evaluator.evaluate(&config);
+            let duration_s = start.elapsed().as_secs_f64();
+            history.push((config.clone(), score));
+            exp.trials.push(Trial {
+                id: exp.trials.len(),
+                summary: config.summary(),
+                config,
+                score,
+                duration_s,
+            });
+        }
+        exp
+    }
+
+    /// Runs trials with parallel evaluation (rayon) for *history-free*
+    /// strategies (random search, grid search).
+    ///
+    /// The strategy is drained up-front with an empty history — so
+    /// history-dependent strategies like regularized evolution must use the
+    /// sequential [`Experiment::run`] — and the proposals are evaluated
+    /// concurrently, the way NNI dispatches trials to parallel workers.
+    /// Trial order (and thus the journal) is deterministic regardless of
+    /// worker scheduling.
+    pub fn run_parallel(
+        strategy: &mut dyn ExplorationStrategy,
+        evaluator: &(dyn Evaluator + Sync),
+        max_trials: usize,
+    ) -> Self {
+        use rayon::prelude::*;
+        let mut proposals: Vec<SppNetConfig> = Vec::new();
+        while proposals.len() < max_trials {
+            match strategy.next(&[]) {
+                Some(cfg) => proposals.push(cfg),
+                None => break,
+            }
+        }
+        let scored: Vec<(SppNetConfig, f64, f64)> = proposals
+            .into_par_iter()
+            .map(|config| {
+                let start = Instant::now();
+                let score = evaluator.evaluate(&config);
+                (config, score, start.elapsed().as_secs_f64())
+            })
+            .collect();
+        let mut exp = Experiment::new();
+        for (config, score, duration_s) in scored {
+            exp.trials.push(Trial {
+                id: exp.trials.len(),
+                summary: config.summary(),
+                config,
+                score,
+                duration_s,
+            });
+        }
+        exp
+    }
+
+    /// The best trial by score, if any.
+    pub fn best(&self) -> Option<&Trial> {
+        self.trials
+            .iter()
+            .max_by(|a, b| a.score.partial_cmp(&b.score).expect("finite scores"))
+    }
+
+    /// The `k` best trials, descending by score.
+    pub fn top_k(&self, k: usize) -> Vec<&Trial> {
+        let mut sorted: Vec<&Trial> = self.trials.iter().collect();
+        sorted.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+        sorted.truncate(k);
+        sorted
+    }
+
+    /// The accuracy-constrained candidate set of §5.4: trials with
+    /// `a(n) > threshold`, ready for IOS efficiency ranking.
+    pub fn candidates_above(&self, threshold: f64) -> Vec<&Trial> {
+        self.trials.iter().filter(|t| t.score > threshold).collect()
+    }
+
+    /// Serializes the journal to pretty JSON (NNI-style experiment record).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("trials serialize")
+    }
+
+    /// Restores a journal from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::FunctionalEvaluator;
+    use crate::space::SppNetSearchSpace;
+    use crate::strategy::{GridSearch, RandomSearch};
+
+    #[test]
+    fn run_records_all_trials() {
+        let mut strat = RandomSearch::new(SppNetSearchSpace::paper(), 10, 1);
+        let eval = FunctionalEvaluator::new(|c: &SppNetConfig| c.fc1 as f64);
+        let exp = Experiment::run(&mut strat, &eval, 100);
+        assert_eq!(exp.trials.len(), 10);
+        for (i, t) in exp.trials.iter().enumerate() {
+            assert_eq!(t.id, i);
+            assert_eq!(t.score, t.config.fc1 as f64);
+            assert!(t.summary.starts_with("C_{64,"));
+        }
+    }
+
+    #[test]
+    fn max_trials_caps_the_run() {
+        let space = SppNetSearchSpace::paper();
+        let mut strat = GridSearch::new(&space, usize::MAX);
+        let eval = FunctionalEvaluator::new(|_: &SppNetConfig| 0.5);
+        let exp = Experiment::run(&mut strat, &eval, 7);
+        assert_eq!(exp.trials.len(), 7);
+    }
+
+    #[test]
+    fn best_and_top_k_order_by_score() {
+        let mut strat = RandomSearch::new(SppNetSearchSpace::paper(), 20, 2);
+        let eval = FunctionalEvaluator::new(|c: &SppNetConfig| c.fc1 as f64 + c.conv1_kernel as f64);
+        let exp = Experiment::run(&mut strat, &eval, 20);
+        let best = exp.best().expect("has trials");
+        let top = exp.top_k(5);
+        assert_eq!(top[0].id, best.id);
+        for w in top.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn candidates_above_filters_by_accuracy() {
+        let mut strat = RandomSearch::new(SppNetSearchSpace::paper(), 30, 3);
+        let eval = FunctionalEvaluator::new(|c: &SppNetConfig| if c.fc1 >= 2048 { 0.97 } else { 0.90 });
+        let exp = Experiment::run(&mut strat, &eval, 30);
+        let good = exp.candidates_above(0.95);
+        assert!(!good.is_empty());
+        for t in &good {
+            assert!(t.config.fc1 >= 2048);
+        }
+        let none = exp.candidates_above(0.99);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn run_parallel_matches_sequential_for_random_search() {
+        let eval = FunctionalEvaluator::new(|c: &SppNetConfig| c.fc1 as f64);
+        let mut s1 = RandomSearch::new(SppNetSearchSpace::paper(), 12, 5);
+        let seq = Experiment::run(&mut s1, &eval, 12);
+        let mut s2 = RandomSearch::new(SppNetSearchSpace::paper(), 12, 5);
+        let par = Experiment::run_parallel(&mut s2, &eval, 12);
+        assert_eq!(seq.trials.len(), par.trials.len());
+        for (a, b) in seq.trials.iter().zip(par.trials.iter()) {
+            assert_eq!(a.config, b.config, "trial order must be deterministic");
+            assert_eq!(a.score, b.score);
+        }
+    }
+
+    #[test]
+    fn run_parallel_respects_budget() {
+        let eval = FunctionalEvaluator::new(|_: &SppNetConfig| 0.5);
+        let mut s = RandomSearch::new(SppNetSearchSpace::paper(), 100, 1);
+        let exp = Experiment::run_parallel(&mut s, &eval, 7);
+        assert_eq!(exp.trials.len(), 7);
+    }
+
+    #[test]
+    fn journal_roundtrips_through_json() {
+        let mut strat = RandomSearch::new(SppNetSearchSpace::paper(), 5, 4);
+        let eval = FunctionalEvaluator::new(|_: &SppNetConfig| 0.5);
+        let exp = Experiment::run(&mut strat, &eval, 5);
+        let json = exp.to_json();
+        let back = Experiment::from_json(&json).expect("valid json");
+        assert_eq!(back.trials.len(), exp.trials.len());
+        assert_eq!(back.trials[2].config, exp.trials[2].config);
+    }
+}

@@ -1,0 +1,32 @@
+//! # dcd-nas
+//!
+//! A Retiarii-style neural architecture search framework (paper §4),
+//! reimplementing the pieces of Microsoft NNI the paper uses:
+//!
+//! * a **search space** over SPP-Net hyper-parameters — first-conv filter
+//!   size {1,3,5,7,9}, first SPP pyramid level {1..5}, and fully-connected
+//!   widths {128..8192} (§4.2);
+//! * **exploration strategies** — the paper's multi-trial *random search*,
+//!   plus grid search and regularized evolution as extensions;
+//! * a **model evaluator** — `FunctionalEvaluator` (the Retiarii default the
+//!   paper selects) wrapping any `Fn(&SppNetConfig) -> f64`, and a
+//!   `TrainingEvaluator` that actually trains a `dcd-nn` SPP-Net on a patch
+//!   dataset and reports test AP;
+//! * a **multi-trial experiment** runner with a serde-JSON journal, mirroring
+//!   NNI's experiment tracking ("aggregating and comparing tuning results").
+//!
+//! The accuracy-constrained selection of §5.4 lives in
+//! [`experiment::Experiment::candidates_above`]: it returns every trial with
+//! `a(n) > A`, ready to be ranked by IOS-measured efficiency.
+
+pub mod evaluator;
+pub mod experiment;
+pub mod halving;
+pub mod space;
+pub mod strategy;
+
+pub use evaluator::{Evaluator, FunctionalEvaluator, TrainingEvaluator};
+pub use experiment::{Experiment, Trial};
+pub use halving::{successive_halving, BudgetedEvaluator, HalvingConfig, HalvingResult};
+pub use space::SppNetSearchSpace;
+pub use strategy::{ExplorationStrategy, GridSearch, RandomSearch, RegularizedEvolution};

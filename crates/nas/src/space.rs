@@ -1,0 +1,201 @@
+//! The SPP-Net search space of §4.2.
+
+use dcd_nn::sppnet::{CONV1_KERNEL_CHOICES, FC_CHOICES, SPP_TOP_CHOICES};
+use dcd_nn::SppNetConfig;
+use dcd_tensor::SeededRng;
+use serde::{Deserialize, Serialize};
+
+/// The paper's search space: three mutation axes over a base configuration.
+///
+/// * feature engineering — first conv filter size ∈ {1, 3, 5, 7, 9}
+/// * SPP layer — first pyramid level ∈ {1, 2, 3, 4, 5}
+/// * fully-connected — fc1 (and optionally fc2) ∈ {128 … 8192}
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SppNetSearchSpace {
+    /// Base configuration mutations are applied to (channels, input bands).
+    pub base: SppNetConfig,
+    /// Whether the second FC layer axis is searched too (`None` is always a
+    /// candidate; the paper's Table 1 candidates all use a single FC).
+    pub search_fc2: bool,
+}
+
+impl SppNetSearchSpace {
+    /// The paper's space around the original SPP-Net.
+    pub fn paper() -> Self {
+        SppNetSearchSpace {
+            base: SppNetConfig::original(),
+            search_fc2: false,
+        }
+    }
+
+    /// A space around an arbitrary base config.
+    pub fn around(base: SppNetConfig) -> Self {
+        SppNetSearchSpace {
+            base,
+            search_fc2: false,
+        }
+    }
+
+    /// Number of distinct configurations in the space.
+    pub fn size(&self) -> usize {
+        let fc2 = if self.search_fc2 {
+            FC_CHOICES.len() + 1
+        } else {
+            1
+        };
+        CONV1_KERNEL_CHOICES.len() * SPP_TOP_CHOICES.len() * FC_CHOICES.len() * fc2
+    }
+
+    /// Uniformly samples one configuration.
+    pub fn sample(&self, rng: &mut SeededRng) -> SppNetConfig {
+        let mut cfg = self.base.clone();
+        cfg.conv1_kernel = *rng.choose(&CONV1_KERNEL_CHOICES);
+        cfg.spp_top_level = *rng.choose(&SPP_TOP_CHOICES);
+        cfg.fc1 = *rng.choose(&FC_CHOICES);
+        if self.search_fc2 {
+            // None plus each width, uniformly.
+            let pick = rng.index(FC_CHOICES.len() + 1);
+            cfg.fc2 = if pick == 0 { None } else { Some(FC_CHOICES[pick - 1]) };
+        } else {
+            cfg.fc2 = self.base.fc2;
+        }
+        cfg
+    }
+
+    /// Enumerates the whole space in a deterministic order (grid search).
+    pub fn enumerate(&self) -> Vec<SppNetConfig> {
+        let fc2_options: Vec<Option<usize>> = if self.search_fc2 {
+            std::iter::once(None).chain(FC_CHOICES.iter().map(|&f| Some(f))).collect()
+        } else {
+            vec![self.base.fc2]
+        };
+        let mut out = Vec::with_capacity(self.size());
+        for &k in &CONV1_KERNEL_CHOICES {
+            for &l in &SPP_TOP_CHOICES {
+                for &f in &FC_CHOICES {
+                    for &f2 in &fc2_options {
+                        let mut cfg = self.base.clone();
+                        cfg.conv1_kernel = k;
+                        cfg.spp_top_level = l;
+                        cfg.fc1 = f;
+                        cfg.fc2 = f2;
+                        out.push(cfg);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Mutates one randomly chosen axis (regularized evolution's unit step).
+    pub fn mutate(&self, parent: &SppNetConfig, rng: &mut SeededRng) -> SppNetConfig {
+        let mut child = parent.clone();
+        let axes = if self.search_fc2 { 4 } else { 3 };
+        match rng.index(axes) {
+            0 => child.conv1_kernel = *rng.choose(&CONV1_KERNEL_CHOICES),
+            1 => child.spp_top_level = *rng.choose(&SPP_TOP_CHOICES),
+            2 => child.fc1 = *rng.choose(&FC_CHOICES),
+            _ => {
+                let pick = rng.index(FC_CHOICES.len() + 1);
+                child.fc2 = if pick == 0 { None } else { Some(FC_CHOICES[pick - 1]) };
+            }
+        }
+        child
+    }
+
+    /// Whether a configuration belongs to this space.
+    pub fn contains(&self, cfg: &SppNetConfig) -> bool {
+        CONV1_KERNEL_CHOICES.contains(&cfg.conv1_kernel)
+            && SPP_TOP_CHOICES.contains(&cfg.spp_top_level)
+            && FC_CHOICES.contains(&cfg.fc1)
+            && match cfg.fc2 {
+                None => true,
+                Some(f2) => self.search_fc2 && FC_CHOICES.contains(&f2),
+            }
+            && cfg.channels == self.base.channels
+            && cfg.in_channels == self.base.in_channels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_space_size_is_175() {
+        // 5 kernels × 5 SPP levels × 7 FC widths
+        assert_eq!(SppNetSearchSpace::paper().size(), 175);
+    }
+
+    #[test]
+    fn fc2_axis_multiplies_size() {
+        let mut s = SppNetSearchSpace::paper();
+        s.search_fc2 = true;
+        assert_eq!(s.size(), 175 * 8);
+    }
+
+    #[test]
+    fn enumerate_matches_size_and_is_unique() {
+        let s = SppNetSearchSpace::paper();
+        let all = s.enumerate();
+        assert_eq!(all.len(), s.size());
+        let mut set = std::collections::HashSet::new();
+        for cfg in &all {
+            assert!(set.insert(cfg.clone()), "duplicate config {cfg:?}");
+            assert!(s.contains(cfg));
+        }
+    }
+
+    #[test]
+    fn samples_stay_in_space() {
+        let s = SppNetSearchSpace::paper();
+        let mut rng = SeededRng::new(3);
+        for _ in 0..100 {
+            assert!(s.contains(&s.sample(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn sampling_eventually_covers_axes() {
+        let s = SppNetSearchSpace::paper();
+        let mut rng = SeededRng::new(4);
+        let mut kernels = std::collections::HashSet::new();
+        for _ in 0..200 {
+            kernels.insert(s.sample(&mut rng).conv1_kernel);
+        }
+        assert_eq!(kernels.len(), 5, "random search should hit all kernels");
+    }
+
+    #[test]
+    fn table1_candidates_are_in_the_space() {
+        let s = SppNetSearchSpace::paper();
+        for (name, cfg) in SppNetConfig::table1() {
+            assert!(s.contains(&cfg), "{name} outside the space");
+        }
+    }
+
+    #[test]
+    fn mutation_changes_at_most_one_axis() {
+        let s = SppNetSearchSpace::paper();
+        let mut rng = SeededRng::new(5);
+        let parent = SppNetConfig::original();
+        for _ in 0..50 {
+            let child = s.mutate(&parent, &mut rng);
+            let mut diffs = 0;
+            if child.conv1_kernel != parent.conv1_kernel {
+                diffs += 1;
+            }
+            if child.spp_top_level != parent.spp_top_level {
+                diffs += 1;
+            }
+            if child.fc1 != parent.fc1 {
+                diffs += 1;
+            }
+            if child.fc2 != parent.fc2 {
+                diffs += 1;
+            }
+            assert!(diffs <= 1, "mutation changed {diffs} axes");
+            assert!(s.contains(&child));
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Exploration strategies: how the next architecture to try is chosen.
+
+use crate::space::SppNetSearchSpace;
+use dcd_nn::SppNetConfig;
+use dcd_tensor::SeededRng;
+use std::collections::HashSet;
+
+/// Proposes the next configuration given the trial history.
+pub trait ExplorationStrategy {
+    /// Returns the next configuration to evaluate, or `None` when the
+    /// strategy's budget or space is exhausted. `history` holds the
+    /// `(config, score)` pairs already evaluated.
+    fn next(&mut self, history: &[(SppNetConfig, f64)]) -> Option<SppNetConfig>;
+}
+
+/// The paper's strategy: uniform random sampling without replacement
+/// ("randomly selecting an architecture with each iteration").
+pub struct RandomSearch {
+    space: SppNetSearchSpace,
+    rng: SeededRng,
+    budget: usize,
+    proposed: HashSet<SppNetConfig>,
+}
+
+impl RandomSearch {
+    /// Random search over `space` with a trial budget.
+    pub fn new(space: SppNetSearchSpace, budget: usize, seed: u64) -> Self {
+        RandomSearch {
+            space,
+            rng: SeededRng::new(seed),
+            budget,
+            proposed: HashSet::new(),
+        }
+    }
+}
+
+impl ExplorationStrategy for RandomSearch {
+    fn next(&mut self, _history: &[(SppNetConfig, f64)]) -> Option<SppNetConfig> {
+        if self.proposed.len() >= self.budget || self.proposed.len() >= self.space.size() {
+            return None;
+        }
+        // Rejection-sample an unseen config; the space is far larger than
+        // any realistic budget so this terminates quickly.
+        for _ in 0..10_000 {
+            let cfg = self.space.sample(&mut self.rng);
+            if self.proposed.insert(cfg.clone()) {
+                return Some(cfg);
+            }
+        }
+        None
+    }
+}
+
+/// Exhaustive enumeration in deterministic order.
+pub struct GridSearch {
+    queue: std::vec::IntoIter<SppNetConfig>,
+    budget: usize,
+    issued: usize,
+}
+
+impl GridSearch {
+    /// Grid search over `space`, optionally truncated to `budget` trials.
+    pub fn new(space: &SppNetSearchSpace, budget: usize) -> Self {
+        GridSearch {
+            queue: space.enumerate().into_iter(),
+            budget,
+            issued: 0,
+        }
+    }
+}
+
+impl ExplorationStrategy for GridSearch {
+    fn next(&mut self, _history: &[(SppNetConfig, f64)]) -> Option<SppNetConfig> {
+        if self.issued >= self.budget {
+            return None;
+        }
+        self.issued += 1;
+        self.queue.next()
+    }
+}
+
+/// Regularized evolution (Real et al., 2019) — the extension strategy:
+/// tournament-select a parent from the most recent `population` trials,
+/// mutate one axis, with random warm-up until the population fills.
+pub struct RegularizedEvolution {
+    space: SppNetSearchSpace,
+    rng: SeededRng,
+    budget: usize,
+    issued: usize,
+    /// Sliding population size.
+    pub population: usize,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+}
+
+impl RegularizedEvolution {
+    /// Evolution over `space` with a trial budget.
+    pub fn new(space: SppNetSearchSpace, budget: usize, seed: u64) -> Self {
+        RegularizedEvolution {
+            space,
+            rng: SeededRng::new(seed),
+            budget,
+            issued: 0,
+            population: 16,
+            tournament: 4,
+        }
+    }
+}
+
+impl ExplorationStrategy for RegularizedEvolution {
+    fn next(&mut self, history: &[(SppNetConfig, f64)]) -> Option<SppNetConfig> {
+        if self.issued >= self.budget {
+            return None;
+        }
+        self.issued += 1;
+        // Warm-up: random until we have a population.
+        if history.len() < self.population {
+            return Some(self.space.sample(&mut self.rng));
+        }
+        let window = &history[history.len() - self.population..];
+        // Tournament: best of `tournament` random picks from the window.
+        let mut best: Option<&(SppNetConfig, f64)> = None;
+        for _ in 0..self.tournament {
+            let pick = &window[self.rng.index(window.len())];
+            if best.map(|b| pick.1 > b.1).unwrap_or(true) {
+                best = Some(pick);
+            }
+        }
+        let parent = &best.expect("non-empty window").0;
+        Some(self.space.mutate(parent, &mut self.rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> SppNetSearchSpace {
+        SppNetSearchSpace::paper()
+    }
+
+    #[test]
+    fn random_search_respects_budget_and_dedups() {
+        let mut s = RandomSearch::new(space(), 20, 1);
+        let mut seen = HashSet::new();
+        let mut n = 0;
+        while let Some(cfg) = s.next(&[]) {
+            assert!(seen.insert(cfg), "duplicate proposal");
+            n += 1;
+        }
+        assert_eq!(n, 20);
+    }
+
+    #[test]
+    fn random_search_exhausts_small_space() {
+        // Budget larger than the space: stops at the space size.
+        let mut s = RandomSearch::new(space(), 10_000, 2);
+        let mut n = 0;
+        while s.next(&[]).is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 175);
+    }
+
+    #[test]
+    fn grid_search_is_exhaustive_and_ordered() {
+        let sp = space();
+        let mut s = GridSearch::new(&sp, usize::MAX);
+        let mut got = Vec::new();
+        while let Some(cfg) = s.next(&[]) {
+            got.push(cfg);
+        }
+        assert_eq!(got, sp.enumerate());
+    }
+
+    #[test]
+    fn grid_search_truncates_to_budget() {
+        let mut s = GridSearch::new(&space(), 3);
+        let mut n = 0;
+        while s.next(&[]).is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn evolution_warms_up_then_mutates() {
+        let sp = space();
+        let mut s = RegularizedEvolution::new(sp.clone(), 50, 3);
+        s.population = 4;
+        let mut history: Vec<(SppNetConfig, f64)> = Vec::new();
+        for i in 0..50 {
+            let cfg = s.next(&history).expect("within budget");
+            assert!(sp.contains(&cfg), "proposal {i} outside space");
+            // Score favors big fc1 — evolution should drift toward it.
+            let score = cfg.fc1 as f64;
+            history.push((cfg, score));
+        }
+        assert!(s.next(&history).is_none(), "budget exhausted");
+        // Later proposals should have higher mean fc1 than warm-up.
+        let early: f64 = history[..8].iter().map(|(c, _)| c.fc1 as f64).sum::<f64>() / 8.0;
+        let late: f64 = history[42..].iter().map(|(c, _)| c.fc1 as f64).sum::<f64>() / 8.0;
+        assert!(
+            late > early,
+            "evolution did not improve: early {early} late {late}"
+        );
+    }
+}

@@ -1,0 +1,203 @@
+//! Data augmentation for detection samples (extension).
+//!
+//! Drainage crossings have no canonical orientation — a culvert seen from
+//! the air is the same feature under flips and right-angle rotations — so
+//! the dihedral-4 augmentations are exactly the label-preserving transforms
+//! for this task.
+
+use crate::detect::{BBox, Sample};
+use dcd_tensor::{SeededRng, Tensor};
+
+/// Flips a `[C, H, W]` image left↔right.
+pub fn flip_horizontal(image: &Tensor) -> Tensor {
+    let dims = image.dims();
+    assert_eq!(dims.len(), 3, "expected [C, H, W]");
+    let (c, h, w) = (dims[0], dims[1], dims[2]);
+    let mut out = Tensor::zeros([c, h, w]);
+    for ci in 0..c {
+        for y in 0..h {
+            for x in 0..w {
+                out.set(&[ci, y, w - 1 - x], image.at(&[ci, y, x]));
+            }
+        }
+    }
+    out
+}
+
+/// Flips a `[C, H, W]` image top↕bottom.
+pub fn flip_vertical(image: &Tensor) -> Tensor {
+    let dims = image.dims();
+    assert_eq!(dims.len(), 3, "expected [C, H, W]");
+    let (c, h, w) = (dims[0], dims[1], dims[2]);
+    let mut out = Tensor::zeros([c, h, w]);
+    for ci in 0..c {
+        for y in 0..h {
+            for x in 0..w {
+                out.set(&[ci, h - 1 - y, x], image.at(&[ci, y, x]));
+            }
+        }
+    }
+    out
+}
+
+/// Rotates a `[C, H, W]` image 90° clockwise (output is `[C, W, H]`).
+pub fn rotate90(image: &Tensor) -> Tensor {
+    let dims = image.dims();
+    assert_eq!(dims.len(), 3, "expected [C, H, W]");
+    let (c, h, w) = (dims[0], dims[1], dims[2]);
+    let mut out = Tensor::zeros([c, w, h]);
+    for ci in 0..c {
+        for y in 0..h {
+            for x in 0..w {
+                // (x, y) → (h−1−y, x) in the rotated frame.
+                out.set(&[ci, x, h - 1 - y], image.at(&[ci, y, x]));
+            }
+        }
+    }
+    out
+}
+
+/// The box transform matching [`flip_horizontal`].
+pub fn bbox_flip_horizontal(b: &BBox) -> BBox {
+    BBox::new(1.0 - b.cx, b.cy, b.w, b.h)
+}
+
+/// The box transform matching [`flip_vertical`].
+pub fn bbox_flip_vertical(b: &BBox) -> BBox {
+    BBox::new(b.cx, 1.0 - b.cy, b.w, b.h)
+}
+
+/// The box transform matching [`rotate90`].
+pub fn bbox_rotate90(b: &BBox) -> BBox {
+    BBox::new(1.0 - b.cy, b.cx, b.h, b.w)
+}
+
+/// Applies a transform pair to a sample.
+fn transform_sample(
+    s: &Sample,
+    img_f: impl Fn(&Tensor) -> Tensor,
+    box_f: impl Fn(&BBox) -> BBox,
+) -> Sample {
+    Sample {
+        image: img_f(&s.image),
+        label: s.label.as_ref().map(box_f),
+    }
+}
+
+/// Expands a dataset with dihedral augmentations.
+///
+/// Every sample is kept; each additionally contributes `per_sample` (≤ 3)
+/// random distinct transforms drawn from {h-flip, v-flip, rot90}.
+pub fn augment_dataset(samples: &[Sample], per_sample: usize, rng: &mut SeededRng) -> Vec<Sample> {
+    let per_sample = per_sample.min(3);
+    let mut out = Vec::with_capacity(samples.len() * (1 + per_sample));
+    for s in samples {
+        out.push(s.clone());
+        let mut choices = [0usize, 1, 2];
+        rng.shuffle(&mut choices);
+        for &t in choices.iter().take(per_sample) {
+            out.push(match t {
+                0 => transform_sample(s, flip_horizontal, bbox_flip_horizontal),
+                1 => transform_sample(s, flip_vertical, bbox_flip_vertical),
+                _ => transform_sample(s, rotate90, bbox_rotate90),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe_image() -> Tensor {
+        Tensor::from_vec([1, 2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap()
+    }
+
+    #[test]
+    fn hflip_reverses_rows() {
+        let img = probe_image();
+        let f = flip_horizontal(&img);
+        assert_eq!(f.data(), &[3., 2., 1., 6., 5., 4.]);
+    }
+
+    #[test]
+    fn vflip_reverses_columns() {
+        let img = probe_image();
+        let f = flip_vertical(&img);
+        assert_eq!(f.data(), &[4., 5., 6., 1., 2., 3.]);
+    }
+
+    #[test]
+    fn flips_are_involutions() {
+        let img = probe_image();
+        assert_eq!(flip_horizontal(&flip_horizontal(&img)), img);
+        assert_eq!(flip_vertical(&flip_vertical(&img)), img);
+    }
+
+    #[test]
+    fn rotate90_four_times_is_identity() {
+        let img = probe_image();
+        let r1 = rotate90(&img);
+        assert_eq!(r1.dims(), &[1, 3, 2]);
+        let r4 = rotate90(&rotate90(&rotate90(&r1)));
+        assert_eq!(r4, img);
+    }
+
+    #[test]
+    fn rotate90_moves_pixels_correctly() {
+        // [1 2 3; 4 5 6] rotated cw → [4 1; 5 2; 6 3]
+        let r = rotate90(&probe_image());
+        assert_eq!(r.data(), &[4., 1., 5., 2., 6., 3.]);
+    }
+
+    #[test]
+    fn bbox_transforms_track_pixels() {
+        let b = BBox::new(0.25, 0.4, 0.1, 0.2);
+        let h = bbox_flip_horizontal(&b);
+        assert!((h.cx - 0.75).abs() < 1e-6);
+        assert_eq!(h.cy, b.cy);
+        let v = bbox_flip_vertical(&b);
+        assert!((v.cy - 0.6).abs() < 1e-6);
+        let r = bbox_rotate90(&b);
+        assert!((r.cx - 0.6).abs() < 1e-6);
+        assert!((r.cy - 0.25).abs() < 1e-6);
+        assert_eq!(r.w, b.h);
+        assert_eq!(r.h, b.w);
+    }
+
+    #[test]
+    fn bbox_rotate90_four_times_identity() {
+        let b = BBox::new(0.2, 0.7, 0.1, 0.3);
+        let r4 = bbox_rotate90(&bbox_rotate90(&bbox_rotate90(&bbox_rotate90(&b))));
+        assert!((r4.cx - b.cx).abs() < 1e-6);
+        assert!((r4.cy - b.cy).abs() < 1e-6);
+        assert_eq!(r4.w, b.w);
+        assert_eq!(r4.h, b.h);
+    }
+
+    #[test]
+    fn augment_dataset_grows_and_preserves_polarity() {
+        let mut rng = SeededRng::new(4);
+        let img = Tensor::zeros([1, 4, 4]);
+        let samples = vec![
+            Sample::positive(img.clone(), BBox::new(0.3, 0.3, 0.2, 0.2)),
+            Sample::negative(img),
+        ];
+        let aug = augment_dataset(&samples, 2, &mut rng);
+        assert_eq!(aug.len(), 6);
+        assert_eq!(aug.iter().filter(|s| s.is_positive()).count(), 3);
+    }
+
+    #[test]
+    fn augmented_boxes_stay_in_unit_square() {
+        let mut rng = SeededRng::new(5);
+        let img = Tensor::zeros([1, 4, 4]);
+        let samples = vec![Sample::positive(img, BBox::new(0.1, 0.9, 0.1, 0.1))];
+        for s in augment_dataset(&samples, 3, &mut rng) {
+            let b = s.label.unwrap();
+            assert!((0.0..=1.0).contains(&b.cx));
+            assert!((0.0..=1.0).contains(&b.cy));
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Detection-task types: bounding boxes, samples, detections.
+
+use dcd_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned bounding box in normalized patch coordinates.
+///
+/// `(cx, cy)` is the box center and `(w, h)` the extent, all in `[0, 1]`
+/// relative to the patch — the parametrization the detection head regresses.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BBox {
+    /// Center x in `[0, 1]`.
+    pub cx: f32,
+    /// Center y in `[0, 1]`.
+    pub cy: f32,
+    /// Width in `[0, 1]`.
+    pub w: f32,
+    /// Height in `[0, 1]`.
+    pub h: f32,
+}
+
+impl BBox {
+    /// Builds a box from center/extent form.
+    pub fn new(cx: f32, cy: f32, w: f32, h: f32) -> Self {
+        BBox { cx, cy, w, h }
+    }
+
+    /// Corner form `(x0, y0, x1, y1)`.
+    pub fn corners(&self) -> (f32, f32, f32, f32) {
+        (
+            self.cx - self.w / 2.0,
+            self.cy - self.h / 2.0,
+            self.cx + self.w / 2.0,
+            self.cy + self.h / 2.0,
+        )
+    }
+
+    /// Box area (clamped non-negative).
+    pub fn area(&self) -> f32 {
+        self.w.max(0.0) * self.h.max(0.0)
+    }
+
+    /// The regression target vector `[cx, cy, w, h]`.
+    pub fn to_vec(&self) -> [f32; 4] {
+        [self.cx, self.cy, self.w, self.h]
+    }
+
+    /// Reconstructs a box from a regression output.
+    pub fn from_slice(v: &[f32]) -> Self {
+        BBox::new(v[0], v[1], v[2], v[3])
+    }
+}
+
+/// One training/eval sample: a 4-band patch and its (optional) crossing box.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Patch tensor `[C, H, W]` (4 bands for NAIP-like data).
+    pub image: Tensor,
+    /// Ground-truth crossing box, `None` for negative patches.
+    pub label: Option<BBox>,
+}
+
+impl Sample {
+    /// A positive sample.
+    pub fn positive(image: Tensor, bbox: BBox) -> Self {
+        Sample {
+            image,
+            label: Some(bbox),
+        }
+    }
+
+    /// A negative (no-crossing) sample.
+    pub fn negative(image: Tensor) -> Self {
+        Sample { image, label: None }
+    }
+
+    /// Whether the sample contains a crossing.
+    pub fn is_positive(&self) -> bool {
+        self.label.is_some()
+    }
+}
+
+/// A scored detection emitted by the model for one patch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Detection {
+    /// Objectness score in `[0, 1]` (sigmoid of the logit).
+    pub score: f32,
+    /// Predicted box.
+    pub bbox: BBox,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corners_roundtrip() {
+        let b = BBox::new(0.5, 0.5, 0.2, 0.4);
+        let (x0, y0, x1, y1) = b.corners();
+        assert!((x0 - 0.4).abs() < 1e-6);
+        assert!((y0 - 0.3).abs() < 1e-6);
+        assert!((x1 - 0.6).abs() < 1e-6);
+        assert!((y1 - 0.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn area_of_degenerate_box_is_zero() {
+        assert_eq!(BBox::new(0.5, 0.5, 0.0, 0.3).area(), 0.0);
+        assert_eq!(BBox::new(0.5, 0.5, -0.1, 0.3).area(), 0.0);
+    }
+
+    #[test]
+    fn vec_roundtrip() {
+        let b = BBox::new(0.1, 0.2, 0.3, 0.4);
+        assert_eq!(BBox::from_slice(&b.to_vec()), b);
+    }
+
+    #[test]
+    fn sample_polarity() {
+        let img = Tensor::zeros([4, 8, 8]);
+        assert!(Sample::positive(img.clone(), BBox::new(0.5, 0.5, 0.1, 0.1)).is_positive());
+        assert!(!Sample::negative(img).is_positive());
+    }
+}

@@ -1,0 +1,602 @@
+//! Concrete CNN layers with explicit forward/backward passes.
+//!
+//! Each layer caches whatever its backward pass needs during `forward`;
+//! calling `backward` before `forward` is a programming error and panics.
+
+use crate::param::Param;
+use dcd_tensor::{
+    adaptive_max_pool2d, adaptive_max_pool2d_backward, conv2d, conv2d_backward, max_pool2d,
+    max_pool2d_backward, AdaptiveMaxIndices, MaxIndices, SeededRng, Shape, Tensor,
+};
+
+/// Common interface over all layers.
+pub trait Layer {
+    /// Computes the layer output, caching state for `backward`.
+    fn forward(&mut self, x: &Tensor) -> Tensor;
+    /// Propagates `grad_out` to the input gradient, accumulating parameter
+    /// gradients along the way.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+    /// Trainable parameters (empty for stateless layers).
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+    /// Human-readable layer name for summaries.
+    fn name(&self) -> String;
+}
+
+// ------------------------------------------------------------------- Conv2d
+
+/// 2-D convolution layer (NCHW).
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    /// Filter bank `[C_out, C_in, K, K]`.
+    pub weight: Param,
+    /// Per-filter bias `[C_out]`.
+    pub bias: Param,
+    /// Spatial stride.
+    pub stride: usize,
+    /// Zero padding on each side.
+    pub pad: usize,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Kaiming-initialized convolution. `kernel` is the (square) filter size.
+    pub fn new(
+        c_in: usize,
+        c_out: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut SeededRng,
+    ) -> Self {
+        let fan_in = c_in * kernel * kernel;
+        Conv2d {
+            weight: Param::new(Tensor::kaiming([c_out, c_in, kernel, kernel], fan_in, rng), true),
+            bias: Param::new(Tensor::zeros([c_out]), false),
+            stride,
+            pad,
+            cached_input: None,
+        }
+    }
+
+    /// Convolution with "same" padding for odd kernels (pad = k/2), stride 1.
+    pub fn same(c_in: usize, c_out: usize, kernel: usize, rng: &mut SeededRng) -> Self {
+        Self::new(c_in, c_out, kernel, 1, kernel / 2, rng)
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        self.cached_input = Some(x.clone());
+        conv2d(x, &self.weight.value, &self.bias.value, self.stride, self.pad)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cached_input.as_ref().expect("Conv2d::backward before forward");
+        let grads = conv2d_backward(x, &self.weight.value, grad_out, self.stride, self.pad);
+        self.weight.grad.axpy(1.0, &grads.weight);
+        self.bias.grad.axpy(1.0, &grads.bias);
+        grads.input
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn name(&self) -> String {
+        let d = self.weight.value.dims();
+        format!("Conv2d({}->{}, k={}, s={}, p={})", d[1], d[0], d[2], self.stride, self.pad)
+    }
+}
+
+// --------------------------------------------------------------------- ReLU
+
+/// Rectified linear unit.
+#[derive(Debug, Clone, Default)]
+pub struct Relu {
+    mask: Option<Tensor>,
+}
+
+impl Relu {
+    /// A fresh ReLU.
+    pub fn new() -> Self {
+        Relu::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let mask = x.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+        let y = x.mul(&mask);
+        self.mask = Some(mask);
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mask = self.mask.as_ref().expect("Relu::backward before forward");
+        grad_out.mul(mask)
+    }
+
+    fn name(&self) -> String {
+        "ReLU".into()
+    }
+}
+
+// ---------------------------------------------------------------- MaxPool2d
+
+/// Fixed-window max pooling layer.
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    /// Square window size.
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+    saved: Option<MaxIndices>,
+}
+
+impl MaxPool2d {
+    /// Pooling with the given window and stride (the paper uses 2/2).
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        MaxPool2d {
+            kernel,
+            stride,
+            saved: None,
+        }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let (y, ix) = max_pool2d(x, self.kernel, self.stride);
+        self.saved = Some(ix);
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let ix = self.saved.as_ref().expect("MaxPool2d::backward before forward");
+        max_pool2d_backward(grad_out, ix)
+    }
+
+    fn name(&self) -> String {
+        format!("MaxPool2d(k={}, s={})", self.kernel, self.stride)
+    }
+}
+
+// ----------------------------------------------------------------- SppLayer
+
+/// Spatial pyramid pooling (He et al., TPAMI 2015).
+///
+/// Runs one adaptive max pool per pyramid level and concatenates the
+/// flattened results into a fixed-length vector `[N, C·Σ level²]` regardless
+/// of the input's spatial size. The parallel branches are exactly the
+/// structure `dcd-ios` exploits for inter-operator parallelism.
+#[derive(Debug, Clone)]
+pub struct SppLayer {
+    /// Pyramid bin counts, e.g. `[4, 2, 1]` for the paper's `SPP_{4,2,1}`.
+    pub levels: Vec<usize>,
+    saved: Vec<AdaptiveMaxIndices>,
+    input_shape: Option<Shape>,
+}
+
+impl SppLayer {
+    /// Builds a pyramid from its levels (must be non-empty, all positive).
+    pub fn new(levels: impl Into<Vec<usize>>) -> Self {
+        let levels = levels.into();
+        assert!(!levels.is_empty(), "SPP needs at least one level");
+        assert!(levels.iter().all(|&l| l > 0), "SPP levels must be positive");
+        SppLayer {
+            levels,
+            saved: Vec::new(),
+            input_shape: None,
+        }
+    }
+
+    /// Output feature count per sample for `channels` input channels.
+    pub fn out_features(&self, channels: usize) -> usize {
+        channels * self.levels.iter().map(|l| l * l).sum::<usize>()
+    }
+}
+
+impl Layer for SppLayer {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let (n, _, _, _) = x.shape().nchw();
+        self.input_shape = Some(x.shape().clone());
+        self.saved.clear();
+        let mut parts = Vec::with_capacity(self.levels.len());
+        for &level in &self.levels {
+            let (y, ix) = adaptive_max_pool2d(x, level);
+            self.saved.push(ix);
+            let f = y.numel() / n;
+            parts.push(y.reshape([n, f]));
+        }
+        let refs: Vec<&Tensor> = parts.iter().collect();
+        Tensor::concat(&refs, 1)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self.input_shape.as_ref().expect("SppLayer::backward before forward");
+        let (n, c, h, w) = shape.nchw();
+        let mut gx = Tensor::zeros([n, c, h, w]);
+        let mut col = 0usize;
+        let total_cols = grad_out.dims()[1];
+        for (li, &level) in self.levels.iter().enumerate() {
+            let f = c * level * level;
+            // Slice columns [col, col+f) of grad_out into [n, c, level, level].
+            let mut g = Tensor::zeros([n, c, level, level]);
+            for s in 0..n {
+                let src = &grad_out.data()[s * total_cols + col..s * total_cols + col + f];
+                g.data_mut()[s * f..(s + 1) * f].copy_from_slice(src);
+            }
+            let gpart = adaptive_max_pool2d_backward(&g, &self.saved[li]);
+            gx.axpy(1.0, &gpart);
+            col += f;
+        }
+        gx
+    }
+
+    fn name(&self) -> String {
+        format!("SPP{:?}", self.levels)
+    }
+}
+
+// ------------------------------------------------------------------ Flatten
+
+/// Flattens `[N, ...]` to `[N, F]`, remembering the original shape.
+#[derive(Debug, Clone, Default)]
+pub struct Flatten {
+    input_shape: Option<Shape>,
+}
+
+impl Flatten {
+    /// A fresh flatten layer.
+    pub fn new() -> Self {
+        Flatten::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        self.input_shape = Some(x.shape().clone());
+        let n = x.dims()[0];
+        let f = x.numel() / n;
+        x.clone().reshape([n, f])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self.input_shape.clone().expect("Flatten::backward before forward");
+        grad_out.clone().reshape(shape)
+    }
+
+    fn name(&self) -> String {
+        "Flatten".into()
+    }
+}
+
+// ------------------------------------------------------------------- Linear
+
+/// Fully-connected layer `y = x·W + b` with `W: [in, out]`.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    /// Weight matrix `[in_features, out_features]`.
+    pub weight: Param,
+    /// Bias `[out_features]`.
+    pub bias: Param,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Kaiming-initialized fully-connected layer.
+    pub fn new(in_features: usize, out_features: usize, rng: &mut SeededRng) -> Self {
+        Linear {
+            weight: Param::new(Tensor::kaiming([in_features, out_features], in_features, rng), true),
+            bias: Param::new(Tensor::zeros([out_features]), false),
+            cached_input: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.weight.value.dims()[0]
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.weight.value.dims()[1]
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        self.cached_input = Some(x.clone());
+        let (m, k) = x.shape().matrix();
+        assert_eq!(k, self.in_features(), "Linear: input features mismatch");
+        let y = dcd_tensor::gemm_bias(
+            x.data(),
+            self.weight.value.data(),
+            self.bias.value.data(),
+            m,
+            k,
+            self.out_features(),
+        );
+        Tensor::from_vec([m, self.out_features()], y).expect("linear output")
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cached_input.as_ref().expect("Linear::backward before forward");
+        let (m, k) = x.shape().matrix();
+        let n = self.out_features();
+        // gw = x^T (k×m) · go (m×n)
+        let xt = x.transpose2d();
+        let gw = dcd_tensor::gemm(xt.data(), grad_out.data(), k, m, n);
+        self.weight
+            .grad
+            .axpy(1.0, &Tensor::from_vec([k, n], gw).expect("gw"));
+        // gb = column sums of go
+        let mut gb = vec![0.0f32; n];
+        for row in grad_out.data().chunks(n) {
+            for (g, &v) in gb.iter_mut().zip(row.iter()) {
+                *g += v;
+            }
+        }
+        self.bias
+            .grad
+            .axpy(1.0, &Tensor::from_vec([n], gb).expect("gb"));
+        // gx = go (m×n) · W^T (n×k)
+        let wt = self.weight.value.transpose2d();
+        let gx = dcd_tensor::gemm(grad_out.data(), wt.data(), m, n, k);
+        Tensor::from_vec([m, k], gx).expect("gx")
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn name(&self) -> String {
+        format!("Linear({}->{})", self.in_features(), self.out_features())
+    }
+}
+
+// --------------------------------------------------------------- Sequential
+
+/// A chain of boxed layers, for tests and generic models.
+///
+/// [`crate::SppNet`] wires its layers explicitly instead (it needs
+/// branch-level access for IOS lowering), but `Sequential` is convenient for
+/// baselines and unit tests.
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer + Send>>,
+}
+
+impl Sequential {
+    /// An empty chain.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer (builder style).
+    pub fn push(mut self, layer: impl Layer + Send + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True if the chain has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur);
+        }
+        cur
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut cur = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            cur = layer.backward(&cur);
+        }
+        cur
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+
+    fn name(&self) -> String {
+        let names: Vec<String> = self.layers.iter().map(|l| l.name()).collect();
+        format!("Sequential[{}]", names.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcd_tensor::grad_check::numeric_grad;
+
+    fn rng() -> SeededRng {
+        SeededRng::new(1234)
+    }
+
+    #[test]
+    fn conv2d_layer_forward_shape() {
+        let mut r = rng();
+        let mut conv = Conv2d::same(4, 64, 5, &mut r);
+        let x = Tensor::randn([2, 4, 10, 10], 0.0, 1.0, &mut r);
+        let y = conv.forward(&x);
+        assert_eq!(y.dims(), &[2, 64, 10, 10]);
+    }
+
+    #[test]
+    fn conv2d_layer_backward_accumulates_param_grads() {
+        let mut r = rng();
+        let mut conv = Conv2d::new(1, 2, 3, 1, 1, &mut r);
+        let x = Tensor::randn([1, 1, 5, 5], 0.0, 1.0, &mut r);
+        let y = conv.forward(&x);
+        conv.backward(&Tensor::ones(y.shape().clone()));
+        assert!(conv.weight.grad.sq_norm() > 0.0);
+        assert!(conv.bias.grad.sq_norm() > 0.0);
+        // Second backward accumulates (does not overwrite).
+        let g1 = conv.weight.grad.clone();
+        conv.forward(&x);
+        conv.backward(&Tensor::ones(y.shape().clone()));
+        assert!(conv.weight.grad.max_abs_diff(&g1.scale(2.0)) < 1e-4);
+    }
+
+    #[test]
+    fn relu_zeroes_negatives_and_masks_grads() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec([4], vec![-1., 2., -3., 4.]).unwrap();
+        let y = relu.forward(&x);
+        assert_eq!(y.data(), &[0., 2., 0., 4.]);
+        let g = relu.backward(&Tensor::ones([4]));
+        assert_eq!(g.data(), &[0., 1., 0., 1.]);
+    }
+
+    #[test]
+    fn linear_layer_matches_manual_affine() {
+        let mut r = rng();
+        let mut lin = Linear::new(3, 2, &mut r);
+        lin.weight.value = Tensor::from_vec([3, 2], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        lin.bias.value = Tensor::from_vec([2], vec![0.5, -0.5]).unwrap();
+        let x = Tensor::from_vec([1, 3], vec![1., 1., 1.]).unwrap();
+        let y = lin.forward(&x);
+        assert_eq!(y.data(), &[9.5, 11.5]);
+    }
+
+    #[test]
+    fn linear_backward_matches_numeric() {
+        let mut r = rng();
+        let mut lin = Linear::new(4, 3, &mut r);
+        let x = Tensor::randn([2, 4], 0.0, 1.0, &mut r);
+        let y = lin.forward(&x);
+        let gx = lin.backward(&Tensor::ones(y.shape().clone()));
+
+        let w = lin.weight.value.clone();
+        let b = lin.bias.value.clone();
+        let f = |xp: &Tensor| {
+            let v = dcd_tensor::gemm_bias(xp.data(), w.data(), b.data(), 2, 4, 3);
+            v.iter().sum::<f32>()
+        };
+        let num = numeric_grad(&x, 1e-2, f);
+        assert!(gx.max_abs_diff(&num) < 0.02, "diff {}", gx.max_abs_diff(&num));
+
+        let x2 = x.clone();
+        let b2 = lin.bias.value.clone();
+        let fw = |wp: &Tensor| {
+            let v = dcd_tensor::gemm_bias(x2.data(), wp.data(), b2.data(), 2, 4, 3);
+            v.iter().sum::<f32>()
+        };
+        let num_w = numeric_grad(&lin.weight.value, 1e-2, fw);
+        assert!(lin.weight.grad.max_abs_diff(&num_w) < 0.02);
+    }
+
+    #[test]
+    fn spp_layer_fixed_output_for_any_input_size() {
+        let mut r = rng();
+        let mut spp = SppLayer::new([4, 2, 1]);
+        assert_eq!(spp.out_features(256), 256 * 21);
+        for &(h, w) in &[(12usize, 12usize), (25, 25), (7, 13)] {
+            let x = Tensor::randn([2, 8, h, w], 0.0, 1.0, &mut r);
+            let y = spp.forward(&x);
+            assert_eq!(y.dims(), &[2, 8 * 21]);
+        }
+    }
+
+    #[test]
+    fn spp_backward_matches_numeric() {
+        let mut r = rng();
+        let x = Tensor::randn([1, 2, 6, 6], 0.0, 1.0, &mut r);
+        let mut spp = SppLayer::new([3, 1]);
+        let y = spp.forward(&x);
+        let gx = spp.backward(&Tensor::ones(y.shape().clone()));
+        let num = numeric_grad(&x, 1e-3, |xp| {
+            let mut s = SppLayer::new([3, 1]);
+            s.forward(xp).sum()
+        });
+        assert!(gx.max_abs_diff(&num) < 1e-2, "diff {}", gx.max_abs_diff(&num));
+    }
+
+    #[test]
+    fn spp_concat_order_is_level_major() {
+        // One channel; levels [1, 2]: first column is the global max, the
+        // remaining four are the 2x2 adaptive maxima.
+        let x = Tensor::from_vec([1, 1, 2, 2], vec![1., 2., 3., 4.]).unwrap();
+        let mut spp = SppLayer::new([1, 2]);
+        let y = spp.forward(&x);
+        assert_eq!(y.data(), &[4., 1., 2., 3., 4.]);
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut fl = Flatten::new();
+        let x = Tensor::from_vec([2, 2, 2], (0..8).map(|v| v as f32).collect()).unwrap();
+        let y = fl.forward(&x);
+        assert_eq!(y.dims(), &[2, 4]);
+        let gx = fl.backward(&y);
+        assert_eq!(gx.dims(), x.dims());
+        assert_eq!(gx.data(), x.data());
+    }
+
+    #[test]
+    fn sequential_chains_and_exposes_params() {
+        let mut r = rng();
+        let mut net = Sequential::new()
+            .push(Conv2d::same(1, 4, 3, &mut r))
+            .push(Relu::new())
+            .push(MaxPool2d::new(2, 2))
+            .push(Flatten::new())
+            .push(Linear::new(4 * 4 * 4, 2, &mut r));
+        let x = Tensor::randn([3, 1, 8, 8], 0.0, 1.0, &mut r);
+        let y = net.forward(&x);
+        assert_eq!(y.dims(), &[3, 2]);
+        assert_eq!(net.params_mut().len(), 4); // conv w+b, linear w+b
+        let gx = net.backward(&Tensor::ones([3, 2]));
+        assert_eq!(gx.dims(), x.dims());
+    }
+
+    #[test]
+    fn sequential_end_to_end_gradient_check() {
+        let mut r = rng();
+        let conv = Conv2d::same(1, 2, 3, &mut r);
+        let lin = Linear::new(2 * 4, 1, &mut r);
+        let x = Tensor::randn([1, 1, 2, 2], 0.0, 1.0, &mut r);
+
+        // Build twice with identical weights: once for analytic, once inside
+        // the numeric closure.
+        let mut net = Sequential::new()
+            .push(conv.clone())
+            .push(Relu::new())
+            .push(Flatten::new())
+            .push(lin.clone());
+        let y = net.forward(&x);
+        let gx = net.backward(&Tensor::ones(y.shape().clone()));
+
+        let num = numeric_grad(&x, 1e-2, |xp| {
+            let mut net2 = Sequential::new()
+                .push(conv.clone())
+                .push(Relu::new())
+                .push(Flatten::new())
+                .push(lin.clone());
+            net2.forward(xp).sum()
+        });
+        assert!(gx.max_abs_diff(&num) < 0.05, "diff {}", gx.max_abs_diff(&num));
+    }
+
+    #[test]
+    #[should_panic(expected = "backward before forward")]
+    fn backward_before_forward_panics() {
+        let mut relu = Relu::new();
+        relu.backward(&Tensor::ones([1]));
+    }
+}

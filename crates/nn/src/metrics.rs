@@ -1,0 +1,194 @@
+//! Detection metrics: IoU and Average Precision (Eq. 1 of the paper).
+
+use crate::detect::BBox;
+
+/// Intersection-over-Union of two boxes in the same coordinate frame.
+pub fn iou(a: &BBox, b: &BBox) -> f32 {
+    let (ax0, ay0, ax1, ay1) = a.corners();
+    let (bx0, by0, bx1, by1) = b.corners();
+    let ix = (ax1.min(bx1) - ax0.max(bx0)).max(0.0);
+    let iy = (ay1.min(by1) - ay0.max(by0)).max(0.0);
+    let inter = ix * iy;
+    let union = a.area() + b.area() - inter;
+    if union <= 0.0 {
+        0.0
+    } else {
+        inter / union
+    }
+}
+
+/// One point on the precision-recall curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrPoint {
+    /// Recall after this detection.
+    pub recall: f32,
+    /// Precision after this detection.
+    pub precision: f32,
+    /// The score threshold that produced this point.
+    pub score: f32,
+}
+
+/// Average precision over a set of per-image single detections.
+///
+/// Input: for each evaluated patch, the detection score and whether the
+/// detection matches ground truth (IoU ≥ threshold against the patch's GT
+/// box), plus the total number of ground-truth positives. Implements the
+/// paper's Eq. 1: `AP = Σ_i (R_i − R_{i−1}) · P_i` over detections sorted by
+/// descending score.
+///
+/// Returns `(ap, curve)`.
+pub fn average_precision(
+    detections: &[(f32, bool)],
+    num_positives: usize,
+) -> (f32, Vec<PrPoint>) {
+    if num_positives == 0 || detections.is_empty() {
+        return (0.0, Vec::new());
+    }
+    let mut dets: Vec<(f32, bool)> = detections.to_vec();
+    // Descending score; ties broken toward false positives so the result is
+    // conservative and deterministic.
+    dets.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut prev_recall = 0.0f32;
+    let mut ap = 0.0f32;
+    let mut curve = Vec::with_capacity(dets.len());
+    for (score, matched) in dets {
+        if matched {
+            tp += 1;
+        } else {
+            fp += 1;
+        }
+        let recall = tp as f32 / num_positives as f32;
+        let precision = tp as f32 / (tp + fp) as f32;
+        ap += (recall - prev_recall) * precision;
+        prev_recall = recall;
+        curve.push(PrPoint {
+            recall,
+            precision,
+            score,
+        });
+    }
+    (ap, curve)
+}
+
+/// Convenience: evaluate scored predictions against per-image optional GT.
+///
+/// `preds[i]` is `(score, predicted_box)` for image `i`, `truths[i]` the GT
+/// box if the image is positive. A prediction counts as a match when the
+/// image has a GT box and IoU ≥ `iou_threshold`.
+pub fn evaluate_detections(
+    preds: &[(f32, BBox)],
+    truths: &[Option<BBox>],
+    iou_threshold: f32,
+) -> (f32, Vec<PrPoint>) {
+    assert_eq!(preds.len(), truths.len(), "prediction/GT count mismatch");
+    let detections: Vec<(f32, bool)> = preds
+        .iter()
+        .zip(truths.iter())
+        .map(|(&(score, pbox), truth)| {
+            let matched = truth.map(|t| iou(&pbox, &t) >= iou_threshold).unwrap_or(false);
+            (score, matched)
+        })
+        .collect();
+    let num_pos = truths.iter().filter(|t| t.is_some()).count();
+    average_precision(&detections, num_pos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iou_identical_boxes_is_one() {
+        let b = BBox::new(0.5, 0.5, 0.2, 0.2);
+        assert!((iou(&b, &b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn iou_disjoint_boxes_is_zero() {
+        let a = BBox::new(0.2, 0.2, 0.1, 0.1);
+        let b = BBox::new(0.8, 0.8, 0.1, 0.1);
+        assert_eq!(iou(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn iou_half_overlap() {
+        // Unit squares offset by half a width: inter 0.5, union 1.5.
+        let a = BBox::new(0.5, 0.5, 1.0, 1.0);
+        let b = BBox::new(1.0, 0.5, 1.0, 1.0);
+        assert!((iou(&a, &b) - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn iou_is_symmetric() {
+        let a = BBox::new(0.4, 0.4, 0.3, 0.2);
+        let b = BBox::new(0.5, 0.45, 0.2, 0.25);
+        assert!((iou(&a, &b) - iou(&b, &a)).abs() < 1e-7);
+    }
+
+    #[test]
+    fn perfect_detector_has_ap_one() {
+        // All positives scored above all negatives and all matched.
+        let dets = vec![(0.9, true), (0.8, true), (0.3, false), (0.2, false)];
+        let (ap, _) = average_precision(&dets, 2);
+        assert!((ap - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_misses_ap_zero() {
+        let dets = vec![(0.9, false), (0.8, false)];
+        let (ap, _) = average_precision(&dets, 2);
+        assert_eq!(ap, 0.0);
+    }
+
+    #[test]
+    fn interleaved_detections_partial_ap() {
+        // Order: TP, FP, TP with 2 positives.
+        // P after det1 = 1, R = 0.5 → contributes 0.5·1
+        // P after det2 = 0.5, R unchanged → contributes 0
+        // P after det3 = 2/3, R = 1.0 → contributes 0.5·(2/3)
+        let dets = vec![(0.9, true), (0.8, false), (0.7, true)];
+        let (ap, curve) = average_precision(&dets, 2);
+        assert!((ap - (0.5 + 0.5 * 2.0 / 3.0)).abs() < 1e-6);
+        assert_eq!(curve.len(), 3);
+        assert!((curve[2].recall - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn missed_positives_cap_recall() {
+        // One matched detection but 4 positives exist: recall tops at 0.25.
+        let dets = vec![(0.9, true)];
+        let (ap, curve) = average_precision(&dets, 4);
+        assert!((ap - 0.25).abs() < 1e-6);
+        assert!((curve[0].recall - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        assert_eq!(average_precision(&[], 5).0, 0.0);
+        assert_eq!(average_precision(&[(0.5, true)], 0).0, 0.0);
+    }
+
+    #[test]
+    fn evaluate_detections_uses_iou_threshold() {
+        let gt = BBox::new(0.5, 0.5, 0.2, 0.2);
+        let close = BBox::new(0.51, 0.5, 0.2, 0.2); // high IoU
+        let far = BBox::new(0.9, 0.9, 0.2, 0.2); // zero IoU
+        let preds = vec![(0.9, close), (0.8, far)];
+        let truths = vec![Some(gt), Some(gt)];
+        let (ap_strict, _) = evaluate_detections(&preds, &truths, 0.5);
+        // First matches, second does not: AP = 0.5·1 + 0 = 0.5.
+        assert!((ap_strict - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn negatives_do_not_count_as_positives() {
+        let pred_box = BBox::new(0.5, 0.5, 0.2, 0.2);
+        let preds = vec![(0.9, pred_box), (0.1, pred_box)];
+        let truths = vec![Some(pred_box), None];
+        let (ap, _) = evaluate_detections(&preds, &truths, 0.5);
+        assert!((ap - 1.0).abs() < 1e-6); // the high-scored TP comes first
+    }
+}

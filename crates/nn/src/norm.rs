@@ -1,0 +1,349 @@
+//! Batch normalization and dropout (extension layers).
+//!
+//! The paper's SPP-Nets use plain conv/ReLU blocks; these layers are the
+//! standard regularization additions a practitioner would reach for next,
+//! and exercising them through the same `Layer` interface demonstrates the
+//! framework generalizes beyond the paper's exact architecture.
+
+use crate::layers::Layer;
+use crate::param::Param;
+use dcd_tensor::{SeededRng, Tensor};
+
+/// Per-channel batch normalization over NCHW activations.
+///
+/// Training mode normalizes with batch statistics and updates running
+/// estimates; evaluation mode uses the running estimates. Toggle with
+/// [`BatchNorm2d::set_training`].
+#[derive(Debug, Clone)]
+pub struct BatchNorm2d {
+    /// Scale (γ), one per channel.
+    pub gamma: Param,
+    /// Shift (β), one per channel.
+    pub beta: Param,
+    /// Running mean used at eval time.
+    pub running_mean: Vec<f32>,
+    /// Running variance used at eval time.
+    pub running_var: Vec<f32>,
+    /// Exponential-update rate for the running stats.
+    pub momentum: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    training: bool,
+    // Cached values for backward.
+    cache: Option<BnCache>,
+}
+
+#[derive(Debug, Clone)]
+struct BnCache {
+    x_hat: Tensor,
+    inv_std: Vec<f32>,
+    dims: (usize, usize, usize, usize),
+}
+
+impl BatchNorm2d {
+    /// A batch-norm layer over `channels` feature maps.
+    pub fn new(channels: usize) -> Self {
+        BatchNorm2d {
+            gamma: Param::new(Tensor::ones([channels]), false),
+            beta: Param::new(Tensor::zeros([channels]), false),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            momentum: 0.1,
+            eps: 1e-5,
+            training: true,
+            cache: None,
+        }
+    }
+
+    /// Switches between training (batch stats) and eval (running stats).
+    pub fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+
+    fn channels(&self) -> usize {
+        self.gamma.value.numel()
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let (n, c, h, w) = x.shape().nchw();
+        assert_eq!(c, self.channels(), "BatchNorm2d channel mismatch");
+        let spatial = h * w;
+        let count = (n * spatial) as f32;
+        let mut out = Tensor::zeros([n, c, h, w]);
+        let mut x_hat = Tensor::zeros([n, c, h, w]);
+        let mut inv_stds = vec![0.0f32; c];
+        for ci in 0..c {
+            let (mean, var) = if self.training {
+                let mut sum = 0.0f32;
+                let mut sq = 0.0f32;
+                for s in 0..n {
+                    for i in 0..spatial {
+                        let v = x.data()[(s * c + ci) * spatial + i];
+                        sum += v;
+                        sq += v * v;
+                    }
+                }
+                let mean = sum / count;
+                let var = (sq / count - mean * mean).max(0.0);
+                self.running_mean[ci] =
+                    (1.0 - self.momentum) * self.running_mean[ci] + self.momentum * mean;
+                self.running_var[ci] =
+                    (1.0 - self.momentum) * self.running_var[ci] + self.momentum * var;
+                (mean, var)
+            } else {
+                (self.running_mean[ci], self.running_var[ci])
+            };
+            let inv_std = 1.0 / (var + self.eps).sqrt();
+            inv_stds[ci] = inv_std;
+            let g = self.gamma.value.data()[ci];
+            let b = self.beta.value.data()[ci];
+            for s in 0..n {
+                for i in 0..spatial {
+                    let idx = (s * c + ci) * spatial + i;
+                    let xh = (x.data()[idx] - mean) * inv_std;
+                    x_hat.data_mut()[idx] = xh;
+                    out.data_mut()[idx] = g * xh + b;
+                }
+            }
+        }
+        self.cache = Some(BnCache {
+            x_hat,
+            inv_std: inv_stds,
+            dims: (n, c, h, w),
+        });
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("BatchNorm2d::backward before forward");
+        let (n, c, h, w) = cache.dims;
+        let spatial = h * w;
+        let count = (n * spatial) as f32;
+        let mut gx = Tensor::zeros([n, c, h, w]);
+        for ci in 0..c {
+            // Reductions over the batch/spatial axes.
+            let mut sum_dy = 0.0f32;
+            let mut sum_dy_xhat = 0.0f32;
+            for s in 0..n {
+                for i in 0..spatial {
+                    let idx = (s * c + ci) * spatial + i;
+                    let dy = grad_out.data()[idx];
+                    sum_dy += dy;
+                    sum_dy_xhat += dy * cache.x_hat.data()[idx];
+                }
+            }
+            self.gamma.grad.data_mut()[ci] += sum_dy_xhat;
+            self.beta.grad.data_mut()[ci] += sum_dy;
+            let g = self.gamma.value.data()[ci];
+            let inv_std = cache.inv_std[ci];
+            if self.training {
+                // Full batch-norm gradient (through the batch statistics).
+                for s in 0..n {
+                    for i in 0..spatial {
+                        let idx = (s * c + ci) * spatial + i;
+                        let dy = grad_out.data()[idx];
+                        let xh = cache.x_hat.data()[idx];
+                        gx.data_mut()[idx] = g * inv_std / count
+                            * (count * dy - sum_dy - xh * sum_dy_xhat);
+                    }
+                }
+            } else {
+                // Eval mode: statistics are constants.
+                for s in 0..n {
+                    for i in 0..spatial {
+                        let idx = (s * c + ci) * spatial + i;
+                        gx.data_mut()[idx] = g * inv_std * grad_out.data()[idx];
+                    }
+                }
+            }
+        }
+        gx
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+
+    fn name(&self) -> String {
+        format!("BatchNorm2d({})", self.channels())
+    }
+}
+
+/// Inverted dropout.
+///
+/// Training mode zeroes each activation with probability `p` and rescales
+/// the survivors by `1/(1−p)`; evaluation mode is the identity. The mask is
+/// drawn from an internal seeded stream, so runs are reproducible.
+#[derive(Debug)]
+pub struct Dropout {
+    /// Drop probability in `[0, 1)`.
+    pub p: f32,
+    rng: SeededRng,
+    training: bool,
+    mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// Dropout with probability `p`, seeded for reproducibility.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout p must be in [0, 1)");
+        Dropout {
+            p,
+            rng: SeededRng::new(seed),
+            training: true,
+            mask: None,
+        }
+    }
+
+    /// Switches between training (random mask) and eval (identity).
+    pub fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        if !self.training || self.p == 0.0 {
+            self.mask = None;
+            return x.clone();
+        }
+        let keep = 1.0 - self.p;
+        let mut mask = Tensor::zeros(x.shape().clone());
+        for m in mask.data_mut() {
+            *m = if self.rng.chance(keep) { 1.0 / keep } else { 0.0 };
+        }
+        let y = x.mul(&mask);
+        self.mask = Some(mask);
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        match &self.mask {
+            Some(mask) => grad_out.mul(mask),
+            None => grad_out.clone(),
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("Dropout(p={})", self.p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcd_tensor::grad_check::numeric_grad;
+
+    #[test]
+    fn bn_training_normalizes_batch() {
+        let mut bn = BatchNorm2d::new(2);
+        let mut rng = SeededRng::new(1);
+        let x = Tensor::randn([4, 2, 3, 3], 5.0, 3.0, &mut rng);
+        let y = bn.forward(&x);
+        // Per-channel mean ≈ 0, var ≈ 1 after normalization (γ=1, β=0).
+        for ci in 0..2 {
+            let mut vals = Vec::new();
+            for s in 0..4 {
+                for i in 0..9 {
+                    vals.push(y.data()[(s * 2 + ci) * 9 + i]);
+                }
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 = vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "channel {ci} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "channel {ci} var {var}");
+        }
+    }
+
+    #[test]
+    fn bn_eval_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(1);
+        let mut rng = SeededRng::new(2);
+        // Train on shifted data to move the running stats.
+        for _ in 0..50 {
+            let x = Tensor::randn([8, 1, 2, 2], 3.0, 2.0, &mut rng);
+            bn.forward(&x);
+        }
+        bn.set_training(false);
+        assert!((bn.running_mean[0] - 3.0).abs() < 0.5);
+        // A constant input maps deterministically through running stats.
+        let x = Tensor::full([1, 1, 2, 2], 3.0);
+        let y = bn.forward(&x);
+        assert!(y.data()[0].abs() < 0.5, "eval output near 0 for mean input");
+    }
+
+    #[test]
+    fn bn_backward_matches_numeric_gradient() {
+        let mut rng = SeededRng::new(3);
+        let x = Tensor::randn([2, 2, 2, 2], 0.0, 1.0, &mut rng);
+        let mut bn = BatchNorm2d::new(2);
+        bn.momentum = 0.0; // keep running stats fixed so f is pure
+        let y = bn.forward(&x);
+        let gx = bn.backward(&Tensor::ones(y.shape().clone()));
+        let num = numeric_grad(&x, 1e-2, |xp| {
+            let mut bn2 = BatchNorm2d::new(2);
+            bn2.momentum = 0.0;
+            bn2.forward(xp).sum()
+        });
+        assert!(
+            gx.max_abs_diff(&num) < 0.05,
+            "bn grad diff {}",
+            gx.max_abs_diff(&num)
+        );
+    }
+
+    #[test]
+    fn bn_gamma_beta_grads_accumulate() {
+        let mut rng = SeededRng::new(4);
+        let x = Tensor::randn([2, 3, 2, 2], 0.0, 1.0, &mut rng);
+        let mut bn = BatchNorm2d::new(3);
+        let y = bn.forward(&x);
+        bn.backward(&Tensor::ones(y.shape().clone()));
+        // dβ = Σ dy = n·spatial per channel.
+        for ci in 0..3 {
+            assert!((bn.beta.grad.data()[ci] - 8.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn dropout_eval_is_identity() {
+        let mut d = Dropout::new(0.5, 0);
+        d.set_training(false);
+        let x = Tensor::from_vec([4], vec![1., 2., 3., 4.]).unwrap();
+        assert_eq!(d.forward(&x), x);
+        assert_eq!(d.backward(&x), x);
+    }
+
+    #[test]
+    fn dropout_preserves_expectation() {
+        let mut d = Dropout::new(0.3, 7);
+        let x = Tensor::ones([10_000]);
+        let y = d.forward(&x);
+        let mean = y.mean();
+        assert!((mean - 1.0).abs() < 0.05, "inverted dropout mean {mean}");
+        // Zeros occur at roughly rate p.
+        let zeros = y.data().iter().filter(|&&v| v == 0.0).count();
+        let rate = zeros as f32 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.03, "drop rate {rate}");
+    }
+
+    #[test]
+    fn dropout_backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, 9);
+        let x = Tensor::ones([100]);
+        let y = d.forward(&x);
+        let g = d.backward(&Tensor::ones([100]));
+        // Gradient flows exactly where activations survived.
+        for (a, b) in y.data().iter().zip(g.data().iter()) {
+            assert_eq!(a == &0.0, b == &0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout p")]
+    fn dropout_rejects_p_one() {
+        Dropout::new(1.0, 0);
+    }
+}

@@ -1,0 +1,423 @@
+//! The SPP-Net drainage-crossing detector (paper §2.2, §4.2, Table 1).
+//!
+//! Architecture (paper notation):
+//!
+//! ```text
+//! C_{64,k,1} − P_{2,2} − C_{128,3,1} − P_{2,2} − C_{256,3,1} − P_{2,2}
+//!   − SPP_{l,2,1} − F_{fc1} [− F_{fc2}] − {objectness logit, bbox}
+//! ```
+//!
+//! The NAS axes of §4.2 are `k ∈ {1,3,5,7,9}` (first conv filter size),
+//! `l ∈ {1..5}` (first SPP pyramid level) and the fully-connected sizes
+//! `∈ {128, 256, 512, 1024, 2048, 4096, 8192}`.
+
+use crate::detect::Detection;
+use crate::layers::{Conv2d, Layer, Linear, MaxPool2d, Relu, SppLayer};
+use crate::loss::sigmoid;
+use crate::param::Param;
+use crate::BBox;
+use dcd_tensor::{SeededRng, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// Sizes explored for the fully-connected layers (§4.2).
+pub const FC_CHOICES: [usize; 7] = [128, 256, 512, 1024, 2048, 4096, 8192];
+/// Filter sizes explored for the first convolution (§4.2).
+pub const CONV1_KERNEL_CHOICES: [usize; 5] = [1, 3, 5, 7, 9];
+/// Pyramid top levels explored for the SPP layer (§4.2).
+pub const SPP_TOP_CHOICES: [usize; 5] = [1, 2, 3, 4, 5];
+
+/// Hyper-parameters of one SPP-Net candidate.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SppNetConfig {
+    /// Filter size of the first convolution (`k` above).
+    pub conv1_kernel: usize,
+    /// Top pyramid level of the SPP layer; the pyramid is the deduplicated
+    /// descending sequence of `{top, 2, 1}` (e.g. 4 → `[4,2,1]`, 2 → `[2,1]`).
+    pub spp_top_level: usize,
+    /// First fully-connected layer width.
+    pub fc1: usize,
+    /// Optional second fully-connected layer width.
+    pub fc2: Option<usize>,
+    /// Input bands (4 for NAIP R,G,B,NIR).
+    pub in_channels: usize,
+    /// Channel widths of the three conv blocks (paper: `[64, 128, 256]`).
+    pub channels: [usize; 3],
+}
+
+impl SppNetConfig {
+    /// The paper's "Original SPP-Net" row of Table 1.
+    pub fn original() -> Self {
+        SppNetConfig {
+            conv1_kernel: 3,
+            spp_top_level: 4,
+            fc1: 1024,
+            fc2: None,
+            in_channels: 4,
+            channels: [64, 128, 256],
+        }
+    }
+
+    /// Table 1, SPP-Net #1: first conv filter widened to 5.
+    pub fn candidate1() -> Self {
+        SppNetConfig {
+            conv1_kernel: 5,
+            ..Self::original()
+        }
+    }
+
+    /// Table 1, SPP-Net #2: SPP top level 5, FC 4096 (the paper's final pick).
+    pub fn candidate2() -> Self {
+        SppNetConfig {
+            spp_top_level: 5,
+            fc1: 4096,
+            ..Self::original()
+        }
+    }
+
+    /// Table 1, SPP-Net #3: SPP top level 5, FC 2048 (best AP).
+    pub fn candidate3() -> Self {
+        SppNetConfig {
+            spp_top_level: 5,
+            fc1: 2048,
+            ..Self::original()
+        }
+    }
+
+    /// All four Table 1 rows in paper order, with their printed names.
+    pub fn table1() -> Vec<(&'static str, SppNetConfig)> {
+        vec![
+            ("Original SPP-Net", Self::original()),
+            ("SPP-Net # 1", Self::candidate1()),
+            ("SPP-Net # 2", Self::candidate2()),
+            ("SPP-Net # 3", Self::candidate3()),
+        ]
+    }
+
+    /// A deliberately tiny configuration for unit tests.
+    pub fn tiny() -> Self {
+        SppNetConfig {
+            conv1_kernel: 3,
+            spp_top_level: 2,
+            fc1: 32,
+            fc2: None,
+            in_channels: 1,
+            channels: [4, 8, 8],
+        }
+    }
+
+    /// SPP pyramid levels: deduplicated descending `{top, 2, 1}`.
+    pub fn spp_levels(&self) -> Vec<usize> {
+        let mut levels = vec![self.spp_top_level, 2, 1];
+        levels.sort_unstable_by(|a, b| b.cmp(a));
+        levels.dedup();
+        levels
+    }
+
+    /// SPP output feature count (input to the first FC layer).
+    pub fn spp_features(&self) -> usize {
+        let bins: usize = self.spp_levels().iter().map(|l| l * l).sum();
+        self.channels[2] * bins
+    }
+
+    /// The paper's compact architecture string (Table 1 notation).
+    pub fn summary(&self) -> String {
+        let [c1, c2, c3] = self.channels;
+        let spp = self
+            .spp_levels()
+            .iter()
+            .map(|l| l.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        let mut s = format!(
+            "C_{{{c1},{k},1}}-P_{{2,2}}-C_{{{c2},3,1}}-P_{{2,2}}-C_{{{c3},3,1}}-P_{{2,2}}-SPP_{{{spp}}}-F_{{{f}}}",
+            k = self.conv1_kernel,
+            f = self.fc1
+        );
+        if let Some(f2) = self.fc2 {
+            s.push_str(&format!("-F_{{{f2}}}"));
+        }
+        s
+    }
+}
+
+/// Output of one detection forward pass.
+#[derive(Debug, Clone)]
+pub struct DetectionOutput {
+    /// Objectness logits, `[N]`.
+    pub obj_logits: Tensor,
+    /// Box regressions `[N, 4]` as `(cx, cy, w, h)`.
+    pub boxes: Tensor,
+}
+
+/// The SPP-Net model: three conv blocks, an SPP layer and an FC trunk with
+/// objectness + box heads.
+pub struct SppNet {
+    /// The hyper-parameters this instance was built from.
+    pub config: SppNetConfig,
+    conv1: Conv2d,
+    relu1: Relu,
+    pool1: MaxPool2d,
+    conv2: Conv2d,
+    relu2: Relu,
+    pool2: MaxPool2d,
+    conv3: Conv2d,
+    relu3: Relu,
+    pool3: MaxPool2d,
+    spp: SppLayer,
+    fc1: Linear,
+    fc1_relu: Relu,
+    fc2: Option<(Linear, Relu)>,
+    head_obj: Linear,
+    head_box: Linear,
+}
+
+impl SppNet {
+    /// Builds a freshly initialized model.
+    pub fn new(config: SppNetConfig, rng: &mut SeededRng) -> Self {
+        let [c1, c2, c3] = config.channels;
+        let spp = SppLayer::new(config.spp_levels());
+        let spp_features = config.spp_features();
+        let fc1 = Linear::new(spp_features, config.fc1, rng);
+        let fc2 = config
+            .fc2
+            .map(|f2| (Linear::new(config.fc1, f2, rng), Relu::new()));
+        let trunk_out = config.fc2.unwrap_or(config.fc1);
+        // Box-head prior: start from a centred, culvert-sized box with
+        // near-zero weights (the detectron-style regression-head init), so
+        // the prediction stays anchored while the trunk reorganizes for
+        // objectness and regression learns only the residual.
+        let mut head_box = Linear::new(trunk_out, 4, rng);
+        head_box.weight.value = Tensor::randn([trunk_out, 4], 0.0, 1e-3, rng);
+        head_box.bias.value = Tensor::from_vec([4], vec![0.5, 0.5, 0.2, 0.2]).expect("prior");
+        SppNet {
+            conv1: Conv2d::same(config.in_channels, c1, config.conv1_kernel, rng),
+            relu1: Relu::new(),
+            pool1: MaxPool2d::new(2, 2),
+            conv2: Conv2d::same(c1, c2, 3, rng),
+            relu2: Relu::new(),
+            pool2: MaxPool2d::new(2, 2),
+            conv3: Conv2d::same(c2, c3, 3, rng),
+            relu3: Relu::new(),
+            pool3: MaxPool2d::new(2, 2),
+            spp,
+            fc1,
+            fc1_relu: Relu::new(),
+            fc2,
+            head_obj: Linear::new(trunk_out, 1, rng),
+            head_box,
+            config,
+        }
+    }
+
+    /// Forward pass producing objectness logits and box regressions.
+    pub fn forward(&mut self, x: &Tensor) -> DetectionOutput {
+        let n = x.dims()[0];
+        let mut cur = self.conv1.forward(x);
+        cur = self.relu1.forward(&cur);
+        cur = self.pool1.forward(&cur);
+        cur = self.conv2.forward(&cur);
+        cur = self.relu2.forward(&cur);
+        cur = self.pool2.forward(&cur);
+        cur = self.conv3.forward(&cur);
+        cur = self.relu3.forward(&cur);
+        cur = self.pool3.forward(&cur);
+        cur = self.spp.forward(&cur);
+        cur = self.fc1.forward(&cur);
+        cur = self.fc1_relu.forward(&cur);
+        if let Some((fc2, relu)) = &mut self.fc2 {
+            cur = fc2.forward(&cur);
+            cur = relu.forward(&cur);
+        }
+        let obj = self.head_obj.forward(&cur).reshape([n]);
+        let boxes = self.head_box.forward(&cur);
+        DetectionOutput {
+            obj_logits: obj,
+            boxes,
+        }
+    }
+
+    /// Backward pass from head gradients; returns `d loss / d input`.
+    pub fn backward(&mut self, grad_obj: &Tensor, grad_box: &Tensor) -> Tensor {
+        let n = grad_obj.dims()[0];
+        let g_obj = self.head_obj.backward(&grad_obj.clone().reshape([n, 1]));
+        let g_box = self.head_box.backward(grad_box);
+        let mut cur = g_obj.add(&g_box);
+        if let Some((fc2, relu)) = &mut self.fc2 {
+            cur = relu.backward(&cur);
+            cur = fc2.backward(&cur);
+        }
+        cur = self.fc1_relu.backward(&cur);
+        cur = self.fc1.backward(&cur);
+        cur = self.spp.backward(&cur);
+        cur = self.pool3.backward(&cur);
+        cur = self.relu3.backward(&cur);
+        cur = self.conv3.backward(&cur);
+        cur = self.pool2.backward(&cur);
+        cur = self.relu2.backward(&cur);
+        cur = self.conv2.backward(&cur);
+        cur = self.pool1.backward(&cur);
+        cur = self.relu1.backward(&cur);
+        self.conv1.backward(&cur)
+    }
+
+    /// All trainable parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut params = Vec::new();
+        params.extend(self.conv1.params_mut());
+        params.extend(self.conv2.params_mut());
+        params.extend(self.conv3.params_mut());
+        params.extend(self.fc1.params_mut());
+        if let Some((fc2, _)) = &mut self.fc2 {
+            params.extend(fc2.params_mut());
+        }
+        params.extend(self.head_obj.params_mut());
+        params.extend(self.head_box.params_mut());
+        params
+    }
+
+    /// Total scalar parameter count.
+    pub fn num_params(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.numel()).sum()
+    }
+
+    /// Runs inference on a batch and decodes per-image detections.
+    pub fn predict(&mut self, x: &Tensor) -> Vec<Detection> {
+        let out = self.forward(x);
+        let n = out.obj_logits.numel();
+        (0..n)
+            .map(|i| Detection {
+                score: sigmoid(out.obj_logits.data()[i]),
+                bbox: BBox::from_slice(&out.boxes.data()[i * 4..(i + 1) * 4]),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SeededRng {
+        SeededRng::new(99)
+    }
+
+    #[test]
+    fn table1_configs_match_paper_notation() {
+        let rows = SppNetConfig::table1();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(
+            rows[0].1.summary(),
+            "C_{64,3,1}-P_{2,2}-C_{128,3,1}-P_{2,2}-C_{256,3,1}-P_{2,2}-SPP_{4,2,1}-F_{1024}"
+        );
+        assert_eq!(
+            rows[1].1.summary(),
+            "C_{64,5,1}-P_{2,2}-C_{128,3,1}-P_{2,2}-C_{256,3,1}-P_{2,2}-SPP_{4,2,1}-F_{1024}"
+        );
+        assert_eq!(
+            rows[2].1.summary(),
+            "C_{64,3,1}-P_{2,2}-C_{128,3,1}-P_{2,2}-C_{256,3,1}-P_{2,2}-SPP_{5,2,1}-F_{4096}"
+        );
+        assert_eq!(
+            rows[3].1.summary(),
+            "C_{64,3,1}-P_{2,2}-C_{128,3,1}-P_{2,2}-C_{256,3,1}-P_{2,2}-SPP_{5,2,1}-F_{2048}"
+        );
+    }
+
+    #[test]
+    fn spp_levels_deduplicate() {
+        let mut c = SppNetConfig::original();
+        c.spp_top_level = 1;
+        assert_eq!(c.spp_levels(), vec![2, 1]);
+        c.spp_top_level = 2;
+        assert_eq!(c.spp_levels(), vec![2, 1]);
+        c.spp_top_level = 5;
+        assert_eq!(c.spp_levels(), vec![5, 2, 1]);
+    }
+
+    #[test]
+    fn spp_features_match_pyramid() {
+        let c = SppNetConfig::original(); // [4,2,1] → 21 bins × 256
+        assert_eq!(c.spp_features(), 256 * 21);
+        let c2 = SppNetConfig::candidate2(); // [5,2,1] → 30 bins × 256
+        assert_eq!(c2.spp_features(), 256 * 30);
+    }
+
+    #[test]
+    fn forward_shapes_are_input_size_independent() {
+        let mut r = rng();
+        let mut net = SppNet::new(SppNetConfig::tiny(), &mut r);
+        for &size in &[16usize, 24, 33] {
+            let x = Tensor::randn([2, 1, size, size], 0.0, 1.0, &mut r);
+            let out = net.forward(&x);
+            assert_eq!(out.obj_logits.dims(), &[2]);
+            assert_eq!(out.boxes.dims(), &[2, 4]);
+        }
+    }
+
+    #[test]
+    fn backward_produces_input_gradient() {
+        let mut r = rng();
+        let mut net = SppNet::new(SppNetConfig::tiny(), &mut r);
+        let x = Tensor::randn([2, 1, 16, 16], 0.0, 1.0, &mut r);
+        net.forward(&x);
+        let gx = net.backward(&Tensor::ones([2]), &Tensor::ones([2, 4]));
+        assert_eq!(gx.dims(), x.dims());
+        assert!(gx.sq_norm() > 0.0);
+        // Parameter grads were accumulated.
+        assert!(net.params_mut().iter().any(|p| p.grad.sq_norm() > 0.0));
+    }
+
+    #[test]
+    fn fc2_adds_a_trunk_layer() {
+        let mut r = rng();
+        let mut cfg = SppNetConfig::tiny();
+        cfg.fc2 = Some(16);
+        let mut net = SppNet::new(cfg.clone(), &mut r);
+        let x = Tensor::randn([1, 1, 16, 16], 0.0, 1.0, &mut r);
+        let out = net.forward(&x);
+        assert_eq!(out.boxes.dims(), &[1, 4]);
+        // two more params (fc2 w+b) than the single-FC version
+        let mut net1 = SppNet::new(SppNetConfig::tiny(), &mut r);
+        assert_eq!(net.params_mut().len(), net1.params_mut().len() + 2);
+        assert!(cfg.summary().ends_with("-F_{32}-F_{16}"));
+    }
+
+    #[test]
+    fn predict_scores_are_probabilities() {
+        let mut r = rng();
+        let mut net = SppNet::new(SppNetConfig::tiny(), &mut r);
+        let x = Tensor::randn([3, 1, 16, 16], 0.0, 1.0, &mut r);
+        let dets = net.predict(&x);
+        assert_eq!(dets.len(), 3);
+        for d in dets {
+            assert!((0.0..=1.0).contains(&d.score));
+        }
+    }
+
+    #[test]
+    fn num_params_counts_everything() {
+        let mut r = rng();
+        let cfg = SppNetConfig::tiny();
+        let mut net = SppNet::new(cfg.clone(), &mut r);
+        // conv1: 4·1·3·3+4; conv2: 8·4·3·3+8; conv3: 8·8·3·3+8;
+        // fc1: (8·5)·32+32; heads: 32·1+1 + 32·4+4
+        let spp_f = cfg.spp_features();
+        let expect = (4 * 9 + 4) + (8 * 4 * 9 + 8) + (8 * 8 * 9 + 8) + (spp_f * 32 + 32)
+            + (32 + 1)
+            + (32 * 4 + 4);
+        assert_eq!(net.num_params(), expect);
+    }
+
+    #[test]
+    fn same_seed_same_model() {
+        let mut r1 = SeededRng::new(5);
+        let mut r2 = SeededRng::new(5);
+        let mut a = SppNet::new(SppNetConfig::tiny(), &mut r1);
+        let mut b = SppNet::new(SppNetConfig::tiny(), &mut r2);
+        let x = Tensor::randn([1, 1, 16, 16], 0.0, 1.0, &mut SeededRng::new(0));
+        let ya = a.forward(&x);
+        let yb = b.forward(&x);
+        assert_eq!(ya.obj_logits.data(), yb.obj_logits.data());
+        assert_eq!(ya.boxes.data(), yb.boxes.data());
+    }
+}

@@ -1,0 +1,22 @@
+//! # dcd-profiler
+//!
+//! nsys-style analysis over `dcd-gpusim` traces. Three views reproduce the
+//! paper's §7:
+//!
+//! * [`api_report`] — per-CUDA-API call counts, total time and share of the
+//!   API timeline (Fig 8: `cuLibraryLoadData` vs `cudaDeviceSynchronize`);
+//! * [`memop_report`] — DMA transfer statistics and the per-image memop
+//!   timing the paper plots against batch size (Fig 7);
+//! * [`kernel_report`] — device time share per operator class (Table 3:
+//!   Matrix Multiplication / Pooling / Conv).
+//!
+//! [`render_stats`] renders all three as a text report shaped like
+//! `nsys profile --stats=true` output.
+
+pub mod report;
+pub mod timeline;
+
+pub use report::{
+    api_report, kernel_report, memop_report, render_stats, ApiUsage, KernelShare, MemopStats,
+};
+pub use timeline::{timeline, TimelineStats};

@@ -1,0 +1,369 @@
+//! 2-D convolution via im2col + GEMM, with the full backward pass.
+//!
+//! Layout conventions:
+//! * input  `[N, C_in, H, W]`
+//! * weight `[C_out, C_in, KH, KW]`
+//! * bias   `[C_out]`
+//! * output `[N, C_out, OH, OW]` with `OH = (H + 2·pad − KH)/stride + 1`
+//!
+//! The batch dimension is embarrassingly parallel; forward and backward both
+//! fan out over samples with rayon and reduce weight gradients with a
+//! tree-shaped `reduce` (no shared mutable state).
+
+use crate::gemm::{gemm, gemm_acc};
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Output spatial size of a conv/pool window sweep.
+///
+/// Panics if the window does not fit (which indicates a mis-sized model).
+pub fn out_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    assert!(stride > 0, "stride must be positive");
+    assert!(
+        input + 2 * pad >= kernel,
+        "window of size {kernel} does not fit input {input} with pad {pad}"
+    );
+    (input + 2 * pad - kernel) / stride + 1
+}
+
+/// Gradients produced by [`conv2d_backward`].
+#[derive(Debug, Clone)]
+pub struct Conv2dGrads {
+    /// `d loss / d input`, same shape as the forward input.
+    pub input: Tensor,
+    /// `d loss / d weight`, same shape as the weight.
+    pub weight: Tensor,
+    /// `d loss / d bias`, same shape as the bias.
+    pub bias: Tensor,
+}
+
+/// Unpacks one sample `[C, H, W]` into im2col columns
+/// `[C·KH·KW, OH·OW]` (row-major, column index = oh·OW + ow).
+fn im2col(
+    x: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    oh: usize,
+    ow: usize,
+) -> Vec<f32> {
+    let mut cols = vec![0.0f32; c * kh * kw * oh * ow];
+    let ospatial = oh * ow;
+    for ci in 0..c {
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = (ci * kh + ki) * kw + kj;
+                let dst = &mut cols[row * ospatial..(row + 1) * ospatial];
+                for oy in 0..oh {
+                    let iy = (oy * stride + ki) as isize - pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue; // zero padding
+                    }
+                    let src_row = &x[(ci * h + iy as usize) * w..(ci * h + iy as usize + 1) * w];
+                    for ox in 0..ow {
+                        let ix = (ox * stride + kj) as isize - pad as isize;
+                        if ix >= 0 && ix < w as isize {
+                            dst[oy * ow + ox] = src_row[ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    cols
+}
+
+/// Scatters im2col columns back into a `[C, H, W]` gradient (the adjoint of
+/// [`im2col`]); overlapping windows accumulate.
+#[allow(clippy::too_many_arguments)]
+fn col2im(
+    cols: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    oh: usize,
+    ow: usize,
+) -> Vec<f32> {
+    let mut x = vec![0.0f32; c * h * w];
+    let ospatial = oh * ow;
+    for ci in 0..c {
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = (ci * kh + ki) * kw + kj;
+                let src = &cols[row * ospatial..(row + 1) * ospatial];
+                for oy in 0..oh {
+                    let iy = (oy * stride + ki) as isize - pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let dst_row =
+                        &mut x[(ci * h + iy as usize) * w..(ci * h + iy as usize + 1) * w];
+                    for ox in 0..ow {
+                        let ix = (ox * stride + kj) as isize - pad as isize;
+                        if ix >= 0 && ix < w as isize {
+                            dst_row[ix as usize] += src[oy * ow + ox];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    x
+}
+
+/// Convolution forward pass.
+pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, stride: usize, pad: usize) -> Tensor {
+    let (n, c_in, h, w) = input.shape().nchw();
+    let (c_out, wc_in, kh, kw) = weight.shape().nchw();
+    assert_eq!(c_in, wc_in, "conv2d: input channels {c_in} != weight channels {wc_in}");
+    assert_eq!(bias.numel(), c_out, "conv2d: bias size != C_out");
+    let oh = out_dim(h, kh, stride, pad);
+    let ow = out_dim(w, kw, stride, pad);
+    let k = c_in * kh * kw;
+    let ospatial = oh * ow;
+    let sample_in = c_in * h * w;
+    let sample_out = c_out * ospatial;
+
+    let mut out = vec![0.0f32; n * sample_out];
+    out.par_chunks_mut(sample_out)
+        .zip(input.data().par_chunks(sample_in))
+        .for_each(|(o, x)| {
+            let cols = im2col(x, c_in, h, w, kh, kw, stride, pad, oh, ow);
+            let prod = gemm(weight.data(), &cols, c_out, k, ospatial);
+            for co in 0..c_out {
+                let b = bias.data()[co];
+                for s in 0..ospatial {
+                    o[co * ospatial + s] = prod[co * ospatial + s] + b;
+                }
+            }
+        });
+    Tensor::from_vec([n, c_out, oh, ow], out).expect("conv2d output size")
+}
+
+/// Convolution backward pass: gradients w.r.t. input, weight and bias.
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    stride: usize,
+    pad: usize,
+) -> Conv2dGrads {
+    let (n, c_in, h, w) = input.shape().nchw();
+    let (c_out, _, kh, kw) = weight.shape().nchw();
+    let (gn, gc, oh, ow) = grad_out.shape().nchw();
+    assert_eq!(gn, n, "conv2d_backward: batch mismatch");
+    assert_eq!(gc, c_out, "conv2d_backward: channel mismatch");
+    let k = c_in * kh * kw;
+    let ospatial = oh * ow;
+    let sample_in = c_in * h * w;
+    let sample_out = c_out * ospatial;
+
+    // W^T once, reused by every sample: [k, c_out].
+    let w_mat = weight.data();
+    let mut w_t = vec![0.0f32; k * c_out];
+    for co in 0..c_out {
+        for kk in 0..k {
+            w_t[kk * c_out + co] = w_mat[co * k + kk];
+        }
+    }
+
+    struct PerSample {
+        gx: Vec<f32>,
+        gw: Vec<f32>,
+        gb: Vec<f32>,
+    }
+
+    let zero = || PerSample {
+        gx: Vec::new(),
+        gw: vec![0.0; c_out * k],
+        gb: vec![0.0; c_out],
+    };
+
+    let results: Vec<(usize, PerSample)> = input
+        .data()
+        .par_chunks(sample_in)
+        .zip(grad_out.data().par_chunks(sample_out))
+        .enumerate()
+        .map(|(i, (x, go))| {
+            let cols = im2col(x, c_in, h, w, kh, kw, stride, pad, oh, ow);
+            let mut acc = zero();
+            // grad_weight += go [c_out, os] · cols^T [os, k]
+            let mut cols_t = vec![0.0f32; ospatial * k];
+            for r in 0..k {
+                for s in 0..ospatial {
+                    cols_t[s * k + r] = cols[r * ospatial + s];
+                }
+            }
+            gemm_acc(go, &cols_t, &mut acc.gw, c_out, ospatial, k);
+            // grad_bias += row sums of go
+            for co in 0..c_out {
+                acc.gb[co] = go[co * ospatial..(co + 1) * ospatial].iter().sum();
+            }
+            // grad_cols = W^T [k, c_out] · go [c_out, os]; scatter via col2im.
+            let gcols = gemm(&w_t, go, k, c_out, ospatial);
+            acc.gx = col2im(&gcols, c_in, h, w, kh, kw, stride, pad, oh, ow);
+            (i, acc)
+        })
+        .collect();
+
+    let mut gx_all = vec![0.0f32; n * sample_in];
+    let mut gw = vec![0.0f32; c_out * k];
+    let mut gb = vec![0.0f32; c_out];
+    for (i, acc) in results {
+        gx_all[i * sample_in..(i + 1) * sample_in].copy_from_slice(&acc.gx);
+        for (d, s) in gw.iter_mut().zip(acc.gw.iter()) {
+            *d += s;
+        }
+        for (d, s) in gb.iter_mut().zip(acc.gb.iter()) {
+            *d += s;
+        }
+    }
+
+    Conv2dGrads {
+        input: Tensor::from_vec([n, c_in, h, w], gx_all).expect("grad input size"),
+        weight: Tensor::from_vec([c_out, c_in, kh, kw], gw).expect("grad weight size"),
+        bias: Tensor::from_vec([c_out], gb).expect("grad bias size"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grad_check::numeric_grad;
+    use crate::rng::SeededRng;
+
+    #[test]
+    fn out_dim_formula() {
+        assert_eq!(out_dim(100, 3, 1, 1), 100); // same-pad 3x3
+        assert_eq!(out_dim(100, 2, 2, 0), 50); // 2x2/2 pool
+        assert_eq!(out_dim(5, 5, 1, 0), 1);
+        assert_eq!(out_dim(7, 3, 2, 0), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn out_dim_rejects_oversized_kernel() {
+        out_dim(3, 5, 1, 0);
+    }
+
+    #[test]
+    fn identity_kernel_passes_through() {
+        // 1x1 kernel with weight 1 and zero bias is the identity.
+        let x = Tensor::from_vec([1, 1, 2, 2], vec![1., 2., 3., 4.]).unwrap();
+        let w = Tensor::ones([1, 1, 1, 1]);
+        let b = Tensor::zeros([1]);
+        let y = conv2d(&x, &w, &b, 1, 0);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn known_3x3_sum_kernel() {
+        // All-ones 3x3 kernel over a 3x3 input of ones, no pad: single output = 9.
+        let x = Tensor::ones([1, 1, 3, 3]);
+        let w = Tensor::ones([1, 1, 3, 3]);
+        let b = Tensor::from_vec([1], vec![0.5]).unwrap();
+        let y = conv2d(&x, &w, &b, 1, 0);
+        assert_eq!(y.dims(), &[1, 1, 1, 1]);
+        assert_eq!(y.data()[0], 9.5);
+    }
+
+    #[test]
+    fn padding_zero_extends() {
+        // 3x3 ones kernel over a 1x1 input with pad 1: center tap only.
+        let x = Tensor::from_vec([1, 1, 1, 1], vec![2.0]).unwrap();
+        let w = Tensor::ones([1, 1, 3, 3]);
+        let b = Tensor::zeros([1]);
+        let y = conv2d(&x, &w, &b, 1, 1);
+        assert_eq!(y.dims(), &[1, 1, 1, 1]);
+        assert_eq!(y.data()[0], 2.0);
+    }
+
+    #[test]
+    fn stride_subsamples() {
+        let x = Tensor::from_vec([1, 1, 4, 4], (0..16).map(|v| v as f32).collect()).unwrap();
+        let w = Tensor::ones([1, 1, 1, 1]);
+        let b = Tensor::zeros([1]);
+        let y = conv2d(&x, &w, &b, 2, 0);
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[0., 2., 8., 10.]);
+    }
+
+    #[test]
+    fn multi_channel_sums_channels() {
+        // Two input channels, kernel = 1x1 with weights [1, 10].
+        let x = Tensor::from_vec([1, 2, 1, 2], vec![1., 2., 3., 4.]).unwrap();
+        let w = Tensor::from_vec([1, 2, 1, 1], vec![1., 10.]).unwrap();
+        let b = Tensor::zeros([1]);
+        let y = conv2d(&x, &w, &b, 1, 0);
+        assert_eq!(y.data(), &[31., 42.]);
+    }
+
+    #[test]
+    fn batch_samples_independent() {
+        let mut rng = SeededRng::new(3);
+        let x = Tensor::randn([2, 3, 6, 6], 0.0, 1.0, &mut rng);
+        let w = Tensor::randn([4, 3, 3, 3], 0.0, 0.5, &mut rng);
+        let b = Tensor::randn([4], 0.0, 0.1, &mut rng);
+        let y = conv2d(&x, &w, &b, 1, 1);
+        let y0 = conv2d(&Tensor::stack(&[x.index_axis0(0)]), &w, &b, 1, 1);
+        let y1 = conv2d(&Tensor::stack(&[x.index_axis0(1)]), &w, &b, 1, 1);
+        assert!(y.index_axis0(0).max_abs_diff(&y0.index_axis0(0)) < 1e-6);
+        assert!(y.index_axis0(1).max_abs_diff(&y1.index_axis0(0)) < 1e-6);
+    }
+
+    #[test]
+    fn backward_matches_numeric_grad_input() {
+        let mut rng = SeededRng::new(7);
+        let x = Tensor::randn([1, 2, 5, 5], 0.0, 1.0, &mut rng);
+        let w = Tensor::randn([3, 2, 3, 3], 0.0, 0.5, &mut rng);
+        let b = Tensor::randn([3], 0.0, 0.1, &mut rng);
+        // Loss = sum(conv(x)); then dL/dy = 1 everywhere.
+        let y = conv2d(&x, &w, &b, 1, 1);
+        let go = Tensor::ones(y.shape().clone());
+        let grads = conv2d_backward(&x, &w, &go, 1, 1);
+
+        let num = numeric_grad(&x, 1e-2, |xp| conv2d(xp, &w, &b, 1, 1).sum());
+        assert!(
+            grads.input.max_abs_diff(&num) < 0.05,
+            "analytic vs numeric input grad diff {}",
+            grads.input.max_abs_diff(&num)
+        );
+    }
+
+    #[test]
+    fn backward_matches_numeric_grad_weight_and_bias() {
+        let mut rng = SeededRng::new(8);
+        let x = Tensor::randn([2, 2, 4, 4], 0.0, 1.0, &mut rng);
+        let w = Tensor::randn([2, 2, 3, 3], 0.0, 0.5, &mut rng);
+        let b = Tensor::randn([2], 0.0, 0.1, &mut rng);
+        let y = conv2d(&x, &w, &b, 1, 0);
+        let go = Tensor::ones(y.shape().clone());
+        let grads = conv2d_backward(&x, &w, &go, 1, 0);
+
+        let num_w = numeric_grad(&w, 1e-2, |wp| conv2d(&x, wp, &b, 1, 0).sum());
+        assert!(grads.weight.max_abs_diff(&num_w) < 0.05);
+        let num_b = numeric_grad(&b, 1e-2, |bp| conv2d(&x, &w, bp, 1, 0).sum());
+        assert!(grads.bias.max_abs_diff(&num_b) < 0.05);
+    }
+
+    #[test]
+    fn backward_with_stride_matches_numeric() {
+        let mut rng = SeededRng::new(9);
+        let x = Tensor::randn([1, 1, 6, 6], 0.0, 1.0, &mut rng);
+        let w = Tensor::randn([2, 1, 2, 2], 0.0, 0.5, &mut rng);
+        let b = Tensor::zeros([2]);
+        let y = conv2d(&x, &w, &b, 2, 0);
+        let go = Tensor::ones(y.shape().clone());
+        let grads = conv2d_backward(&x, &w, &go, 2, 0);
+        let num = numeric_grad(&x, 1e-2, |xp| conv2d(xp, &w, &b, 2, 0).sum());
+        assert!(grads.input.max_abs_diff(&num) < 0.05);
+    }
+}

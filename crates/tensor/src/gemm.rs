@@ -1,0 +1,217 @@
+//! Blocked, rayon-parallel single-precision GEMM.
+//!
+//! This is the workhorse behind both the fully-connected layers and the
+//! im2col convolution. The kernel parallelizes over row blocks of `A` (each
+//! output row block is written by exactly one rayon task, so the loop is
+//! data-race free by construction) and tiles the `k` dimension for cache
+//! locality.
+
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Cache-blocking tile along the shared `k` dimension.
+const KC: usize = 256;
+/// Row-block granularity handed to rayon.
+const MC: usize = 32;
+
+/// `C = A (m×k) · B (k×n)` into a freshly allocated row-major buffer.
+///
+/// Slices are raw row-major matrices; see [`matmul`] for the [`Tensor`]
+/// wrapper.
+pub fn gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "A buffer is {} but m*k = {}", a.len(), m * k);
+    assert_eq!(b.len(), k * n, "B buffer is {} but k*n = {}", b.len(), k * n);
+    let mut c = vec![0.0f32; m * n];
+    gemm_into(a, b, &mut c, m, k, n);
+    c
+}
+
+/// `C += A·B` accumulated into an existing buffer.
+pub fn gemm_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), k * n);
+    assert_eq!(c.len(), m * n);
+    inner_gemm(a, b, c, m, k, n);
+}
+
+/// `C = A·B` overwriting an existing buffer.
+pub fn gemm_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(c.len(), m * n, "C buffer is {} but m*n = {}", c.len(), m * n);
+    c.iter_mut().for_each(|x| *x = 0.0);
+    inner_gemm(a, b, c, m, k, n);
+}
+
+fn inner_gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    // Parallelize over disjoint row blocks of C; sequential fallback for
+    // small problems where rayon's scheduling would dominate.
+    let work = m * n * k;
+    if work < 1 << 16 {
+        for kb in (0..k).step_by(KC) {
+            let kend = (kb + KC).min(k);
+            block_rows(a, b, c, 0, m, kb, kend, k, n);
+        }
+        return;
+    }
+    c.par_chunks_mut(MC * n).enumerate().for_each(|(blk, c_blk)| {
+        let i0 = blk * MC;
+        let i1 = (i0 + MC).min(m);
+        for kb in (0..k).step_by(KC) {
+            let kend = (kb + KC).min(k);
+            block_rows(a, b, c_blk, i0, i1, kb, kend, k, n);
+        }
+    });
+}
+
+/// Multiplies rows `[i0, i1)` of A against the `[kb, kend)` slab of B,
+/// accumulating into `c_rows` (whose row 0 corresponds to global row `i0`).
+#[inline]
+fn block_rows(
+    a: &[f32],
+    b: &[f32],
+    c_rows: &mut [f32],
+    i0: usize,
+    i1: usize,
+    kb: usize,
+    kend: usize,
+    k: usize,
+    n: usize,
+) {
+    for i in i0..i1 {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c_rows[(i - i0) * n..(i - i0 + 1) * n];
+        for p in kb..kend {
+            let aval = a_row[p];
+            if aval == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            // Simple axpy over the output row: autovectorizes well.
+            for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                *cv += aval * bv;
+            }
+        }
+    }
+}
+
+/// `C = A·B + bias` where `bias` (length `n`) is broadcast over rows — the
+/// fully-connected layer forward pass.
+pub fn gemm_bias(a: &[f32], b: &[f32], bias: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    assert_eq!(bias.len(), n, "bias length {} != n {}", bias.len(), n);
+    let mut c = gemm(a, b, m, k, n);
+    c.par_chunks_mut(n).for_each(|row| {
+        for (x, &bv) in row.iter_mut().zip(bias.iter()) {
+            *x += bv;
+        }
+    });
+    c
+}
+
+/// Rank-2 [`Tensor`] matrix product.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = a.shape().matrix();
+    let (k2, n) = b.shape().matrix();
+    assert_eq!(k, k2, "matmul inner dims disagree: {k} vs {k2}");
+    let c = gemm(a.data(), b.data(), m, k, n);
+    Tensor::from_vec([m, n], c).expect("gemm output size")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeededRng;
+
+    /// Naive reference O(mnk) product.
+    fn gemm_ref(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0f64; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                for j in 0..n {
+                    c[i * n + j] += a[i * k + p] as f64 * b[p * n + j] as f64;
+                }
+            }
+        }
+        c.into_iter().map(|x| x as f32).collect()
+    }
+
+    fn assert_close(a: &[f32], b: &[f32], tol: f32) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            assert!(
+                (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())),
+                "element {i}: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn identity_matmul() {
+        let a = Tensor::from_vec([2, 2], vec![1., 2., 3., 4.]).unwrap();
+        let eye = Tensor::from_vec([2, 2], vec![1., 0., 0., 1.]).unwrap();
+        assert_eq!(matmul(&a, &eye), a);
+        assert_eq!(matmul(&eye, &a), a);
+    }
+
+    #[test]
+    fn known_2x3_by_3x2() {
+        let a = vec![1., 2., 3., 4., 5., 6.];
+        let b = vec![7., 8., 9., 10., 11., 12.];
+        let c = gemm(&a, &b, 2, 3, 2);
+        assert_eq!(c, vec![58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matches_reference_small() {
+        let mut rng = SeededRng::new(1);
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (7, 4, 9), (16, 16, 16)] {
+            let a: Vec<f32> = (0..m * k).map(|_| rng.normal()).collect();
+            let b: Vec<f32> = (0..k * n).map(|_| rng.normal()).collect();
+            assert_close(&gemm(&a, &b, m, k, n), &gemm_ref(&a, &b, m, k, n), 1e-5);
+        }
+    }
+
+    #[test]
+    fn matches_reference_parallel_path() {
+        // Large enough that inner_gemm takes the rayon branch and the KC
+        // blocking kicks in (k > KC).
+        let (m, k, n) = (70, 300, 50);
+        let mut rng = SeededRng::new(2);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.normal()).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.normal()).collect();
+        assert_close(&gemm(&a, &b, m, k, n), &gemm_ref(&a, &b, m, k, n), 1e-4);
+    }
+
+    #[test]
+    fn gemm_acc_accumulates() {
+        let a = vec![1., 0., 0., 1.];
+        let b = vec![2., 3., 4., 5.];
+        let mut c = vec![1.0; 4];
+        gemm_acc(&a, &b, &mut c, 2, 2, 2);
+        assert_eq!(c, vec![3., 4., 5., 6.]);
+    }
+
+    #[test]
+    fn gemm_bias_broadcasts_rows() {
+        let a = vec![1., 0., 0., 1.];
+        let b = vec![1., 2., 3., 4.];
+        let c = gemm_bias(&a, &b, &[10., 20.], 2, 2, 2);
+        assert_eq!(c, vec![11., 22., 13., 24.]);
+    }
+
+    #[test]
+    fn empty_dims_are_ok() {
+        assert!(gemm(&[], &[], 0, 3, 0).is_empty());
+        let c = gemm(&[0.0; 0], &[0.0; 0], 2, 0, 2);
+        assert_eq!(c, vec![0.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims disagree")]
+    fn matmul_checks_inner_dim() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([4, 2]);
+        matmul(&a, &b);
+    }
+}

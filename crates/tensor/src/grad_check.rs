@@ -1,0 +1,73 @@
+//! Central-difference gradient checking.
+//!
+//! Every backward pass in `dcd-nn` is validated against this oracle; keeping
+//! it in the tensor crate lets layer crates share one implementation.
+
+use crate::tensor::Tensor;
+
+/// Numerically estimates `d f / d x` by central differences with step `eps`.
+///
+/// `f` must be a deterministic scalar function of the tensor. This is `O(numel)`
+/// evaluations of `f`, so use small tensors in tests.
+pub fn numeric_grad(x: &Tensor, eps: f32, f: impl Fn(&Tensor) -> f32) -> Tensor {
+    let mut grad = Tensor::zeros(x.shape().clone());
+    let mut probe = x.clone();
+    for i in 0..x.numel() {
+        let orig = probe.data()[i];
+        probe.data_mut()[i] = orig + eps;
+        let plus = f(&probe);
+        probe.data_mut()[i] = orig - eps;
+        let minus = f(&probe);
+        probe.data_mut()[i] = orig;
+        grad.data_mut()[i] = (plus - minus) / (2.0 * eps);
+    }
+    grad
+}
+
+/// Relative error between analytic and numeric gradients:
+/// `max |a - n| / (1 + max(|a|, |n|))` over all elements.
+pub fn rel_error(analytic: &Tensor, numeric: &Tensor) -> f32 {
+    assert_eq!(analytic.shape(), numeric.shape(), "gradient shape mismatch");
+    analytic
+        .data()
+        .iter()
+        .zip(numeric.data().iter())
+        .map(|(&a, &n)| (a - n).abs() / (1.0 + a.abs().max(n.abs())))
+        .fold(0.0, f32::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_gradient() {
+        // f(x) = sum(x^2), df/dx = 2x.
+        let x = Tensor::from_vec([3], vec![1., -2., 0.5]).unwrap();
+        let g = numeric_grad(&x, 1e-3, |t| t.data().iter().map(|v| v * v).sum());
+        let expect = Tensor::from_vec([3], vec![2., -4., 1.]).unwrap();
+        assert!(g.max_abs_diff(&expect) < 1e-2);
+    }
+
+    #[test]
+    fn linear_gradient_is_exact() {
+        let x = Tensor::from_vec([4], vec![1., 2., 3., 4.]).unwrap();
+        let g = numeric_grad(&x, 1e-2, |t| t.sum() * 3.0);
+        for &v in g.data() {
+            assert!((v - 3.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn rel_error_zero_for_identical() {
+        let a = Tensor::from_vec([2], vec![1., 2.]).unwrap();
+        assert_eq!(rel_error(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn rel_error_detects_mismatch() {
+        let a = Tensor::from_vec([2], vec![1., 2.]).unwrap();
+        let b = Tensor::from_vec([2], vec![1., 3.]).unwrap();
+        assert!(rel_error(&a, &b) > 0.2);
+    }
+}

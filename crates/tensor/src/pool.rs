@@ -1,0 +1,381 @@
+//! Max pooling and adaptive (spatial-pyramid) pooling, forward and backward.
+//!
+//! The SPP layer of SPP-Net is a set of parallel *adaptive* max pools: each
+//! pyramid level divides the feature map into `k × k` bins regardless of the
+//! input's spatial size, producing a fixed-length representation (He et al.,
+//! TPAMI 2015). Adaptive bins follow the PyTorch convention:
+//! `start = floor(i·H / k)`, `end = ceil((i+1)·H / k)`.
+
+use crate::conv::out_dim;
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Argmax bookkeeping from [`max_pool2d`], consumed by [`max_pool2d_backward`].
+#[derive(Debug, Clone)]
+pub struct MaxIndices {
+    /// For each output element, the linear index of its source in the input.
+    indices: Vec<usize>,
+    input_dims: [usize; 4],
+    output_dims: [usize; 4],
+}
+
+/// Fixed-window max pooling.
+///
+/// Returns the pooled tensor and the argmax indices needed for backprop.
+pub fn max_pool2d(input: &Tensor, kernel: usize, stride: usize) -> (Tensor, MaxIndices) {
+    let (n, c, h, w) = input.shape().nchw();
+    let oh = out_dim(h, kernel, stride, 0);
+    let ow = out_dim(w, kernel, stride, 0);
+    let in_spatial = h * w;
+    let out_spatial = oh * ow;
+    let sample_in = c * in_spatial;
+    let sample_out = c * out_spatial;
+
+    let mut out = vec![0.0f32; n * sample_out];
+    let mut idx = vec![0usize; n * sample_out];
+    out.par_chunks_mut(sample_out)
+        .zip(idx.par_chunks_mut(sample_out))
+        .enumerate()
+        .for_each(|(s, (o, ix))| {
+            let x = &input.data()[s * sample_in..(s + 1) * sample_in];
+            for ci in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_i = 0usize;
+                        for ky in 0..kernel {
+                            let iy = oy * stride + ky;
+                            for kx in 0..kernel {
+                                let ixp = ox * stride + kx;
+                                let lin = ci * in_spatial + iy * w + ixp;
+                                if x[lin] > best {
+                                    best = x[lin];
+                                    best_i = lin;
+                                }
+                            }
+                        }
+                        let olin = ci * out_spatial + oy * ow + ox;
+                        o[olin] = best;
+                        ix[olin] = s * sample_in + best_i;
+                    }
+                }
+            }
+        });
+    (
+        Tensor::from_vec([n, c, oh, ow], out).expect("pool output size"),
+        MaxIndices {
+            indices: idx,
+            input_dims: [n, c, h, w],
+            output_dims: [n, c, oh, ow],
+        },
+    )
+}
+
+/// Backward pass of [`max_pool2d`]: routes each output gradient to the input
+/// element that won the max.
+pub fn max_pool2d_backward(grad_out: &Tensor, saved: &MaxIndices) -> Tensor {
+    assert_eq!(
+        grad_out.dims(),
+        &saved.output_dims,
+        "max_pool2d_backward: grad shape mismatch"
+    );
+    let [n, c, h, w] = saved.input_dims;
+    let mut gx = vec![0.0f32; n * c * h * w];
+    for (&src, &g) in saved.indices.iter().zip(grad_out.data().iter()) {
+        gx[src] += g;
+    }
+    Tensor::from_vec([n, c, h, w], gx).expect("pool grad size")
+}
+
+/// Bin boundaries for adaptive pooling (PyTorch convention).
+#[inline]
+fn adaptive_bin(i: usize, input: usize, bins: usize) -> (usize, usize) {
+    let start = i * input / bins;
+    let end = ((i + 1) * input).div_ceil(bins);
+    (start, end.max(start + 1).min(input))
+}
+
+/// Argmax bookkeeping from [`adaptive_max_pool2d`].
+#[derive(Debug, Clone)]
+pub struct AdaptiveMaxIndices {
+    indices: Vec<usize>,
+    input_dims: [usize; 4],
+    output_dims: [usize; 4],
+}
+
+/// Adaptive max pooling to an `out × out` grid — one SPP pyramid level.
+pub fn adaptive_max_pool2d(input: &Tensor, out_size: usize) -> (Tensor, AdaptiveMaxIndices) {
+    assert!(out_size > 0, "adaptive pool output must be positive");
+    let (n, c, h, w) = input.shape().nchw();
+    assert!(
+        h >= 1 && w >= 1,
+        "adaptive pool needs non-empty spatial dims"
+    );
+    let out_spatial = out_size * out_size;
+    let in_spatial = h * w;
+    let sample_in = c * in_spatial;
+    let sample_out = c * out_spatial;
+
+    let mut out = vec![0.0f32; n * sample_out];
+    let mut idx = vec![0usize; n * sample_out];
+    out.par_chunks_mut(sample_out)
+        .zip(idx.par_chunks_mut(sample_out))
+        .enumerate()
+        .for_each(|(s, (o, ix))| {
+            let x = &input.data()[s * sample_in..(s + 1) * sample_in];
+            for ci in 0..c {
+                for oy in 0..out_size {
+                    let (y0, y1) = adaptive_bin(oy, h, out_size);
+                    for ox in 0..out_size {
+                        let (x0, x1) = adaptive_bin(ox, w, out_size);
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_i = 0usize;
+                        for iy in y0..y1 {
+                            for ixp in x0..x1 {
+                                let lin = ci * in_spatial + iy * w + ixp;
+                                if x[lin] > best {
+                                    best = x[lin];
+                                    best_i = lin;
+                                }
+                            }
+                        }
+                        let olin = ci * out_spatial + oy * out_size + ox;
+                        o[olin] = best;
+                        ix[olin] = s * sample_in + best_i;
+                    }
+                }
+            }
+        });
+    (
+        Tensor::from_vec([n, c, out_size, out_size], out).expect("adaptive pool output"),
+        AdaptiveMaxIndices {
+            indices: idx,
+            input_dims: [n, c, h, w],
+            output_dims: [n, c, out_size, out_size],
+        },
+    )
+}
+
+/// Backward pass of [`adaptive_max_pool2d`].
+pub fn adaptive_max_pool2d_backward(grad_out: &Tensor, saved: &AdaptiveMaxIndices) -> Tensor {
+    assert_eq!(
+        grad_out.dims(),
+        &saved.output_dims,
+        "adaptive_max_pool2d_backward: grad shape mismatch"
+    );
+    let [n, c, h, w] = saved.input_dims;
+    let mut gx = vec![0.0f32; n * c * h * w];
+    for (&src, &g) in saved.indices.iter().zip(grad_out.data().iter()) {
+        gx[src] += g;
+    }
+    Tensor::from_vec([n, c, h, w], gx).expect("adaptive pool grad size")
+}
+
+/// Adaptive average pooling to an `out × out` grid.
+pub fn adaptive_avg_pool2d(input: &Tensor, out_size: usize) -> Tensor {
+    assert!(out_size > 0, "adaptive pool output must be positive");
+    let (n, c, h, w) = input.shape().nchw();
+    let out_spatial = out_size * out_size;
+    let in_spatial = h * w;
+    let sample_in = c * in_spatial;
+    let sample_out = c * out_spatial;
+
+    let mut out = vec![0.0f32; n * sample_out];
+    out.par_chunks_mut(sample_out).enumerate().for_each(|(s, o)| {
+        let x = &input.data()[s * sample_in..(s + 1) * sample_in];
+        for ci in 0..c {
+            for oy in 0..out_size {
+                let (y0, y1) = adaptive_bin(oy, h, out_size);
+                for ox in 0..out_size {
+                    let (x0, x1) = adaptive_bin(ox, w, out_size);
+                    let mut acc = 0.0f32;
+                    for iy in y0..y1 {
+                        for ixp in x0..x1 {
+                            acc += x[ci * in_spatial + iy * w + ixp];
+                        }
+                    }
+                    let count = ((y1 - y0) * (x1 - x0)) as f32;
+                    o[ci * out_spatial + oy * out_size + ox] = acc / count;
+                }
+            }
+        }
+    });
+    Tensor::from_vec([n, c, out_size, out_size], out).expect("adaptive avg output")
+}
+
+/// Backward pass of [`adaptive_avg_pool2d`]: spreads each output gradient
+/// uniformly over its bin.
+pub fn adaptive_avg_pool2d_backward(
+    grad_out: &Tensor,
+    input_shape: &[usize],
+    out_size: usize,
+) -> Tensor {
+    let [n, c, h, w]: [usize; 4] = input_shape.try_into().expect("NCHW input shape");
+    let (gn, gc, goh, gow) = grad_out.shape().nchw();
+    assert_eq!((gn, gc), (n, c), "adaptive_avg backward batch/channel mismatch");
+    assert_eq!((goh, gow), (out_size, out_size), "adaptive_avg backward size mismatch");
+    let in_spatial = h * w;
+    let out_spatial = out_size * out_size;
+    let mut gx = vec![0.0f32; n * c * in_spatial];
+    for s in 0..n {
+        for ci in 0..c {
+            for oy in 0..out_size {
+                let (y0, y1) = adaptive_bin(oy, h, out_size);
+                for ox in 0..out_size {
+                    let (x0, x1) = adaptive_bin(ox, w, out_size);
+                    let count = ((y1 - y0) * (x1 - x0)) as f32;
+                    let g = grad_out.data()
+                        [(s * c + ci) * out_spatial + oy * out_size + ox]
+                        / count;
+                    for iy in y0..y1 {
+                        for ixp in x0..x1 {
+                            gx[(s * c + ci) * in_spatial + iy * w + ixp] += g;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec([n, c, h, w], gx).expect("adaptive avg grad size")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grad_check::numeric_grad;
+    use crate::rng::SeededRng;
+
+    #[test]
+    fn max_pool_2x2_known() {
+        let x = Tensor::from_vec(
+            [1, 1, 4, 4],
+            vec![
+                1., 2., 5., 3., //
+                4., 0., 1., 2., //
+                7., 8., 0., 1., //
+                2., 3., 4., 9.,
+            ],
+        )
+        .unwrap();
+        let (y, _) = max_pool2d(&x, 2, 2);
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[4., 5., 8., 9.]);
+    }
+
+    #[test]
+    fn max_pool_backward_routes_to_argmax() {
+        let x = Tensor::from_vec([1, 1, 2, 2], vec![1., 4., 2., 3.]).unwrap();
+        let (y, ix) = max_pool2d(&x, 2, 2);
+        assert_eq!(y.data(), &[4.0]);
+        let go = Tensor::from_vec([1, 1, 1, 1], vec![2.5]).unwrap();
+        let gx = max_pool2d_backward(&go, &ix);
+        assert_eq!(gx.data(), &[0., 2.5, 0., 0.]);
+    }
+
+    #[test]
+    fn max_pool_backward_matches_numeric() {
+        let mut rng = SeededRng::new(4);
+        let x = Tensor::randn([1, 2, 4, 4], 0.0, 1.0, &mut rng);
+        let (_, ix) = max_pool2d(&x, 2, 2);
+        let go = Tensor::ones([1, 2, 2, 2]);
+        let gx = max_pool2d_backward(&go, &ix);
+        let num = numeric_grad(&x, 1e-3, |xp| max_pool2d(xp, 2, 2).0.sum());
+        assert!(gx.max_abs_diff(&num) < 1e-2);
+    }
+
+    #[test]
+    fn adaptive_bins_cover_input_exactly() {
+        for input in 1..=20 {
+            for bins in 1..=input {
+                let mut covered = vec![false; input];
+                let mut prev_end = 0;
+                for i in 0..bins {
+                    let (s, e) = adaptive_bin(i, input, bins);
+                    assert!(s <= prev_end, "gap before bin {i}");
+                    assert!(e > s);
+                    prev_end = e;
+                    covered[s..e].iter_mut().for_each(|c| *c = true);
+                }
+                assert_eq!(prev_end, input, "bins do not reach end");
+                assert!(covered.iter().all(|&c| c), "uncovered element");
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_max_1x1_is_global_max() {
+        let mut rng = SeededRng::new(5);
+        let x = Tensor::randn([2, 3, 7, 9], 0.0, 1.0, &mut rng);
+        let (y, _) = adaptive_max_pool2d(&x, 1);
+        assert_eq!(y.dims(), &[2, 3, 1, 1]);
+        for s in 0..2 {
+            for c in 0..3 {
+                let mut best = f32::NEG_INFINITY;
+                for i in 0..7 * 9 {
+                    best = best.max(x.data()[(s * 3 + c) * 63 + i]);
+                }
+                assert_eq!(y.at(&[s, c, 0, 0]), best);
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_max_identity_when_bins_equal_size() {
+        let x = Tensor::from_vec([1, 1, 2, 2], vec![1., 2., 3., 4.]).unwrap();
+        let (y, _) = adaptive_max_pool2d(&x, 2);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn adaptive_max_handles_output_larger_than_input() {
+        // SPP on tiny maps: 1x1 input pooled to 2x2 replicates the value.
+        let x = Tensor::from_vec([1, 1, 1, 1], vec![3.0]).unwrap();
+        let (y, _) = adaptive_max_pool2d(&x, 2);
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[3., 3., 3., 3.]);
+    }
+
+    #[test]
+    fn adaptive_max_backward_matches_numeric() {
+        let mut rng = SeededRng::new(6);
+        let x = Tensor::randn([1, 2, 5, 5], 0.0, 1.0, &mut rng);
+        let (_, ix) = adaptive_max_pool2d(&x, 3);
+        let go = Tensor::ones([1, 2, 3, 3]);
+        let gx = adaptive_max_pool2d_backward(&go, &ix);
+        let num = numeric_grad(&x, 1e-3, |xp| adaptive_max_pool2d(xp, 3).0.sum());
+        assert!(gx.max_abs_diff(&num) < 1e-2);
+    }
+
+    #[test]
+    fn adaptive_avg_1x1_is_mean() {
+        let x = Tensor::from_vec([1, 1, 2, 2], vec![1., 2., 3., 6.]).unwrap();
+        let y = adaptive_avg_pool2d(&x, 1);
+        assert_eq!(y.data(), &[3.0]);
+    }
+
+    #[test]
+    fn adaptive_avg_backward_matches_numeric() {
+        let mut rng = SeededRng::new(10);
+        let x = Tensor::randn([1, 1, 5, 7], 0.0, 1.0, &mut rng);
+        let go = Tensor::ones([1, 1, 2, 2]);
+        let gx = adaptive_avg_pool2d_backward(&go, x.dims(), 2);
+        let num = numeric_grad(&x, 1e-3, |xp| adaptive_avg_pool2d(xp, 2).sum());
+        assert!(gx.max_abs_diff(&num) < 1e-2);
+    }
+
+    #[test]
+    fn spp_vector_length_is_input_size_independent() {
+        // The defining SPP property: pyramid {4,2,1} gives 21·C features for
+        // any spatial input size.
+        let mut rng = SeededRng::new(11);
+        for &(h, w) in &[(8usize, 8usize), (13, 9), (25, 25)] {
+            let x = Tensor::randn([1, 2, h, w], 0.0, 1.0, &mut rng);
+            let mut total = 0;
+            for &level in &[4usize, 2, 1] {
+                let (y, _) = adaptive_max_pool2d(&x, level);
+                total += y.numel();
+            }
+            assert_eq!(total, 2 * (16 + 4 + 1));
+        }
+    }
+}

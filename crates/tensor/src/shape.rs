@@ -1,0 +1,194 @@
+//! Tensor shapes and row-major stride arithmetic.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error returned when a buffer and a requested shape disagree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    /// Number of elements the shape implies.
+    pub expected: usize,
+    /// Number of elements actually provided.
+    pub actual: usize,
+    /// The offending shape.
+    pub dims: Vec<usize>,
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shape {:?} implies {} elements but buffer holds {}",
+            self.dims, self.expected, self.actual
+        )
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+/// A dense, row-major tensor shape.
+///
+/// The last axis is contiguous. CNN activations use the NCHW convention:
+/// `[batch, channels, height, width]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Builds a shape from its dimension sizes.
+    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
+        Shape(dims.into())
+    }
+
+    /// The dimension sizes.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of axes.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (product of dims; 1 for a scalar/rank-0 shape).
+    #[inline]
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Size of axis `axis`. Panics if out of range.
+    #[inline]
+    pub fn dim(&self, axis: usize) -> usize {
+        self.0[axis]
+    }
+
+    /// Row-major strides, in elements.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Linear offset of a multi-dimensional index. Panics on out-of-bounds
+    /// indices or rank mismatch.
+    pub fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(
+            index.len(),
+            self.0.len(),
+            "index rank {} != shape rank {}",
+            index.len(),
+            self.0.len()
+        );
+        let mut off = 0;
+        let mut stride = 1;
+        for axis in (0..self.0.len()).rev() {
+            assert!(
+                index[axis] < self.0[axis],
+                "index {} out of bounds for axis {} of size {}",
+                index[axis],
+                axis,
+                self.0[axis]
+            );
+            off += index[axis] * stride;
+            stride *= self.0[axis];
+        }
+        off
+    }
+
+    /// Interprets this shape as NCHW and returns `(n, c, h, w)`.
+    /// Panics if the rank is not 4.
+    pub fn nchw(&self) -> (usize, usize, usize, usize) {
+        assert_eq!(self.rank(), 4, "expected NCHW (rank 4), got {self}");
+        (self.0[0], self.0[1], self.0[2], self.0[3])
+    }
+
+    /// Interprets this shape as a matrix and returns `(rows, cols)`.
+    /// Panics if the rank is not 2.
+    pub fn matrix(&self) -> (usize, usize) {
+        assert_eq!(self.rank(), 2, "expected a matrix (rank 2), got {self}");
+        (self.0[0], self.0[1])
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(v: Vec<usize>) -> Self {
+        Shape(v)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(v: &[usize]) -> Self {
+        Shape(v.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(v: [usize; N]) -> Self {
+        Shape(v.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_rank() {
+        let s = Shape::from([2, 3, 4]);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.dim(1), 3);
+    }
+
+    #[test]
+    fn scalar_shape_has_one_element() {
+        let s = Shape::new(Vec::<usize>::new());
+        assert_eq!(s.numel(), 1);
+        assert_eq!(s.rank(), 0);
+    }
+
+    #[test]
+    fn row_major_strides() {
+        let s = Shape::from([2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+    }
+
+    #[test]
+    fn offset_matches_strides() {
+        let s = Shape::from([2, 3, 4]);
+        assert_eq!(s.offset(&[0, 0, 0]), 0);
+        assert_eq!(s.offset(&[1, 2, 3]), 12 + 8 + 3);
+        assert_eq!(s.offset(&[0, 1, 1]), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn offset_bounds_checked() {
+        Shape::from([2, 3]).offset(&[2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank")]
+    fn offset_rank_checked() {
+        Shape::from([2, 3]).offset(&[1]);
+    }
+
+    #[test]
+    fn nchw_accessor() {
+        assert_eq!(Shape::from([1, 4, 100, 100]).nchw(), (1, 4, 100, 100));
+    }
+
+    #[test]
+    fn display_is_debug_vec() {
+        assert_eq!(Shape::from([2, 3]).to_string(), "[2, 3]");
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests for the tensor kernels.
+
+use dcd_tensor::{
+    adaptive_avg_pool2d, adaptive_max_pool2d, conv2d, conv2d_backward, gemm, max_pool2d,
+    SeededRng, Tensor,
+};
+use proptest::prelude::*;
+
+/// Naive O(mnk) GEMM oracle in f64.
+fn gemm_ref(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut c = vec![0.0f64; m * n];
+    for i in 0..m {
+        for p in 0..k {
+            for j in 0..n {
+                c[i * n + j] += a[i * k + p] as f64 * b[p * n + j] as f64;
+            }
+        }
+    }
+    c.into_iter().map(|x| x as f32).collect()
+}
+
+fn small_f32() -> impl Strategy<Value = f32> {
+    (-100i32..=100).prop_map(|x| x as f32 / 10.0)
+}
+
+proptest! {
+    #[test]
+    fn gemm_matches_naive_oracle(
+        m in 1usize..12, k in 1usize..12, n in 1usize..12, seed in 0u64..1000,
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.normal()).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.normal()).collect();
+        let got = gemm(&a, &b, m, k, n);
+        let want = gemm_ref(&a, &b, m, k, n);
+        for (g, w) in got.iter().zip(want.iter()) {
+            prop_assert!((g - w).abs() < 1e-4 * (1.0 + w.abs()));
+        }
+    }
+
+    #[test]
+    fn gemm_is_linear_in_first_argument(
+        m in 1usize..6, k in 1usize..6, n in 1usize..6, seed in 0u64..1000, alpha in small_f32(),
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.normal()).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.normal()).collect();
+        let scaled: Vec<f32> = a.iter().map(|x| alpha * x).collect();
+        let lhs = gemm(&scaled, &b, m, k, n);
+        let rhs: Vec<f32> = gemm(&a, &b, m, k, n).iter().map(|x| alpha * x).collect();
+        for (l, r) in lhs.iter().zip(rhs.iter()) {
+            prop_assert!((l - r).abs() < 1e-3 * (1.0 + r.abs()), "{l} vs {r}");
+        }
+    }
+
+    #[test]
+    fn concat_then_index_recovers_parts(
+        rows_a in 1usize..5, rows_b in 1usize..5, cols in 1usize..5, seed in 0u64..1000,
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let a = Tensor::randn([rows_a, cols], 0.0, 1.0, &mut rng);
+        let b = Tensor::randn([rows_b, cols], 0.0, 1.0, &mut rng);
+        let c = Tensor::concat(&[&a, &b], 0);
+        prop_assert_eq!(c.dims(), &[rows_a + rows_b, cols]);
+        for i in 0..rows_a {
+            prop_assert_eq!(c.index_axis0(i), a.index_axis0(i));
+        }
+        for i in 0..rows_b {
+            prop_assert_eq!(c.index_axis0(rows_a + i), b.index_axis0(i));
+        }
+    }
+
+    #[test]
+    fn conv_is_translation_covariant_in_batch(
+        h in 3usize..8, w in 3usize..8, seed in 0u64..500,
+    ) {
+        // Duplicating a sample in the batch duplicates its output.
+        let mut rng = SeededRng::new(seed);
+        let x1 = Tensor::randn([1, 2, h, w], 0.0, 1.0, &mut rng);
+        let weight = Tensor::randn([3, 2, 3, 3], 0.0, 0.5, &mut rng);
+        let bias = Tensor::randn([3], 0.0, 0.1, &mut rng);
+        let x2 = Tensor::stack(&[x1.index_axis0(0), x1.index_axis0(0)]);
+        let y1 = conv2d(&x1, &weight, &bias, 1, 1);
+        let y2 = conv2d(&x2, &weight, &bias, 1, 1);
+        prop_assert!(y2.index_axis0(0).max_abs_diff(&y1.index_axis0(0)) < 1e-6);
+        prop_assert!(y2.index_axis0(1).max_abs_diff(&y1.index_axis0(0)) < 1e-6);
+    }
+
+    #[test]
+    fn conv_is_linear_in_input(h in 4usize..8, seed in 0u64..500) {
+        let mut rng = SeededRng::new(seed);
+        let x = Tensor::randn([1, 1, h, h], 0.0, 1.0, &mut rng);
+        let weight = Tensor::randn([2, 1, 3, 3], 0.0, 0.5, &mut rng);
+        let zero_bias = Tensor::zeros([2]);
+        let y = conv2d(&x, &weight, &zero_bias, 1, 0);
+        let y2 = conv2d(&x.scale(2.0), &weight, &zero_bias, 1, 0);
+        prop_assert!(y2.max_abs_diff(&y.scale(2.0)) < 1e-4);
+    }
+
+    #[test]
+    fn max_pool_output_bounded_by_input_extrema(
+        h in 2usize..9, w in 2usize..9, seed in 0u64..1000,
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let x = Tensor::randn([1, 2, h, w], 0.0, 1.0, &mut rng);
+        let (y, _) = max_pool2d(&x, 2, 1);
+        let lo = x.data().iter().cloned().fold(f32::INFINITY, f32::min);
+        let hi = x.max();
+        for &v in y.data() {
+            prop_assert!(v >= lo && v <= hi);
+        }
+    }
+
+    #[test]
+    fn adaptive_max_dominates_adaptive_avg(
+        h in 1usize..10, w in 1usize..10, bins in 1usize..5, seed in 0u64..1000,
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let x = Tensor::randn([1, 1, h, w], 0.0, 1.0, &mut rng);
+        let (mx, _) = adaptive_max_pool2d(&x, bins);
+        let av = adaptive_avg_pool2d(&x, bins);
+        for (m, a) in mx.data().iter().zip(av.data().iter()) {
+            prop_assert!(m >= a, "max {m} < avg {a}");
+        }
+    }
+
+    #[test]
+    fn adaptive_pool_fixed_output_size(
+        h in 1usize..20, w in 1usize..20, bins in 1usize..6,
+    ) {
+        // The SPP invariant: output size depends only on the bin count.
+        let x = Tensor::zeros([1, 3, h, w]);
+        let (y, _) = adaptive_max_pool2d(&x, bins);
+        prop_assert_eq!(y.dims(), &[1, 3, bins, bins]);
+    }
+
+    #[test]
+    fn conv_backward_grads_have_forward_shapes(
+        h in 3usize..7, cin in 1usize..3, cout in 1usize..3, seed in 0u64..200,
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let x = Tensor::randn([1, cin, h, h], 0.0, 1.0, &mut rng);
+        let weight = Tensor::randn([cout, cin, 3, 3], 0.0, 0.5, &mut rng);
+        let bias = Tensor::zeros([cout]);
+        let y = conv2d(&x, &weight, &bias, 1, 1);
+        let go = Tensor::ones(y.shape().clone());
+        let g = conv2d_backward(&x, &weight, &go, 1, 1);
+        prop_assert_eq!(g.input.shape(), x.shape());
+        prop_assert_eq!(g.weight.shape(), weight.shape());
+        prop_assert_eq!(g.bias.dims(), &[cout]);
+    }
+
+    #[test]
+    fn axpy_matches_scale_add(len in 1usize..64, alpha in small_f32(), seed in 0u64..1000) {
+        let mut rng = SeededRng::new(seed);
+        let x = Tensor::randn([len], 0.0, 1.0, &mut rng);
+        let y = Tensor::randn([len], 0.0, 1.0, &mut rng);
+        let mut z = x.clone();
+        z.axpy(alpha, &y);
+        let want = x.add(&y.scale(alpha));
+        prop_assert!(z.max_abs_diff(&want) < 1e-4);
+    }
+}

@@ -1,0 +1,79 @@
+//! The paper's Fig 1 motivation, reproduced end to end: road embankments in
+//! a DEM act as "digital dams" that fragment the modelled drainage network;
+//! breaching the DEM at *detected* drainage-crossing locations restores
+//! hydrologic connectivity.
+//!
+//! ```sh
+//! cargo run --release --example digital_dams
+//! ```
+
+use dcd_geodata::hydrology::{breach_at, connectivity};
+use dcd_geodata::{generate_scene, DemConfig, SceneConfig};
+use dcd_tensor::SeededRng;
+
+fn main() {
+    let config = SceneConfig {
+        dem: DemConfig {
+            width: 512,
+            height: 512,
+            ..Default::default()
+        },
+        road_spacing: 96,
+        stream_threshold: 350.0,
+        embankment_height: 2.5,
+        ..Default::default()
+    };
+    let scene = generate_scene(&config, &mut SeededRng::new(2023));
+    println!(
+        "scene: {}×{} cells, {} stream cells, {} drainage crossings",
+        scene.width(),
+        scene.height(),
+        scene.streams.count(|v| v > 0.0),
+        scene.crossings.len()
+    );
+
+    let threshold = config.stream_threshold;
+
+    // (A) Bare-earth DEM: the "true" drainage network.
+    let bare = connectivity(&scene.dem, threshold);
+    println!("\n(A) bare-earth DEM (ground truth):");
+    println!(
+        "    stream cells {}, fragments {}",
+        bare.stream_cells, bare.fragments
+    );
+
+    // (B) DEM with road embankments: digital dams displace and fragment the
+    //     modelled network (Fig 1A — "did not incorporate culvert
+    //     information"). Depression filling routes water over spill points,
+    //     so the damage shows up as *misled* flowlines: stream cells that no
+    //     longer coincide with the true network.
+    let dammed = connectivity(&scene.dem_with_roads, threshold);
+    println!("\n(B) DEM with road embankments (digital dams):");
+    println!(
+        "    stream cells {}, fragments {}, true network preserved {:.0}%",
+        dammed.stream_cells,
+        dammed.fragments,
+        100.0 * dammed.stream_overlap_buffered(&bare, scene.width(), 2)
+    );
+
+    // (C) Breach at the crossing locations (in the full system these come
+    //     from the CNN detector; here we use the scene's digitized points,
+    //     i.e. a perfect detector) — Fig 1B.
+    let mut breached = scene.dem_with_roads.clone();
+    breach_at(&mut breached, &scene.crossings, 4);
+    let fixed = connectivity(&breached, threshold);
+    println!("\n(C) embankments breached at detected crossings:");
+    println!(
+        "    stream cells {}, fragments {}, true network preserved {:.0}%",
+        fixed.stream_cells,
+        fixed.fragments,
+        100.0 * fixed.stream_overlap_buffered(&bare, scene.width(), 2)
+    );
+
+    let lost = 100.0 * (1.0 - dammed.stream_overlap_buffered(&bare, scene.width(), 2));
+    let after = 100.0 * fixed.stream_overlap_buffered(&bare, scene.width(), 2);
+    println!(
+        "\ndigital dams mislead {lost:.0}% of the true drainage network; \
+         breaching at the crossings brings preservation back to {after:.0}%"
+    );
+}

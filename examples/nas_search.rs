@@ -1,0 +1,95 @@
+//! Neural architecture search over the §4.2 SPP-Net space with real trial
+//! training (the Retiarii-style multi-trial loop), comparing the paper's
+//! random-search strategy against regularized evolution.
+//!
+//! ```sh
+//! cargo run --release --example nas_search
+//! ```
+
+use dcd_geodata::dataset::small_config;
+use dcd_geodata::PatchDataset;
+use dcd_nas::{
+    Experiment, RandomSearch, RegularizedEvolution, SppNetSearchSpace, TrainingEvaluator,
+};
+use dcd_nn::{Sgd, SppNetConfig, TrainConfig};
+
+fn main() {
+    let mut ds_config = small_config();
+    ds_config.center_jitter = 2;
+    let dataset = PatchDataset::generate(&ds_config, 99);
+    println!(
+        "dataset: {} train / {} test patches",
+        dataset.train.len(),
+        dataset.test.len()
+    );
+
+    let mut base = SppNetConfig::original();
+    base.channels = [8, 16, 16]; // keep each trial to a few seconds
+    let space = SppNetSearchSpace::around(base);
+    println!("search space: {} configurations\n", space.size());
+
+    let evaluator = TrainingEvaluator::new(
+        dataset.train.clone(),
+        dataset.test.clone(),
+        TrainConfig {
+            epochs: 8,
+            batch_size: 20,
+            sgd: Sgd::new(0.015, 0.9, 0.0005),
+            ..Default::default()
+        },
+    );
+
+    let budget = 8;
+    println!("--- random search ({budget} trials, the paper's strategy) ---");
+    let mut random = RandomSearch::new(space.clone(), budget, 1);
+    let exp_random = Experiment::run(&mut random, &evaluator, budget);
+    for t in &exp_random.trials {
+        println!("  trial {}: AP {:.3}  {} ({:.1}s)", t.id, t.score, t.summary, t.duration_s);
+    }
+    let best_r = exp_random.best().expect("trials ran");
+    println!("  best: AP {:.3}  {}", best_r.score, best_r.summary);
+
+    println!("\n--- regularized evolution ({budget} trials, extension) ---");
+    let mut evo = RegularizedEvolution::new(space, budget, 2);
+    evo.population = 4;
+    let exp_evo = Experiment::run(&mut evo, &evaluator, budget);
+    for t in &exp_evo.trials {
+        println!("  trial {}: AP {:.3}  {}", t.id, t.score, t.summary);
+    }
+    let best_e = exp_evo.best().expect("trials ran");
+    println!("  best: AP {:.3}  {}", best_e.score, best_e.summary);
+
+    println!("\n--- successive halving (extension: budget-aware rungs) ---");
+    let mut base2 = SppNetConfig::original();
+    base2.channels = [8, 16, 16];
+    let halving = dcd_nas::successive_halving(
+        &SppNetSearchSpace::around(base2),
+        &evaluator,
+        dcd_nas::HalvingConfig {
+            cohort: 8,
+            eta: 2,
+            min_budget: 0.25,
+            seed: 5,
+        },
+    );
+    println!(
+        "  {} evaluations, {:.1} full-training budgets spent (vs {} for flat search)",
+        halving.experiment.trials.len(),
+        halving.budget_spent,
+        8
+    );
+    println!(
+        "  winner: AP {:.3}  {}",
+        halving.winner_score,
+        halving.winner.summary()
+    );
+
+    println!("\naccuracy-constrained candidate sets (a(n) > 0.5):");
+    println!("  random search: {} candidates", exp_random.candidates_above(0.5).len());
+    println!("  evolution:     {} candidates", exp_evo.candidates_above(0.5).len());
+
+    // Persist the journal like NNI's experiment directory would.
+    let path = std::env::temp_dir().join("dcd_nas_journal.json");
+    std::fs::write(&path, exp_random.to_json()).expect("write journal");
+    println!("\nNAS journal written to {}", path.display());
+}

@@ -1,0 +1,63 @@
+//! Quickstart: generate a synthetic watershed, train a drainage-crossing
+//! detector, and run it on held-out patches.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dcd_core::DrainageCrossingDetector;
+use dcd_geodata::dataset::small_config;
+use dcd_geodata::PatchDataset;
+use dcd_nn::{Sgd, SppNetConfig, TrainConfig};
+
+fn main() {
+    // 1. A labelled dataset from a procedural stand-in for the West Fork
+    //    Big Blue Watershed: 4-band patches, crossings centred.
+    let mut config = small_config();
+    config.center_jitter = 2;
+    let dataset = PatchDataset::generate(&config, 42);
+    println!(
+        "dataset: {} train / {} test patches ({} crossings in the scene)",
+        dataset.train.len(),
+        dataset.test.len(),
+        dataset.scene.crossings.len()
+    );
+
+    // 2. Train a compact SPP-Net with the paper's SGD recipe (reduced
+    //    widths/epochs so this example finishes in about a minute).
+    let mut arch = SppNetConfig::original();
+    arch.channels = [12, 24, 32];
+    arch.fc1 = 128;
+    let train_config = TrainConfig {
+        epochs: 20,
+        batch_size: 20,
+        sgd: Sgd::new(0.015, 0.9, 0.0005),
+        ..Default::default()
+    };
+    println!("training {} ...", arch.summary());
+    let mut detector = DrainageCrossingDetector::train(arch, &dataset.train, train_config, 7);
+
+    // 3. Evaluate with the paper's metric (average precision, Eq. 1).
+    let ap = detector.average_precision(&dataset.test, 0.5);
+    println!("test AP@IoU0.5 = {:.3} (paper reports 0.95–0.974 on real NAIP data)", ap);
+
+    // 4. Detect on a few patches.
+    detector.threshold = 0.5;
+    for (i, sample) in dataset.test.iter().take(5).enumerate() {
+        match detector.detect(&sample.image) {
+            Some(det) => println!(
+                "patch {i}: crossing detected  score={:.2}  box=({:.2},{:.2},{:.2},{:.2})  truth={}",
+                det.score,
+                det.bbox.cx,
+                det.bbox.cy,
+                det.bbox.w,
+                det.bbox.h,
+                if sample.is_positive() { "crossing" } else { "none" },
+            ),
+            None => println!(
+                "patch {i}: no crossing  truth={}",
+                if sample.is_positive() { "crossing" } else { "none" }
+            ),
+        }
+    }
+}

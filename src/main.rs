@@ -1,0 +1,151 @@
+//! `drainage-repro` — command-line interface to the reproduction stack.
+//!
+//! ```text
+//! drainage-repro train   [--epochs N] [--seed S] [--out model.json]
+//! drainage-repro scan    [--model model.json] [--seed S] [--threshold T]
+//! drainage-repro profile [--batch B]
+//! drainage-repro sweep
+//! ```
+//!
+//! `train` fits a compact SPP-Net on a synthetic watershed and writes a
+//! JSON checkpoint; `scan` loads it and scans a fresh scene; `profile`
+//! prints the nsys-style report for the paper's final model; `sweep` prints
+//! the Fig 6 batch-size sweep.
+
+use dcd_core::scan::{match_detections, scan_scene, ScanConfig};
+use dcd_core::{profile_run, DrainageCrossingDetector, Pipeline, PipelineConfig};
+use dcd_geodata::dataset::small_config;
+use dcd_geodata::render::render_bands;
+use dcd_geodata::PatchDataset;
+use dcd_gpusim::DeviceSpec;
+use dcd_nn::{Checkpoint, Sgd, SppNet, SppNetConfig, TrainConfig, Trainer};
+use dcd_tensor::SeededRng;
+
+/// Looks up `--name value` in the argument list.
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    flag(args, name).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("train") => cmd_train(&args),
+        Some("scan") => cmd_scan(&args),
+        Some("profile") => cmd_profile(&args),
+        Some("sweep") => cmd_sweep(),
+        _ => {
+            eprintln!("usage: drainage-repro <train|scan|profile|sweep> [flags]");
+            eprintln!("  train   [--epochs N] [--seed S] [--out model.json]");
+            eprintln!("  scan    [--model model.json] [--seed S] [--threshold T]");
+            eprintln!("  profile [--batch B]");
+            eprintln!("  sweep");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn dataset(seed: u64) -> PatchDataset {
+    let mut cfg = small_config();
+    cfg.center_jitter = 2;
+    PatchDataset::generate(&cfg, seed)
+}
+
+fn cmd_train(args: &[String]) {
+    let epochs = parse(args, "--epochs", 18usize);
+    let seed = parse(args, "--seed", 42u64);
+    let out = flag(args, "--out").unwrap_or_else(|| "model.json".to_string());
+
+    let ds = dataset(seed);
+    println!("dataset: {} train / {} test patches", ds.train.len(), ds.test.len());
+    let mut arch = SppNetConfig::original();
+    arch.channels = [12, 24, 32];
+    arch.fc1 = 128;
+    println!("training {} for {epochs} epochs ...", arch.summary());
+    let mut rng = SeededRng::new(7);
+    let mut model = SppNet::new(arch, &mut rng);
+    Trainer::new(TrainConfig {
+        epochs,
+        batch_size: 20,
+        sgd: Sgd::new(0.015, 0.9, 0.0005),
+        lr_decay_every: Some((epochs / 3).max(1)),
+        ..Default::default()
+    })
+    .train(&mut model, &ds.train);
+    let (ap, _) = dcd_nn::trainer::evaluate(&mut model, &ds.test, 0.5);
+    println!("test AP@IoU0.5 = {ap:.3}");
+    let ckpt = Checkpoint::save(&mut model);
+    std::fs::write(&out, ckpt.to_json()).expect("write checkpoint");
+    println!("checkpoint written to {out}");
+}
+
+fn cmd_scan(args: &[String]) {
+    let path = flag(args, "--model").unwrap_or_else(|| "model.json".to_string());
+    let seed = parse(args, "--seed", 43u64);
+    let threshold = parse(args, "--threshold", 0.6f32);
+
+    let json = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read checkpoint {path}: {e} (run `train` first)"));
+    let ckpt = Checkpoint::from_json(&json).expect("valid checkpoint JSON");
+    let model = ckpt.load().expect("checkpoint matches its architecture");
+    let mut detector = DrainageCrossingDetector::from_model(model);
+    detector.threshold = threshold;
+    println!("loaded {} from {path}", detector.config().summary());
+
+    let ds = dataset(seed);
+    let bands = render_bands(&ds.scene, 0.03, &mut SeededRng::new(seed ^ 0xABCD));
+    let scan = ScanConfig {
+        batch_size: 32,
+        ..ScanConfig::for_patch(64)
+    };
+    let dets = scan_scene(&mut detector, &bands, &scan);
+    println!("x,y,score");
+    for d in &dets {
+        println!("{},{},{:.3}", d.x, d.y, d.score);
+    }
+    let (p, r) = match_detections(&dets, &ds.scene.crossings, 12);
+    eprintln!(
+        "{} detections vs {} digitized crossings: precision {p:.2}, recall {r:.2}",
+        dets.len(),
+        ds.scene.crossings.len()
+    );
+}
+
+fn cmd_profile(args: &[String]) {
+    let batch = parse(args, "--batch", 32usize);
+    let (profile, trace) = profile_run(
+        &SppNetConfig::candidate2(),
+        (100, 100),
+        &DeviceSpec::rtx_a5500(),
+        batch,
+        20,
+    );
+    println!("{}", dcd_profiler::render_stats(&trace));
+    println!(
+        "batch {batch}: latency {:.3} ms, memops/image {:.0} ns, GPU mem {:.0} MB",
+        profile.latency_ns / 1e6,
+        profile.memops_per_image_ns,
+        profile.mem_used_bytes as f64 / 1e6
+    );
+}
+
+fn cmd_sweep() {
+    let pipeline = Pipeline::new(PipelineConfig::default());
+    let sweep = pipeline.batch_sweep(&SppNetConfig::candidate2());
+    println!("batch,sequential_ns_per_image,optimized_ns_per_image");
+    for pt in &sweep {
+        println!(
+            "{},{:.0},{:.0}",
+            pt.batch, pt.sequential_ns_per_image, pt.optimized_ns_per_image
+        );
+    }
+    eprintln!(
+        "optimal batch (diminishing-gains rule): {}",
+        Pipeline::pick_optimal_batch(&sweep)
+    );
+}

@@ -1,0 +1,88 @@
+//! Full-stack determinism: the property every experiment in EXPERIMENTS.md
+//! silently relies on. Same seeds ⇒ bit-identical datasets, models,
+//! schedules and simulated latencies.
+
+use dcd_geodata::dataset::small_config;
+use dcd_geodata::PatchDataset;
+use dcd_gpusim::DeviceSpec;
+use dcd_ios::{ios_schedule, lower_sppnet, measure_latency, IosOptions, StageCostModel};
+use dcd_nas::{FunctionalEvaluator, RandomSearch, SppNetSearchSpace};
+use dcd_nn::{Sgd, SppNet, SppNetConfig, TrainConfig, Trainer};
+use dcd_tensor::SeededRng;
+
+#[test]
+fn dataset_generation_is_deterministic() {
+    let cfg = small_config();
+    let a = PatchDataset::generate(&cfg, 7);
+    let b = PatchDataset::generate(&cfg, 7);
+    assert_eq!(a.train.len(), b.train.len());
+    for (x, y) in a.train.iter().zip(b.train.iter()) {
+        assert_eq!(x.image.data(), y.image.data());
+        assert_eq!(x.label, y.label);
+    }
+    assert_eq!(a.scene.crossings, b.scene.crossings);
+}
+
+#[test]
+fn training_is_deterministic() {
+    let cfg = small_config();
+    let ds = PatchDataset::generate(&cfg, 3);
+    let tc = TrainConfig {
+        epochs: 3,
+        batch_size: 8,
+        sgd: Sgd::new(0.01, 0.9, 0.0005),
+        ..Default::default()
+    };
+    let run = || {
+        let mut rng = SeededRng::new(5);
+        let mut arch = SppNetConfig::tiny();
+        arch.in_channels = 4;
+        let mut model = SppNet::new(arch, &mut rng);
+        Trainer::new(tc).train(&mut model, &ds.train);
+        let x = dcd_tensor::Tensor::stack(&[ds.test[0].image.clone()]);
+        model.forward(&x).obj_logits.data().to_vec()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn scheduling_and_simulation_are_deterministic() {
+    let graph = lower_sppnet(&SppNetConfig::candidate2(), (100, 100));
+    let dev = DeviceSpec::rtx_a5500();
+    let run = || {
+        let mut cost = StageCostModel::new(&graph, dev.clone(), 4);
+        let s = ios_schedule(&graph, &mut cost, IosOptions::default());
+        let t = measure_latency(&graph, &s, 4, &dev, 1, 3);
+        (s, t.mean_ns as u64)
+    };
+    let (s1, t1) = run();
+    let (s2, t2) = run();
+    assert_eq!(s1, s2, "DP must pick the same schedule");
+    assert!(t1.abs_diff(t2) <= 2, "latency {t1} vs {t2}");
+}
+
+#[test]
+fn nas_experiments_are_deterministic() {
+    let eval = FunctionalEvaluator::new(|c: &SppNetConfig| {
+        c.fc1 as f64 + c.conv1_kernel as f64 * 10.0
+    });
+    let run = || {
+        let mut strat = RandomSearch::new(SppNetSearchSpace::paper(), 10, 42);
+        dcd_nas::Experiment::run(&mut strat, &eval, 10)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.trials.len(), b.trials.len());
+    for (x, y) in a.trials.iter().zip(b.trials.iter()) {
+        assert_eq!(x.config, y.config);
+        assert_eq!(x.score, y.score);
+    }
+}
+
+#[test]
+fn different_seeds_give_different_worlds() {
+    let cfg = small_config();
+    let a = PatchDataset::generate(&cfg, 1);
+    let b = PatchDataset::generate(&cfg, 2);
+    assert_ne!(a.scene.crossings, b.scene.crossings);
+}

@@ -1,0 +1,153 @@
+//! Integration tests asserting the *shape* of every paper artifact the
+//! simulator regenerates — the contract EXPERIMENTS.md reports against.
+//!
+//! These are the repository's reproduction guarantees: if a refactor of the
+//! cost model or scheduler breaks one of the paper's qualitative findings,
+//! these tests fail.
+
+use dcd_core::{profile_batch_sweep, Pipeline, PipelineConfig};
+use dcd_gpusim::DeviceSpec;
+use dcd_nn::SppNetConfig;
+
+const BATCHES: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+fn sweep() -> Vec<dcd_core::BatchProfile> {
+    profile_batch_sweep(
+        &SppNetConfig::candidate2(),
+        (100, 100),
+        &DeviceSpec::rtx_a5500(),
+        &BATCHES,
+        20,
+    )
+}
+
+#[test]
+fn table2_shape_optimized_beats_sequential_for_all_models() {
+    let pipeline = Pipeline::new(PipelineConfig {
+        warmup: 1,
+        iterations: 3,
+        ..Default::default()
+    });
+    for (name, cfg) in SppNetConfig::table1() {
+        let (seq, opt, _) = pipeline.benchmark(&cfg);
+        assert!(opt < seq, "{name}: optimized {opt} !< sequential {seq}");
+        // Paper magnitudes: a few tenths of a millisecond at batch 1.
+        assert!((0.05..2.0).contains(&seq), "{name}: sequential {seq} ms");
+        // Paper speedups: 1.1× to 1.9×.
+        let speedup = seq / opt;
+        assert!(
+            (1.02..2.5).contains(&speedup),
+            "{name}: speedup {speedup} outside plausible range"
+        );
+    }
+}
+
+#[test]
+fn fig6_shape_efficiency_falls_and_gains_diminish() {
+    let pipeline = Pipeline::new(PipelineConfig {
+        warmup: 1,
+        iterations: 3,
+        ..Default::default()
+    });
+    let sweep = pipeline.batch_sweep(&SppNetConfig::candidate2());
+    // Per-image latency decreases monotonically for both schedules.
+    for w in sweep.windows(2) {
+        assert!(w[1].sequential_ns_per_image < w[0].sequential_ns_per_image);
+        assert!(w[1].optimized_ns_per_image < w[0].optimized_ns_per_image);
+    }
+    // Optimized never loses to sequential.
+    for pt in &sweep {
+        assert!(pt.optimized_ns_per_image <= pt.sequential_ns_per_image);
+    }
+    // The relative gain shrinks with batch (diminishing returns).
+    let gain = |pt: &dcd_core::pipeline::BatchPoint| {
+        1.0 - pt.optimized_ns_per_image / pt.sequential_ns_per_image
+    };
+    assert!(gain(&sweep[0]) > 2.0 * gain(&sweep[sweep.len() - 1]));
+    // The §6.4 rule lands on the paper's batch size.
+    assert_eq!(Pipeline::pick_optimal_batch(&sweep), 32);
+}
+
+#[test]
+fn fig7_shape_memops_stabilize_near_paper_value() {
+    let profiles = sweep();
+    // Strictly decreasing per-image memop cost.
+    for w in profiles.windows(2) {
+        assert!(w[1].memops_per_image_ns <= w[0].memops_per_image_ns);
+    }
+    // Stabilized within 5% from batch 16 on, in the paper's 19168 ns
+    // neighbourhood (±30%).
+    let b16 = profiles.iter().find(|p| p.batch == 16).expect("batch 16");
+    let b64 = profiles.iter().find(|p| p.batch == 64).expect("batch 64");
+    assert!((b16.memops_per_image_ns / b64.memops_per_image_ns - 1.0).abs() < 0.05);
+    assert!(
+        (13_000.0..25_000.0).contains(&b64.memops_per_image_ns),
+        "stabilized memops {} ns not near the paper's 19168 ns",
+        b64.memops_per_image_ns
+    );
+}
+
+#[test]
+fn fig7_shape_memory_never_approaches_capacity() {
+    let profiles = sweep();
+    let capacity = DeviceSpec::rtx_a5500().mem_capacity;
+    for p in &profiles {
+        assert!(
+            p.mem_used_bytes * 10 < capacity,
+            "batch {}: {} bytes is not 'considerably lower' than 24 GB",
+            p.batch,
+            p.mem_used_bytes
+        );
+    }
+}
+
+#[test]
+fn fig8_shape_api_share_crossover() {
+    let profiles = sweep();
+    let b1 = &profiles[0];
+    let b64 = profiles.last().expect("non-empty");
+    // Batch 1: library loading dominates, synchronization is minor.
+    assert!(b1.lib_load_pct > 60.0, "lib load at batch 1: {}%", b1.lib_load_pct);
+    assert!(b1.sync_pct < 15.0, "sync at batch 1: {}%", b1.sync_pct);
+    // Shares move monotonically in opposite directions.
+    for w in profiles.windows(2) {
+        assert!(w[1].lib_load_pct < w[0].lib_load_pct);
+        assert!(w[1].sync_pct > w[0].sync_pct);
+    }
+    // By batch 64 synchronization has overtaken library loading (paper:
+    // 45.40% and above cuLibraryLoadData).
+    assert!(
+        b64.sync_pct > b64.lib_load_pct,
+        "no crossover by batch 64: sync {}% vs lib {}%",
+        b64.sync_pct,
+        b64.lib_load_pct
+    );
+    assert!(b64.sync_pct > 40.0);
+}
+
+#[test]
+fn table3_shape_kernel_mix_rotates_from_gemm_to_conv() {
+    let profiles = sweep();
+    let b1 = &profiles[0];
+    let b64 = profiles.last().expect("non-empty");
+    // Batch 1: matrix multiplication leads convolution.
+    assert!(b1.gemm_pct > b1.conv_pct, "b1: gemm {} conv {}", b1.gemm_pct, b1.conv_pct);
+    assert!(b1.gemm_pct > 30.0);
+    // Batch 64: convolution dominates (paper: 77.2%).
+    assert!(b64.conv_pct > 50.0, "b64 conv {}%", b64.conv_pct);
+    assert!(b64.gemm_pct < 10.0, "b64 gemm {}%", b64.gemm_pct);
+    // Pooling stays within a stable band across the sweep (paper: 8.6–17.1).
+    for p in &profiles {
+        assert!(
+            (4.0..20.0).contains(&p.pool_pct),
+            "batch {}: pool {}% left the stable band",
+            p.batch,
+            p.pool_pct
+        );
+    }
+    // Monotone trends.
+    for w in profiles.windows(2) {
+        assert!(w[1].gemm_pct <= w[0].gemm_pct);
+        assert!(w[1].conv_pct >= w[0].conv_pct);
+    }
+}
