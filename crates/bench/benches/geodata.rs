@@ -36,7 +36,9 @@ fn bench_hydrology(c: &mut Criterion) {
     let mut group = c.benchmark_group("hydrology_256");
     group.throughput(Throughput::Elements(256 * 256));
     group.bench_function("priority_flood_fill", |b| b.iter(|| fill_depressions(&dem)));
-    group.bench_function("d8_flow_directions", |b| b.iter(|| flow_directions(&filled)));
+    group.bench_function("d8_flow_directions", |b| {
+        b.iter(|| flow_directions(&filled))
+    });
     group.bench_function("flow_accumulation", |b| {
         b.iter(|| flow_accumulation(&filled, &dirs))
     });

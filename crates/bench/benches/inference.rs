@@ -2,7 +2,7 @@
 //! `dcd-nn` SPP-Net (the executable counterpart of the simulated numbers).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dcd_nn::{SppNet, SppNetConfig, Trainer, TrainConfig, Sample, BBox, Sgd};
+use dcd_nn::{BBox, Sample, Sgd, SppNet, SppNetConfig, TrainConfig, Trainer};
 use dcd_tensor::{SeededRng, Tensor};
 
 /// A reduced-width model (Effort::Standard in the harness) so the benches

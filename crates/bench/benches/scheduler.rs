@@ -71,5 +71,10 @@ fn bench_simulated_inference(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_schedulers, bench_dp_pruning, bench_simulated_inference);
+criterion_group!(
+    benches,
+    bench_schedulers,
+    bench_dp_pruning,
+    bench_simulated_inference
+);
 criterion_main!(benches);

@@ -43,7 +43,13 @@ fn main() {
     }
     print_table(
         "Ablation 1: scheduler family (batch 1)",
-        &["Model", "Sequential", "Greedy (Nimble-like)", "IOS DP", "IOS speedup"],
+        &[
+            "Model",
+            "Sequential",
+            "Greedy (Nimble-like)",
+            "IOS DP",
+            "IOS speedup",
+        ],
         &rows,
     );
 
@@ -101,7 +107,12 @@ fn main() {
     }
     print_table(
         "Ablation 3: device-timeline effect of the schedule (SPP-Net #2, batch 8)",
-        &["Schedule", "Kernel occupancy", "Mean concurrency", "Streams used"],
+        &[
+            "Schedule",
+            "Kernel occupancy",
+            "Mean concurrency",
+            "Streams used",
+        ],
         &rows3,
     );
     println!("\nnote: occupancy = fraction of the kernel span covered by ≥1 kernel (barrier");

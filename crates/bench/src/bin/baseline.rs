@@ -49,11 +49,20 @@ fn main() {
             n_pos += 1;
         }
     }
-    let mean_iou = if n_pos > 0 { iou_sum / n_pos as f32 } else { 0.0 };
+    let mean_iou = if n_pos > 0 {
+        iou_sum / n_pos as f32
+    } else {
+        0.0
+    };
 
     print_table(
         "§8.1: single-shot SPP-Net vs two-stage rcnn-lite",
-        &["Detector", "AP", "CNN passes / image", "mean IoU (positives)"],
+        &[
+            "Detector",
+            "AP",
+            "CNN passes / image",
+            "mean IoU (positives)",
+        ],
         &[
             vec![
                 "SPP-Net #2 (ours)".into(),

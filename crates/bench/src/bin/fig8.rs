@@ -36,7 +36,12 @@ fn main() {
     }
     print_table(
         "Fig 8: CUDA API usage shares vs batch size",
-        &["Batch", "cuLibraryLoadData", "cudaDeviceSynchronize", "other APIs"],
+        &[
+            "Batch",
+            "cuLibraryLoadData",
+            "cudaDeviceSynchronize",
+            "other APIs",
+        ],
         &rows,
     );
     match crossover {

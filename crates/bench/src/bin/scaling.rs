@@ -52,7 +52,13 @@ fn main() {
     }
     print_table(
         "Extension: data-parallel inference scaling (simulated A5500 cluster)",
-        &["GPUs", "Host model", "Round latency", "Throughput", "Scaling eff."],
+        &[
+            "GPUs",
+            "Host model",
+            "Round latency",
+            "Throughput",
+            "Scaling eff.",
+        ],
         &rows,
     );
     println!("\nnote: 'scaling eff.' is against n × a single GPU at the same per-GPU slice;");
@@ -65,15 +71,27 @@ fn main() {
     for batch in [1usize, 16, 64] {
         let mut cost = StageCostModel::new(&graph, spec.clone(), batch);
         let s = ios_schedule(&graph, &mut cost, IosOptions::default());
-        let one = HiosExecutor::new(&graph, s.clone(), batch, spec.clone(), 2, Placement::SingleGpu)
-            .measure(1, 3);
+        let one = HiosExecutor::new(
+            &graph,
+            s.clone(),
+            batch,
+            spec.clone(),
+            2,
+            Placement::SingleGpu,
+        )
+        .measure(1, 3);
         let spread = HiosExecutor::new(&graph, s, batch, spec.clone(), 2, Placement::RoundRobin)
             .measure(1, 3);
         rows2.push(vec![
             batch.to_string(),
             format!("{:.3} ms", one / 1e6),
             format!("{:.3} ms", spread / 1e6),
-            if spread < one { "spread wins" } else { "single-GPU wins" }.to_string(),
+            if spread < one {
+                "spread wins"
+            } else {
+                "single-GPU wins"
+            }
+            .to_string(),
         ]);
     }
     print_table(

@@ -16,7 +16,11 @@ use dcd_tensor::SeededRng;
 
 fn main() {
     let effort = Effort::from_args();
-    println!("effort: {effort:?} (channels {:?}, patch {})", effort.channels(), effort.patch_size());
+    println!(
+        "effort: {effort:?} (channels {:?}, patch {})",
+        effort.channels(),
+        effort.patch_size()
+    );
     let dataset = build_dataset(effort, 2022);
     println!(
         "dataset: {} train / {} test patches, {} crossings in scene",
@@ -26,7 +30,11 @@ fn main() {
     );
 
     let paper_ap = [95.00, 96.10, 96.70, 97.40];
-    let seeds: &[u64] = if effort == Effort::Quick { &[7] } else { &[7, 8, 9] };
+    let seeds: &[u64] = if effort == Effort::Quick {
+        &[7]
+    } else {
+        &[7, 8, 9]
+    };
     let mut rows = Vec::new();
     for ((name, cfg), paper) in SppNetConfig::table1().into_iter().zip(paper_ap) {
         let scaled = effort.scale_config(&cfg);
@@ -59,7 +67,13 @@ fn main() {
     }
     print_table(
         "Table 1: AP for different SPP-Net structures (mean ± std over seeds)",
-        &["Model", "Hyper-parameters", "AP (measured)", "AP (paper)", "final loss"],
+        &[
+            "Model",
+            "Hyper-parameters",
+            "AP (measured)",
+            "AP (paper)",
+            "final loss",
+        ],
         &rows,
     );
 }

@@ -15,7 +15,12 @@ use dcd_nn::SppNetConfig;
 
 fn main() {
     let pipeline = Pipeline::new(PipelineConfig::default());
-    let paper = [(0.512, 0.268), (0.419, 0.379), (0.295, 0.236), (0.562, 0.427)];
+    let paper = [
+        (0.512, 0.268),
+        (0.419, 0.379),
+        (0.295, 0.236),
+        (0.562, 0.427),
+    ];
     let mut rows = Vec::new();
     for ((name, cfg), (p_seq, p_opt)) in SppNetConfig::table1().into_iter().zip(paper) {
         let (seq_ms, opt_ms, schedule) = pipeline.benchmark(&cfg);

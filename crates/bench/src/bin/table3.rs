@@ -43,7 +43,13 @@ fn main() {
     }
     print_table(
         "Table 3: GPU kernel profiling for different batch sizes (% of kernel time)",
-        &["Batch", "MatMul %", "Pool %", "Conv %", "paper (mm/pool/conv)"],
+        &[
+            "Batch",
+            "MatMul %",
+            "Pool %",
+            "Conv %",
+            "paper (mm/pool/conv)",
+        ],
         &rows,
     );
     let first = &profiles[0];

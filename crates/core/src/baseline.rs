@@ -9,8 +9,8 @@
 //! trade-off: competitive accuracy at a much higher inference cost.
 
 use dcd_geodata::render::clip_patch;
-use dcd_nn::trainer::{TrainConfig, Trainer};
 use dcd_nn::metrics::evaluate_detections;
+use dcd_nn::trainer::{TrainConfig, Trainer};
 use dcd_nn::{BBox, Detection, PrPoint, Sample, SppNet, SppNetConfig};
 use dcd_tensor::{SeededRng, Tensor};
 
@@ -96,20 +96,22 @@ impl RcnnLite {
                 }
                 None => {
                     for _ in 0..2 {
-                        let cx = config.window / 2
-                            + rng.index(w.saturating_sub(config.window).max(1));
-                        let cy = config.window / 2
-                            + rng.index(h.saturating_sub(config.window).max(1));
-                        crops.push(Sample::negative(clip_patch(&s.image, cx, cy, config.window)));
+                        let cx =
+                            config.window / 2 + rng.index(w.saturating_sub(config.window).max(1));
+                        let cy =
+                            config.window / 2 + rng.index(h.saturating_sub(config.window).max(1));
+                        crops.push(Sample::negative(clip_patch(
+                            &s.image,
+                            cx,
+                            cy,
+                            config.window,
+                        )));
                     }
                 }
             }
         }
         Trainer::new(config.train).train(&mut scorer, &crops);
-        RcnnLite {
-            scorer,
-            config,
-        }
+        RcnnLite { scorer, config }
     }
 
     /// Number of proposals evaluated per patch (grid²) — the per-image CNN
@@ -133,8 +135,18 @@ impl RcnnLite {
         let span_y = h.saturating_sub(win);
         for gy in 0..g {
             for gx in 0..g {
-                let cx = win / 2 + if g > 1 { gx * span_x / (g - 1) } else { span_x / 2 };
-                let cy = win / 2 + if g > 1 { gy * span_y / (g - 1) } else { span_y / 2 };
+                let cx = win / 2
+                    + if g > 1 {
+                        gx * span_x / (g - 1)
+                    } else {
+                        span_x / 2
+                    };
+                let cy = win / 2
+                    + if g > 1 {
+                        gy * span_y / (g - 1)
+                    } else {
+                        span_y / 2
+                    };
                 crops.push(clip_patch(image, cx, cy, win));
                 centers.push((cx, cy));
             }

@@ -47,7 +47,9 @@ impl DrainageCrossingDetector {
     /// Detects the crossing in one `[C, H, W]` patch; `None` below the
     /// confidence threshold.
     pub fn detect(&mut self, image: &Tensor) -> Option<Detection> {
-        self.detect_batch(std::slice::from_ref(image)).pop().flatten()
+        self.detect_batch(std::slice::from_ref(image))
+            .pop()
+            .flatten()
     }
 
     /// Batch detection over patches of identical shape.
@@ -59,7 +61,13 @@ impl DrainageCrossingDetector {
         self.model
             .predict(&x)
             .into_iter()
-            .map(|d| if d.score >= self.threshold { Some(d) } else { None })
+            .map(|d| {
+                if d.score >= self.threshold {
+                    Some(d)
+                } else {
+                    None
+                }
+            })
             .collect()
     }
 

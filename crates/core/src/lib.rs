@@ -20,12 +20,17 @@
 
 pub mod baseline;
 pub mod detector;
-pub mod scan;
 pub mod pipeline;
 pub mod profiling;
+pub mod resilience;
+pub mod scan;
 
 pub use baseline::{RcnnLite, RcnnLiteConfig};
 pub use detector::DrainageCrossingDetector;
 pub use pipeline::{CandidateReport, Pipeline, PipelineConfig, PipelineResult};
 pub use profiling::{profile_batch_sweep, profile_run, BatchProfile};
-pub use scan::{match_detections, nms, scan_scene, ScanConfig, SceneDetection};
+pub use resilience::{retry_inference, ResilientRunner, RetryPolicy, RunHealth};
+pub use scan::{
+    match_detections, nms, scan_scene, scan_scene_resilient, ResilientScanReport, ScanConfig,
+    ScanError, SceneDetection, SimScanConfig,
+};

@@ -4,9 +4,12 @@
 //! `a(n) > A`. Accuracy comes from the NAS evaluator; efficiency is the
 //! IOS-optimized inference latency on the simulated RTX A5500.
 
-use dcd_gpusim::DeviceSpec;
-use dcd_ios::{ios_schedule, lower_sppnet, measure_latency, sequential_schedule, IosOptions,
-    Schedule, StageCostModel};
+use crate::resilience::{retry_inference, RetryPolicy, RunHealth};
+use dcd_gpusim::{DeviceSpec, FaultPlan, Gpu};
+use dcd_ios::{
+    ios_schedule, lower_sppnet, measure_latency, sequential_schedule, Executor, IosOptions,
+    Schedule, StageCostModel,
+};
 use dcd_nas::{Evaluator, Experiment, ExplorationStrategy};
 use dcd_nn::SppNetConfig;
 use serde::{Deserialize, Serialize};
@@ -30,6 +33,11 @@ pub struct PipelineConfig {
     pub warmup: usize,
     /// Measured iterations per latency measurement.
     pub iterations: usize,
+    /// Faults injected into every simulated measurement (`None`: healthy
+    /// device; measurements use the infallible fast path).
+    pub fault_plan: Option<FaultPlan>,
+    /// Retry policy used when `fault_plan` is set.
+    pub retry: RetryPolicy,
 }
 
 impl Default for PipelineConfig {
@@ -43,6 +51,8 @@ impl Default for PipelineConfig {
             batch_sizes: vec![1, 2, 4, 8, 16, 32, 64],
             warmup: 2,
             iterations: 5,
+            fault_plan: None,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -62,6 +72,9 @@ pub struct CandidateReport {
     pub optimized_ms: f64,
     /// The IOS schedule (stages of groups of op ids).
     pub schedule: Schedule,
+    /// Faults seen and recovery actions taken while measuring this
+    /// candidate (all-zero on a healthy device).
+    pub health: RunHealth,
 }
 
 /// One point of the batch-size sweep (Fig 6).
@@ -113,34 +126,72 @@ pub struct Pipeline {
 impl Pipeline {
     /// A pipeline with the given configuration.
     pub fn new(config: PipelineConfig) -> Self {
-        assert!(!config.batch_sizes.is_empty(), "need at least one batch size");
+        assert!(
+            !config.batch_sizes.is_empty(),
+            "need at least one batch size"
+        );
         Pipeline { config }
     }
 
     /// Benchmarks one configuration: sequential vs IOS-optimized latency at
     /// batch 1 (the Table 2 measurement).
     pub fn benchmark(&self, config: &SppNetConfig) -> (f64, f64, Schedule) {
+        let (seq, opt, schedule, _) = self.benchmark_with_health(config);
+        (seq, opt, schedule)
+    }
+
+    /// [`Pipeline::benchmark`] plus the [`RunHealth`] of the measurements —
+    /// non-trivial only when the pipeline carries a fault plan.
+    pub fn benchmark_with_health(&self, config: &SppNetConfig) -> (f64, f64, Schedule, RunHealth) {
         let graph = lower_sppnet(config, self.config.input_hw);
         let seq = sequential_schedule(&graph);
         let mut cost = StageCostModel::new(&graph, self.config.device.clone(), 1);
         let opt = ios_schedule(&graph, &mut cost, self.config.ios);
-        let t_seq = measure_latency(
-            &graph,
-            &seq,
-            1,
-            &self.config.device,
-            self.config.warmup,
-            self.config.iterations,
-        );
-        let t_opt = measure_latency(
-            &graph,
-            &opt,
-            1,
-            &self.config.device,
-            self.config.warmup,
-            self.config.iterations,
-        );
-        (t_seq.mean_ms(), t_opt.mean_ms(), opt)
+        let mut health = RunHealth::default();
+        let t_seq = self.measure(&graph, &seq, 1, &mut health);
+        let t_opt = self.measure(&graph, &opt, 1, &mut health);
+        (t_seq / 1e6, t_opt / 1e6, opt, health)
+    }
+
+    /// Mean latency of one schedule at one batch size, ns. On a healthy
+    /// device this is plain [`measure_latency`]; with a fault plan, every
+    /// inference runs under the retry policy and tallies into `health`.
+    fn measure(
+        &self,
+        graph: &dcd_ios::Graph,
+        schedule: &Schedule,
+        batch: usize,
+        health: &mut RunHealth,
+    ) -> f64 {
+        match &self.config.fault_plan {
+            None => {
+                measure_latency(
+                    graph,
+                    schedule,
+                    batch,
+                    &self.config.device,
+                    self.config.warmup,
+                    self.config.iterations,
+                )
+                .mean_ns
+            }
+            Some(plan) => {
+                let mut gpu = Gpu::new(self.config.device.clone());
+                gpu.set_fault_plan(plan.clone());
+                let mut exec = Executor::try_with_gpu(graph, schedule.clone(), batch, gpu)
+                    .unwrap_or_else(|e| panic!("measurement setup failed: {e}"));
+                for _ in 0..self.config.warmup {
+                    let _ = retry_inference(&mut exec, &self.config.retry, health);
+                }
+                let iters = self.config.iterations.max(1);
+                let mut total = 0u64;
+                for _ in 0..iters {
+                    total += retry_inference(&mut exec, &self.config.retry, health)
+                        .unwrap_or_else(|e| panic!("measurement exhausted retries: {e}"));
+                }
+                total as f64 / iters as f64
+            }
+        }
     }
 
     /// Sweeps batch sizes for one configuration, re-optimizing the schedule
@@ -217,7 +268,8 @@ impl Pipeline {
         let mut candidates: Vec<CandidateReport> = survivors
             .iter()
             .map(|t| {
-                let (sequential_ms, optimized_ms, schedule) = self.benchmark(&t.config);
+                let (sequential_ms, optimized_ms, schedule, health) =
+                    self.benchmark_with_health(&t.config);
                 CandidateReport {
                     config: t.config.clone(),
                     summary: t.config.summary(),
@@ -225,6 +277,7 @@ impl Pipeline {
                     sequential_ms,
                     optimized_ms,
                     schedule,
+                    health,
                 }
             })
             .collect();
@@ -342,13 +395,52 @@ mod tests {
     }
 
     #[test]
+    fn faulted_benchmark_reports_health() {
+        use dcd_gpusim::FaultPlan;
+        let mut cfg = quick_config();
+        cfg.fault_plan = Some(FaultPlan {
+            seed: 3,
+            launch_failure_rate: 0.02,
+            ..FaultPlan::none()
+        });
+        let p = Pipeline::new(cfg);
+        let (seq, opt, _, health) = p.benchmark_with_health(&SppNetConfig::original());
+        assert!(seq > 0.0 && opt > 0.0);
+        assert!(health.faults_seen() > 0, "fault plan injected nothing");
+        // A healthy pipeline over the same candidate reports a clean bill.
+        let clean = Pipeline::new(quick_config());
+        let (_, _, _, h2) = clean.benchmark_with_health(&SppNetConfig::original());
+        assert!(h2.is_clean());
+    }
+
+    #[test]
     fn optimal_batch_rule_detects_plateau() {
         let sweep = vec![
-            BatchPoint { batch: 1, sequential_ns_per_image: 0.0, optimized_ns_per_image: 1000.0 },
-            BatchPoint { batch: 2, sequential_ns_per_image: 0.0, optimized_ns_per_image: 600.0 },
-            BatchPoint { batch: 4, sequential_ns_per_image: 0.0, optimized_ns_per_image: 400.0 },
-            BatchPoint { batch: 8, sequential_ns_per_image: 0.0, optimized_ns_per_image: 390.0 },
-            BatchPoint { batch: 16, sequential_ns_per_image: 0.0, optimized_ns_per_image: 385.0 },
+            BatchPoint {
+                batch: 1,
+                sequential_ns_per_image: 0.0,
+                optimized_ns_per_image: 1000.0,
+            },
+            BatchPoint {
+                batch: 2,
+                sequential_ns_per_image: 0.0,
+                optimized_ns_per_image: 600.0,
+            },
+            BatchPoint {
+                batch: 4,
+                sequential_ns_per_image: 0.0,
+                optimized_ns_per_image: 400.0,
+            },
+            BatchPoint {
+                batch: 8,
+                sequential_ns_per_image: 0.0,
+                optimized_ns_per_image: 390.0,
+            },
+            BatchPoint {
+                batch: 16,
+                sequential_ns_per_image: 0.0,
+                optimized_ns_per_image: 385.0,
+            },
         ];
         assert_eq!(Pipeline::pick_optimal_batch(&sweep), 4);
     }

@@ -1,0 +1,367 @@
+//! Resilient inference on the fault-injected simulator.
+//!
+//! Production deployments scan whole watersheds ("a large volume of
+//! inferences", §5.1), where transient GPU faults are a matter of time, not
+//! chance. This module layers classic fault-tolerance policies over the
+//! fallible executor surface of `dcd-ios`/`dcd-gpusim`:
+//!
+//! * [`RetryPolicy`] — bounded attempts with exponential backoff, the
+//!   backoff *charged against the simulated host clock* so traces show the
+//!   true latency cost of recovery;
+//! * a watchdog on every `cudaDeviceSynchronize` (hangs surface as
+//!   [`GpuError::DeviceHang`] instead of blocking forever, recovered by
+//!   `cudaDeviceReset`);
+//! * OOM-driven **batch-size degradation** — halve the batch and retry
+//!   rather than abort;
+//! * **schedule fallback** — after repeated failures on the IOS-optimized
+//!   multi-stream schedule, drop to the sequential baseline (one stream,
+//!   fewer concurrent launch sites) and keep going.
+//!
+//! [`RunHealth`] aggregates everything that happened so reports can state
+//! not just *how fast* but *how bumpy* a run was.
+
+use dcd_gpusim::{Gpu, GpuError};
+use dcd_ios::{ExecError, Executor, Graph, Schedule};
+use serde::{Deserialize, Serialize};
+
+/// Bounded-retry policy with exponential backoff.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Maximum attempts per inference (first try included). At least 1.
+    pub max_attempts: u32,
+    /// Backoff before the first retry, simulated ns.
+    pub base_backoff_ns: u64,
+    /// Backoff ceiling, simulated ns.
+    pub max_backoff_ns: u64,
+    /// Watchdog deadline for each `cudaDeviceSynchronize`, simulated ns.
+    pub watchdog_ns: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff_ns: 100_000,   // 100 µs
+            max_backoff_ns: 10_000_000, // 10 ms
+            watchdog_ns: 100_000_000,   // 100 ms — far above any inference
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `retry` (0-based): `base · 2^retry`,
+    /// capped at `max_backoff_ns`.
+    pub fn backoff_ns(&self, retry: u32) -> u64 {
+        let shifted = self.base_backoff_ns.saturating_mul(1u64 << retry.min(32));
+        shifted.min(self.max_backoff_ns)
+    }
+}
+
+/// What the resilience machinery saw and did during a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunHealth {
+    /// Injected kernel-launch failures observed.
+    pub launch_failures: u64,
+    /// Injected H2D/D2H transfer failures observed.
+    pub memcpy_failures: u64,
+    /// Allocation failures (including simulated VRAM pressure).
+    pub oom_events: u64,
+    /// Watchdog-detected device hangs (each followed by a device reset).
+    pub device_hangs: u64,
+    /// Retries issued (excludes first attempts).
+    pub retries: u64,
+    /// Batch halvings forced by OOM.
+    pub degradations: u64,
+    /// IOS→sequential schedule fallbacks taken.
+    pub fallbacks: u64,
+}
+
+impl RunHealth {
+    /// Total faults observed, across all categories.
+    pub fn faults_seen(&self) -> u64 {
+        self.launch_failures + self.memcpy_failures + self.oom_events + self.device_hangs
+    }
+
+    /// True when nothing went wrong and nothing had to be done about it.
+    pub fn is_clean(&self) -> bool {
+        *self == RunHealth::default()
+    }
+
+    /// Tallies a GPU error into the matching fault counter.
+    pub fn record_error(&mut self, e: &GpuError) {
+        match e {
+            GpuError::LaunchFailed { .. } => self.launch_failures += 1,
+            GpuError::MemcpyFailed { .. } => self.memcpy_failures += 1,
+            GpuError::OutOfMemory(_) => self.oom_events += 1,
+            GpuError::DeviceHang { .. } => self.device_hangs += 1,
+        }
+    }
+
+    /// Accumulates another health record into this one.
+    pub fn merge(&mut self, other: &RunHealth) {
+        self.launch_failures += other.launch_failures;
+        self.memcpy_failures += other.memcpy_failures;
+        self.oom_events += other.oom_events;
+        self.device_hangs += other.device_hangs;
+        self.retries += other.retries;
+        self.degradations += other.degradations;
+        self.fallbacks += other.fallbacks;
+    }
+}
+
+/// Runs one inference under a retry policy, tallying into `health`.
+///
+/// Each failed attempt is recorded, then the host sleeps the backoff (on
+/// the *simulated* clock — recovery time shows up in the trace) before
+/// retrying. Returns the latency of the successful attempt, or the last
+/// error once attempts are exhausted.
+pub fn retry_inference(
+    exec: &mut Executor<'_>,
+    policy: &RetryPolicy,
+    health: &mut RunHealth,
+) -> Result<u64, GpuError> {
+    let attempts = policy.max_attempts.max(1);
+    let mut retry = 0u32;
+    loop {
+        match exec.try_run_inference(policy.watchdog_ns) {
+            Ok(ns) => return Ok(ns),
+            Err(e) => {
+                health.record_error(&e);
+                if retry + 1 >= attempts {
+                    return Err(e);
+                }
+                health.retries += 1;
+                exec.gpu_mut().host_busy(policy.backoff_ns(retry));
+                retry += 1;
+            }
+        }
+    }
+}
+
+/// An executor wrapped with the full resilience stack: retry with backoff,
+/// OOM-driven batch degradation, and fallback to a baseline schedule after
+/// the primary schedule keeps failing.
+pub struct ResilientRunner<'g> {
+    exec: Executor<'g>,
+    fallback: Schedule,
+    policy: RetryPolicy,
+    /// Everything observed and every recovery action taken so far.
+    pub health: RunHealth,
+    fell_back: bool,
+}
+
+impl<'g> ResilientRunner<'g> {
+    /// Builds a runner on a (possibly fault-planned) GPU.
+    ///
+    /// The executor is constructed at batch 1 — the smallest footprint, so
+    /// setup itself survives VRAM pressure — and then grown toward
+    /// `target_batch`, halving on OOM ([`ResilientRunner::grow_batch`]).
+    /// Fails only if the model does not fit at batch 1 or a schedule is
+    /// invalid.
+    pub fn new(
+        graph: &'g Graph,
+        primary: Schedule,
+        fallback: Schedule,
+        target_batch: usize,
+        gpu: Gpu,
+        policy: RetryPolicy,
+    ) -> Result<Self, ExecError> {
+        fallback.validate(graph)?;
+        let exec = Executor::try_with_gpu(graph, primary, 1, gpu)?;
+        let mut runner = ResilientRunner {
+            exec,
+            fallback,
+            policy,
+            health: RunHealth::default(),
+            fell_back: false,
+        };
+        runner.grow_batch(target_batch)?;
+        Ok(runner)
+    }
+
+    /// Grows the batch toward `target`, halving on OOM until an allocation
+    /// fits. Returns the batch achieved. Degradations and OOM events are
+    /// tallied in [`ResilientRunner::health`].
+    pub fn grow_batch(&mut self, target: usize) -> Result<usize, ExecError> {
+        let mut batch = target.max(1);
+        loop {
+            match self.exec.set_batch(batch) {
+                Ok(()) => return Ok(batch),
+                Err(e @ GpuError::OutOfMemory(_)) if batch > 1 => {
+                    self.health.record_error(&e);
+                    self.health.degradations += 1;
+                    batch /= 2;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Current batch size (after any degradation).
+    pub fn batch(&self) -> usize {
+        self.exec.batch()
+    }
+
+    /// Whether the runner has fallen back to the baseline schedule.
+    pub fn fell_back(&self) -> bool {
+        self.fell_back
+    }
+
+    /// The wrapped executor.
+    pub fn executor_mut(&mut self) -> &mut Executor<'g> {
+        &mut self.exec
+    }
+
+    /// Consumes the runner, returning the executor (for trace extraction).
+    pub fn into_executor(self) -> Executor<'g> {
+        self.exec
+    }
+
+    /// Runs one inference with the full recovery ladder:
+    ///
+    /// 1. retry with backoff under the current schedule;
+    /// 2. if attempts are exhausted and the primary schedule is still
+    ///    active, fall back to the baseline schedule and retry once more;
+    /// 3. only then propagate the error.
+    pub fn run(&mut self) -> Result<u64, GpuError> {
+        match retry_inference(&mut self.exec, &self.policy, &mut self.health) {
+            Ok(ns) => Ok(ns),
+            Err(first) => {
+                if self.fell_back {
+                    return Err(first);
+                }
+                self.fell_back = true;
+                self.health.fallbacks += 1;
+                self.exec
+                    .set_schedule(self.fallback.clone())
+                    .expect("fallback schedule validated at construction");
+                retry_inference(&mut self.exec, &self.policy, &mut self.health)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcd_gpusim::{DeviceSpec, FaultPlan};
+    use dcd_ios::{greedy_schedule, lower_sppnet, sequential_schedule};
+    use dcd_nn::SppNetConfig;
+
+    fn graph() -> Graph {
+        lower_sppnet(&SppNetConfig::tiny(), (16, 16))
+    }
+
+    fn gpu_with(plan: FaultPlan) -> Gpu {
+        let mut g = Gpu::new(DeviceSpec::test_gpu());
+        g.set_fault_plan(plan);
+        g
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            base_backoff_ns: 100,
+            max_backoff_ns: 350,
+            ..Default::default()
+        };
+        assert_eq!(p.backoff_ns(0), 100);
+        assert_eq!(p.backoff_ns(1), 200);
+        assert_eq!(p.backoff_ns(2), 350); // capped
+        assert_eq!(p.backoff_ns(63), 350); // no overflow
+    }
+
+    #[test]
+    fn health_tallies_and_merges() {
+        let mut h = RunHealth::default();
+        assert!(h.is_clean());
+        h.record_error(&GpuError::LaunchFailed { stream: 1 });
+        h.record_error(&GpuError::DeviceHang { watchdog_ns: 5 });
+        h.retries += 1;
+        assert_eq!(h.faults_seen(), 2);
+        assert!(!h.is_clean());
+        let mut total = RunHealth::default();
+        total.merge(&h);
+        total.merge(&h);
+        assert_eq!(total.faults_seen(), 4);
+        assert_eq!(total.retries, 2);
+    }
+
+    #[test]
+    fn retry_recovers_from_transient_launch_failures() {
+        let g = graph();
+        let plan = FaultPlan {
+            seed: 11,
+            launch_failure_rate: 0.01,
+            ..FaultPlan::none()
+        };
+        let mut exec =
+            Executor::try_with_gpu(&g, sequential_schedule(&g), 1, gpu_with(plan)).expect("fits");
+        let policy = RetryPolicy::default();
+        let mut health = RunHealth::default();
+        // Enough inferences that at least one launch draw fails.
+        let mut failures_survived = 0;
+        for _ in 0..20 {
+            retry_inference(&mut exec, &policy, &mut health).expect("retries absorb transients");
+            failures_survived = health.launch_failures;
+        }
+        assert!(failures_survived > 0, "fault plan injected nothing");
+        assert_eq!(health.retries, health.launch_failures);
+    }
+
+    #[test]
+    fn runner_degrades_batch_under_vram_pressure() {
+        let g = graph();
+        let spec = DeviceSpec::test_gpu();
+        let pressure = spec.mem_capacity - g.weight_bytes() - g.activation_bytes(6);
+        let plan = FaultPlan {
+            vram_pressure_bytes: pressure,
+            ..FaultPlan::none()
+        };
+        let mut runner = ResilientRunner::new(
+            &g,
+            greedy_schedule(&g),
+            sequential_schedule(&g),
+            16,
+            gpu_with(plan),
+            RetryPolicy::default(),
+        )
+        .expect("fits at batch 1");
+        // 16 → 8 → 4: only 6 batches' worth of activations fit.
+        assert_eq!(runner.batch(), 4);
+        assert_eq!(runner.health.degradations, 2);
+        assert_eq!(runner.health.oom_events, 2);
+        assert!(runner.run().is_ok());
+    }
+
+    #[test]
+    fn runner_falls_back_to_sequential_on_persistent_failure() {
+        let g = graph();
+        // Streams beyond 0 always fail to launch: the multi-stream greedy
+        // schedule cannot complete, the single-stream sequential one can.
+        let greedy = greedy_schedule(&g);
+        assert!(greedy.max_width() > 1, "need a multi-stream schedule");
+        let plan = FaultPlan {
+            persistent_launch_failure_streams: vec![1, 2, 3],
+            ..FaultPlan::none()
+        };
+        let mut runner = ResilientRunner::new(
+            &g,
+            greedy,
+            sequential_schedule(&g),
+            2,
+            gpu_with(plan),
+            RetryPolicy::default(),
+        )
+        .expect("fits");
+        let ns = runner.run().expect("sequential fallback completes");
+        assert!(ns > 0);
+        assert!(runner.fell_back());
+        assert_eq!(runner.health.fallbacks, 1);
+        assert!(runner.health.launch_failures >= RetryPolicy::default().max_attempts as u64);
+        // Subsequent inferences stay on the fallback and run clean.
+        let faults_before = runner.health.faults_seen();
+        assert!(runner.run().is_ok());
+        assert_eq!(runner.health.faults_seen(), faults_before);
+    }
+}

@@ -9,11 +9,17 @@
 //! non-maximum suppression.
 
 use crate::detector::DrainageCrossingDetector;
+use crate::resilience::{ResilientRunner, RetryPolicy, RunHealth};
 use dcd_geodata::render::clip_patch;
+use dcd_gpusim::{DeviceSpec, FaultPlan, Gpu, GpuError};
+use dcd_ios::{
+    ios_schedule, lower_sppnet, sequential_schedule, ExecError, IosOptions, StageCostModel,
+};
 use dcd_nn::metrics::iou;
 use dcd_nn::BBox;
 use dcd_tensor::Tensor;
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 
 /// A detection in scene (raster) coordinates.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -81,7 +87,12 @@ impl ScanConfig {
 }
 
 /// Greedy non-maximum suppression over scene detections.
-pub fn nms(mut dets: Vec<SceneDetection>, scene_w: usize, scene_h: usize, iou_threshold: f32) -> Vec<SceneDetection> {
+pub fn nms(
+    mut dets: Vec<SceneDetection>,
+    scene_w: usize,
+    scene_h: usize,
+    iou_threshold: f32,
+) -> Vec<SceneDetection> {
     dets.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
     let mut keep: Vec<SceneDetection> = Vec::new();
     for d in dets {
@@ -96,25 +107,21 @@ pub fn nms(mut dets: Vec<SceneDetection>, scene_w: usize, scene_h: usize, iou_th
     keep
 }
 
-/// Scans a rendered scene (`[bands, H, W]` tensor) with the detector.
-///
-/// Returns NMS-deduplicated detections in raster coordinates, sorted by
-/// descending score.
-pub fn scan_scene(
-    detector: &mut DrainageCrossingDetector,
-    bands: &Tensor,
-    config: &ScanConfig,
-) -> Vec<SceneDetection> {
+/// Validates the scene shape and returns `(h, w)`.
+fn scene_dims(bands: &Tensor, config: &ScanConfig) -> (usize, usize) {
     let dims = bands.dims();
     assert_eq!(dims.len(), 3, "expected [bands, H, W]");
     let (h, w) = (dims[1], dims[2]);
-    let half = config.patch_size / 2;
     assert!(
         w >= config.patch_size && h >= config.patch_size,
         "scene smaller than a patch"
     );
+    (h, w)
+}
 
-    // Tile centres covering the raster interior.
+/// Tile centres covering the raster interior at the configured stride.
+fn tile_centers(w: usize, h: usize, config: &ScanConfig) -> Vec<(usize, usize)> {
+    let half = config.patch_size / 2;
     let mut centers: Vec<(usize, usize)> = Vec::new();
     let mut cy = half;
     loop {
@@ -131,41 +138,203 @@ pub fn scan_scene(
         }
         cy += config.stride;
     }
+    centers
+}
 
-    // Batch through the detector.
-    let mut raw: Vec<SceneDetection> = Vec::new();
-    for chunk in centers.chunks(config.batch_size.max(1)) {
-        let patches: Vec<Tensor> = chunk
-            .iter()
-            .map(|&(cx, cy)| {
-                let p = clip_patch(bands, cx, cy, config.patch_size);
-                if config.normalize {
-                    p.map(|v| (v - 0.5) * 2.0)
-                } else {
-                    p
-                }
-            })
-            .collect();
-        for (det, &(cx, cy)) in detector.detect_batch(&patches).into_iter().zip(chunk) {
-            if let Some(d) = det {
-                // Patch-normalized box → raster coordinates.
-                let ps = config.patch_size as f32;
-                let x = (cx as f32 - ps / 2.0 + d.bbox.cx * ps).round();
-                let y = (cy as f32 - ps / 2.0 + d.bbox.cy * ps).round();
-                if x >= 0.0 && y >= 0.0 && (x as usize) < w && (y as usize) < h {
-                    raw.push(SceneDetection {
-                        x: x as usize,
-                        y: y as usize,
-                        score: d.score,
-                        w: (d.bbox.w * ps).max(1.0),
-                        h: (d.bbox.h * ps).max(1.0),
-                    });
-                }
+/// Runs one chunk of tile centres through the detector, appending raster-space
+/// detections to `raw`.
+fn detect_chunk(
+    detector: &mut DrainageCrossingDetector,
+    bands: &Tensor,
+    chunk: &[(usize, usize)],
+    config: &ScanConfig,
+    (h, w): (usize, usize),
+    raw: &mut Vec<SceneDetection>,
+) {
+    let patches: Vec<Tensor> = chunk
+        .iter()
+        .map(|&(cx, cy)| {
+            let p = clip_patch(bands, cx, cy, config.patch_size);
+            if config.normalize {
+                p.map(|v| (v - 0.5) * 2.0)
+            } else {
+                p
+            }
+        })
+        .collect();
+    for (det, &(cx, cy)) in detector.detect_batch(&patches).into_iter().zip(chunk) {
+        if let Some(d) = det {
+            // Patch-normalized box → raster coordinates.
+            let ps = config.patch_size as f32;
+            let x = (cx as f32 - ps / 2.0 + d.bbox.cx * ps).round();
+            let y = (cy as f32 - ps / 2.0 + d.bbox.cy * ps).round();
+            if x >= 0.0 && y >= 0.0 && (x as usize) < w && (y as usize) < h {
+                raw.push(SceneDetection {
+                    x: x as usize,
+                    y: y as usize,
+                    score: d.score,
+                    w: (d.bbox.w * ps).max(1.0),
+                    h: (d.bbox.h * ps).max(1.0),
+                });
             }
         }
     }
+}
+
+/// Scans a rendered scene (`[bands, H, W]` tensor) with the detector.
+///
+/// Returns NMS-deduplicated detections in raster coordinates, sorted by
+/// descending score.
+pub fn scan_scene(
+    detector: &mut DrainageCrossingDetector,
+    bands: &Tensor,
+    config: &ScanConfig,
+) -> Vec<SceneDetection> {
+    let (h, w) = scene_dims(bands, config);
+    let centers = tile_centers(w, h, config);
+    let mut raw: Vec<SceneDetection> = Vec::new();
+    for chunk in centers.chunks(config.batch_size.max(1)) {
+        detect_chunk(detector, bands, chunk, config, (h, w), &mut raw);
+    }
     let kept = nms(raw, w, h, config.nms_iou);
     suppress_within_radius(kept, config.nms_radius)
+}
+
+/// Simulated-deployment parameters for [`scan_scene_resilient`].
+#[derive(Debug, Clone)]
+pub struct SimScanConfig {
+    /// The simulated device the scan deploys to.
+    pub device: DeviceSpec,
+    /// Faults injected into that device (use [`FaultPlan::none`] for a
+    /// healthy deployment).
+    pub fault_plan: FaultPlan,
+    /// Retry/backoff/watchdog policy.
+    pub retry: RetryPolicy,
+    /// IOS pruning options for the optimized schedule.
+    pub ios: IosOptions,
+}
+
+impl Default for SimScanConfig {
+    fn default() -> Self {
+        SimScanConfig {
+            device: DeviceSpec::rtx_a5500(),
+            fault_plan: FaultPlan::none(),
+            retry: RetryPolicy::default(),
+            ios: IosOptions::default(),
+        }
+    }
+}
+
+/// A resilient scan's outcome: the detections plus how the deployment fared.
+#[derive(Debug, Clone)]
+pub struct ResilientScanReport {
+    /// NMS-deduplicated detections (identical to [`scan_scene`]'s output
+    /// whenever every tile eventually completed).
+    pub detections: Vec<SceneDetection>,
+    /// Faults seen and recovery actions taken.
+    pub health: RunHealth,
+    /// Inference batch size actually used (after any OOM degradation).
+    pub batch: usize,
+    /// Whether the scan fell back from the IOS schedule to the sequential
+    /// baseline.
+    pub fell_back: bool,
+    /// Total simulated host time spent in (successful and failed) inference,
+    /// ns.
+    pub sim_ns: u64,
+}
+
+/// Why a resilient scan could not complete.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScanError {
+    /// The simulated deployment could not even be set up (model does not fit
+    /// at batch 1, or a schedule failed validation).
+    Setup(ExecError),
+    /// A tile kept failing after retries *and* the sequential fallback.
+    Exhausted {
+        /// The error that ended the run.
+        last: GpuError,
+        /// Health counters up to the failure.
+        health: RunHealth,
+    },
+}
+
+impl std::fmt::Display for ScanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScanError::Setup(e) => write!(f, "scan setup failed: {e}"),
+            ScanError::Exhausted { last, .. } => {
+                write!(f, "scan exhausted recovery options: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScanError {}
+
+/// [`scan_scene`] deployed on the fault-injected simulator.
+///
+/// Each chunk of tiles is "shipped" through one simulated inference before
+/// its patches are scored, so injected faults gate progress: transient
+/// failures are retried (with simulated backoff), VRAM pressure halves the
+/// batch until the allocation fits, hangs are reset via watchdog, and a
+/// schedule that keeps failing is swapped for the sequential baseline.
+/// Because every tile is re-enqueued until its inference succeeds, the
+/// detections are identical to a fault-free [`scan_scene`] whenever the scan
+/// completes.
+pub fn scan_scene_resilient(
+    detector: &mut DrainageCrossingDetector,
+    bands: &Tensor,
+    config: &ScanConfig,
+    sim: &SimScanConfig,
+) -> Result<ResilientScanReport, ScanError> {
+    let (h, w) = scene_dims(bands, config);
+    let centers = tile_centers(w, h, config);
+
+    // Lower the detector's architecture and schedule it both ways.
+    let graph = lower_sppnet(detector.config(), (config.patch_size, config.patch_size));
+    let target_batch = config.batch_size.max(1);
+    let mut cost = StageCostModel::new(&graph, sim.device.clone(), target_batch);
+    let optimized = ios_schedule(&graph, &mut cost, sim.ios);
+    let fallback = sequential_schedule(&graph);
+    let mut gpu = Gpu::new(sim.device.clone());
+    gpu.set_fault_plan(sim.fault_plan.clone());
+    let mut runner =
+        ResilientRunner::new(&graph, optimized, fallback, target_batch, gpu, sim.retry)
+            .map_err(ScanError::Setup)?;
+
+    // Work queue of tile centres; each iteration takes at most the *current*
+    // batch, so a degraded batch automatically re-chunks the remaining work.
+    let mut queue: VecDeque<(usize, usize)> = centers.into();
+    let mut raw: Vec<SceneDetection> = Vec::new();
+    let mut sim_ns = 0u64;
+    let mut chunk: Vec<(usize, usize)> = Vec::new();
+    while !queue.is_empty() {
+        chunk.clear();
+        while chunk.len() < runner.batch() {
+            match queue.pop_front() {
+                Some(c) => chunk.push(c),
+                None => break,
+            }
+        }
+        match runner.run() {
+            Ok(ns) => sim_ns += ns,
+            Err(last) => {
+                return Err(ScanError::Exhausted {
+                    last,
+                    health: runner.health,
+                })
+            }
+        }
+        detect_chunk(detector, bands, &chunk, config, (h, w), &mut raw);
+    }
+    let kept = nms(raw, w, h, config.nms_iou);
+    Ok(ResilientScanReport {
+        detections: suppress_within_radius(kept, config.nms_radius),
+        health: runner.health,
+        batch: runner.batch(),
+        fell_back: runner.fell_back(),
+        sim_ns,
+    })
 }
 
 /// Keeps only the highest-scored detection within each `radius`-cell
@@ -282,6 +451,49 @@ mod tests {
         let (p, r) = match_detections(&dets, &truths, 5);
         assert!((p - 0.5).abs() < 1e-6, "second detection must not re-match");
         assert!((r - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn resilient_scan_matches_plain_scan_under_transient_faults() {
+        use dcd_gpusim::FaultPlan;
+        use dcd_nn::SppNet;
+        // An untrained model suffices: detections just have to be
+        // deterministic, not good.
+        let mut arch = SppNetConfig::tiny();
+        arch.in_channels = 4;
+        let model = SppNet::new(arch, &mut SeededRng::new(5));
+        let mut detector = crate::detector::DrainageCrossingDetector::from_model(model);
+        detector.threshold = 0.0; // fire everywhere
+        let cfg = small_config();
+        let ds = PatchDataset::generate(&cfg, 21);
+        let bands = render_bands(&ds.scene, 0.03, &mut SeededRng::new(9));
+        let scan = ScanConfig {
+            batch_size: 8,
+            stride: 24,
+            ..ScanConfig::for_patch(48)
+        };
+        let plain = scan_scene(&mut detector, &bands, &scan);
+        let sim = SimScanConfig {
+            device: DeviceSpec::test_gpu(),
+            fault_plan: FaultPlan {
+                seed: 77,
+                launch_failure_rate: 0.02,
+                memcpy_failure_rate: 0.01,
+                ..FaultPlan::none()
+            },
+            ..SimScanConfig::default()
+        };
+        let report = scan_scene_resilient(&mut detector, &bands, &scan, &sim)
+            .expect("transient faults are absorbed");
+        assert_eq!(
+            report.detections, plain,
+            "faults must not change detections"
+        );
+        assert!(report.health.faults_seen() > 0, "plan injected nothing");
+        assert!(report.health.retries > 0);
+        assert!(!report.fell_back);
+        assert_eq!(report.batch, 8);
+        assert!(report.sim_ns > 0);
     }
 
     #[test]

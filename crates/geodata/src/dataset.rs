@@ -75,8 +75,16 @@ impl PatchDataset {
                 continue;
             }
             let j = config.center_jitter as i64;
-            let jx = if j > 0 { rng.index(2 * j as usize + 1) as i64 - j } else { 0 };
-            let jy = if j > 0 { rng.index(2 * j as usize + 1) as i64 - j } else { 0 };
+            let jx = if j > 0 {
+                rng.index(2 * j as usize + 1) as i64 - j
+            } else {
+                0
+            };
+            let jy = if j > 0 {
+                rng.index(2 * j as usize + 1) as i64 - j
+            } else {
+                0
+            };
             // Patch centre = crossing + jitter, clamped inside the raster.
             let px = (cx as i64 + jx).clamp(half, w - half - 1);
             let py = (cy as i64 + jy).clamp(half, h - half - 1);
@@ -89,23 +97,30 @@ impl PatchDataset {
                 BBox::new(bx, by, config.box_size, config.box_size),
             ));
         }
-        // Negatives: random centres far from every crossing.
+        // Negatives: random centres far from every crossing. If the scene is
+        // so dense with crossings that no centre clears the full half-patch
+        // margin, relax the margin (halving it, down to a floor) rather than
+        // emit a dataset with no negative class at all.
         let n_neg = (scene.crossings.len() as f32 * config.negatives_per_positive).round() as usize;
-        let min_dist = (size / 2) as i64;
+        let mut min_dist = (size / 2) as i64;
         let mut placed = 0;
-        let mut attempts = 0;
-        while placed < n_neg && attempts < n_neg * 100 {
-            attempts += 1;
-            let px = half + rng.index((w - size as i64).max(1) as usize) as i64;
-            let py = half + rng.index((h - size as i64).max(1) as usize) as i64;
-            let clear = scene.crossings.iter().all(|&(cx, cy)| {
-                (cx as i64 - px).abs().max((cy as i64 - py).abs()) > min_dist
-            });
-            if clear {
-                let image = normalize(clip_patch(&bands, px as usize, py as usize, size));
-                samples.push(Sample::negative(image));
-                placed += 1;
+        while placed == 0 && min_dist >= 4 {
+            let mut attempts = 0;
+            while placed < n_neg && attempts < n_neg * 100 {
+                attempts += 1;
+                let px = half + rng.index((w - size as i64).max(1) as usize) as i64;
+                let py = half + rng.index((h - size as i64).max(1) as usize) as i64;
+                let clear = scene
+                    .crossings
+                    .iter()
+                    .all(|&(cx, cy)| (cx as i64 - px).abs().max((cy as i64 - py).abs()) > min_dist);
+                if clear {
+                    let image = normalize(clip_patch(&bands, px as usize, py as usize, size));
+                    samples.push(Sample::negative(image));
+                    placed += 1;
+                }
             }
+            min_dist /= 2;
         }
 
         // Shuffle then split 80/20 (paper §6.1).

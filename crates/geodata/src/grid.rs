@@ -141,7 +141,7 @@ mod tests {
         let mut g = Grid::new(4, 3);
         g.set(2, 1, 5.0);
         assert_eq!(g.get(2, 1), 5.0);
-        assert_eq!(g.data()[1 * 4 + 2], 5.0);
+        assert_eq!(g.data()[4 + 2], 5.0);
     }
 
     #[test]

@@ -169,7 +169,10 @@ impl Connectivity {
         tolerance: usize,
     ) -> f32 {
         assert_eq!(self.stream_mask.len(), reference.stream_mask.len());
-        assert!(width > 0 && self.stream_mask.len().is_multiple_of(width), "bad raster width");
+        assert!(
+            width > 0 && self.stream_mask.len().is_multiple_of(width),
+            "bad raster width"
+        );
         let height = self.stream_mask.len() / width;
         // Dilate this network's mask by `tolerance`.
         let mut dilated = vec![false; self.stream_mask.len()];
@@ -321,7 +324,11 @@ mod tests {
         let filled = fill_depressions(&dem);
         // Pit raised to its spill level; no cell below its lowest border
         // path remains.
-        assert!(filled.get(4, 4) > 90.0, "pit filled to {}", filled.get(4, 4));
+        assert!(
+            filled.get(4, 4) > 90.0,
+            "pit filled to {}",
+            filled.get(4, 4)
+        );
         // Already-drained cells untouched.
         assert_eq!(filled.get(0, 0), dem.get(0, 0));
     }

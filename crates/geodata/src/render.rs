@@ -52,8 +52,8 @@ fn pixel_spectrum(scene: &Scene, x: usize, y: usize) -> Spectrum {
         let acc = scene.flow_acc.get(x, y);
         let wet = (acc.ln_1p() / 6.0).clamp(0.0, 1.0);
         let mut s = [0.0f32; 4];
-        for band in 0..4 {
-            s[band] = SOIL.0[band] * (1.0 - wet) + VEGETATION.0[band] * wet;
+        for (band, v) in s.iter_mut().enumerate() {
+            *v = SOIL.0[band] * (1.0 - wet) + VEGETATION.0[band] * wet;
         }
         Spectrum(s)
     }
@@ -170,7 +170,11 @@ mod tests {
                 }
             }
         }
-        assert!(sum / n as f32 > 0.45, "mean background NIR {}", sum / n as f32);
+        assert!(
+            sum / n as f32 > 0.45,
+            "mean background NIR {}",
+            sum / n as f32
+        );
     }
 
     #[test]

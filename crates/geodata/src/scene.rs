@@ -180,7 +180,10 @@ mod tests {
         let s = small_scene(43);
         for &(x, y) in &s.crossings {
             assert!(s.roads.get(x, y) > 0.0, "crossing off-road at ({x},{y})");
-            assert!(s.streams.get(x, y) > 0.0, "crossing off-stream at ({x},{y})");
+            assert!(
+                s.streams.get(x, y) > 0.0,
+                "crossing off-stream at ({x},{y})"
+            );
         }
     }
 

@@ -47,8 +47,12 @@ impl RgbImage {
     pub fn draw_box(&mut self, cx: usize, cy: usize, r: usize, rgb: [u8; 3]) {
         let (cx, cy, r) = (cx as i64, cy as i64, r as i64);
         for d in -r..=r {
-            for &(x, y) in &[(cx + d, cy - r), (cx + d, cy + r), (cx - r, cy + d), (cx + r, cy + d)]
-            {
+            for &(x, y) in &[
+                (cx + d, cy - r),
+                (cx + d, cy + r),
+                (cx - r, cy + d),
+                (cx + r, cy + d),
+            ] {
                 if x >= 0 && y >= 0 {
                     self.put(x as usize, y as usize, rgb);
                 }

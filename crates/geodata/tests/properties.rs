@@ -68,8 +68,8 @@ proptest! {
         let dem = fill_depressions(&random_dem(w, h, seed));
         let dirs = flow_directions(&dem);
         let acc = flow_accumulation(&dem, &dirs);
-        for i in 0..dem.len() {
-            if let Some(t) = dirs[i] {
+        for (i, dir) in dirs.iter().enumerate() {
+            if let Some(t) = *dir {
                 prop_assert!(acc.data()[t] >= acc.data()[i]);
             }
         }
@@ -79,8 +79,8 @@ proptest! {
     fn flow_directions_always_descend(w in 8usize..24, h in 8usize..24, seed in 0u64..10_000) {
         let dem = fill_depressions(&random_dem(w, h, seed));
         let dirs = flow_directions(&dem);
-        for i in 0..dem.len() {
-            if let Some(t) = dirs[i] {
+        for (i, dir) in dirs.iter().enumerate() {
+            if let Some(t) = *dir {
                 prop_assert!(dem.data()[t] < dem.data()[i], "uphill flow at {i}");
             }
         }

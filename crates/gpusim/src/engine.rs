@@ -15,6 +15,7 @@
 //! the paper's Fig 8 observes synchronization cost growing with batch size.
 
 use crate::device::DeviceSpec;
+use crate::fault::{FaultInjector, FaultKind, FaultPlan};
 use crate::kernel::KernelDesc;
 use crate::trace::{ApiKind, CopyDir, Trace, TraceRecord};
 use std::collections::VecDeque;
@@ -29,7 +30,7 @@ pub struct OutOfMemory {
     pub requested: u64,
     /// Bytes already in use.
     pub in_use: u64,
-    /// Device capacity.
+    /// Usable capacity (device capacity minus any injected VRAM pressure).
     pub capacity: u64,
 }
 
@@ -44,6 +45,64 @@ impl std::fmt::Display for OutOfMemory {
 }
 
 impl std::error::Error for OutOfMemory {}
+
+/// Unified error type for every fallible engine operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GpuError {
+    /// An allocation exceeded the usable device memory.
+    OutOfMemory(OutOfMemory),
+    /// A kernel launch returned an error (injected fault).
+    LaunchFailed {
+        /// Stream the launch targeted.
+        stream: StreamId,
+    },
+    /// A memcpy enqueue returned an error (injected fault).
+    MemcpyFailed {
+        /// Stream the copy targeted.
+        stream: StreamId,
+        /// Transfer direction.
+        dir: CopyDir,
+        /// Bytes the copy would have moved.
+        bytes: u64,
+    },
+    /// `cudaDeviceSynchronize` did not finish within the watchdog deadline.
+    DeviceHang {
+        /// The watchdog budget that was exceeded, ns.
+        watchdog_ns: u64,
+    },
+}
+
+impl std::fmt::Display for GpuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GpuError::OutOfMemory(oom) => oom.fmt(f),
+            GpuError::LaunchFailed { stream } => {
+                write!(f, "kernel launch failed on stream {stream}")
+            }
+            GpuError::MemcpyFailed { stream, dir, bytes } => {
+                write!(
+                    f,
+                    "{} of {bytes} bytes failed on stream {stream}",
+                    dir.label()
+                )
+            }
+            GpuError::DeviceHang { watchdog_ns } => {
+                write!(
+                    f,
+                    "device synchronize exceeded the {watchdog_ns} ns watchdog"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for GpuError {}
+
+impl From<OutOfMemory> for GpuError {
+    fn from(oom: OutOfMemory) -> Self {
+        GpuError::OutOfMemory(oom)
+    }
+}
 
 /// Identifier of a recorded CUDA event.
 pub type EventId = usize;
@@ -65,6 +124,8 @@ struct QueuedOp {
     /// Events that must have fired before this op may start
     /// (`cudaStreamWaitEvent` semantics).
     wait_events: Vec<EventId>,
+    /// Injected hang: once started, this op never completes.
+    hangs: bool,
 }
 
 /// An op currently executing on the device.
@@ -101,6 +162,12 @@ pub struct Gpu {
     event_trackers: Vec<EventTracker>,
     /// Waits registered for the next op enqueued on a stream.
     pending_waits: Vec<Vec<EventId>>,
+    /// Fault injector, when a plan is installed. `None` and an empty plan
+    /// behave identically (bit-identical traces).
+    fault: Option<FaultInjector>,
+    /// True once a never-completing kernel has been enqueued; only
+    /// [`Gpu::device_reset`] clears it.
+    hung: bool,
 }
 
 #[derive(Debug, Clone)]
@@ -130,6 +197,8 @@ impl Gpu {
             events: Vec::new(),
             event_trackers: Vec::new(),
             pending_waits: Vec::new(),
+            fault: None,
+            hung: false,
         };
         let dur = gpu.spec.api_library_load_ns as f64;
         gpu.record_api(ApiKind::LibraryLoadData, gpu.host_ns, dur);
@@ -139,6 +208,29 @@ impl Gpu {
         gpu.stream_busy.push(false);
         gpu.pending_waits.push(Vec::new());
         gpu
+    }
+
+    /// Creates a context with a fault plan installed from the start.
+    pub fn with_faults(spec: DeviceSpec, plan: FaultPlan) -> Self {
+        let mut gpu = Gpu::new(spec);
+        gpu.set_fault_plan(plan);
+        gpu
+    }
+
+    /// Installs (or replaces) the fault plan, resetting injector state.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = Some(FaultInjector::new(plan));
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref().map(|f| f.plan())
+    }
+
+    /// Whether a never-completing kernel is on the device (cleared only by
+    /// [`Gpu::device_reset`]).
+    pub fn is_hung(&self) -> bool {
+        self.hung
     }
 
     /// The device specification.
@@ -186,14 +278,26 @@ impl Gpu {
         self.streams.len() - 1
     }
 
-    /// Allocates device memory (capacity-checked).
-    pub fn malloc(&mut self, bytes: u64) -> Result<(), OutOfMemory> {
-        if self.mem_used + bytes > self.spec.mem_capacity {
-            return Err(OutOfMemory {
+    /// Allocates device memory, checked against the usable capacity
+    /// (device capacity minus any injected VRAM pressure).
+    pub fn malloc(&mut self, bytes: u64) -> Result<(), GpuError> {
+        let pressure = self.fault.as_ref().map_or(0, |f| f.vram_pressure_bytes());
+        let usable = self.spec.mem_capacity.saturating_sub(pressure);
+        if self.mem_used + bytes > usable {
+            if pressure > 0 && self.mem_used + bytes <= self.spec.mem_capacity {
+                // The allocation only failed because of the injected
+                // pressure — record the fault.
+                self.trace.push(TraceRecord::Fault {
+                    kind: FaultKind::VramPressure,
+                    stream: None,
+                    start_ns: self.host_ns as u64,
+                });
+            }
+            return Err(GpuError::OutOfMemory(OutOfMemory {
                 requested: bytes,
                 in_use: self.mem_used,
-                capacity: self.spec.mem_capacity,
-            });
+                capacity: usable,
+            }));
         }
         let dur = self.spec.api_malloc_ns as f64;
         self.record_api(ApiKind::Malloc, self.host_ns, dur);
@@ -210,32 +314,92 @@ impl Gpu {
         self.mem_used = self.mem_used.saturating_sub(bytes);
     }
 
-    /// Enqueues an asynchronous host↔device copy on a stream.
-    pub fn memcpy_async(&mut self, stream: StreamId, dir: CopyDir, bytes: u64) {
+    /// Enqueues an asynchronous host↔device copy on a stream, reporting an
+    /// injected transfer fault if the plan fires one. The API overhead is
+    /// charged either way (the call happened).
+    pub fn try_memcpy_async(
+        &mut self,
+        stream: StreamId,
+        dir: CopyDir,
+        bytes: u64,
+    ) -> Result<(), GpuError> {
         assert!(stream < self.streams.len(), "unknown stream {stream}");
         let dur = self.spec.api_memcpy_ns as f64;
         self.record_api(ApiKind::MemcpyAsync, self.host_ns, dur);
         self.host_ns += dur;
+        if let Some(f) = self.fault.as_mut() {
+            if f.memcpy_fails(stream) {
+                self.trace.push(TraceRecord::Fault {
+                    kind: FaultKind::MemcpyFailure,
+                    stream: Some(stream),
+                    start_ns: self.host_ns as u64,
+                });
+                return Err(GpuError::MemcpyFailed { stream, dir, bytes });
+            }
+        }
         let wait_events = std::mem::take(&mut self.pending_waits[stream]);
         self.streams[stream].push_back(QueuedOp {
             op: DeviceOp::Memcpy { dir, bytes },
             visible_at_ns: self.host_ns,
             wait_events,
+            hangs: false,
         });
+        Ok(())
     }
 
-    /// Enqueues a kernel launch on a stream (asynchronous).
-    pub fn launch_kernel(&mut self, stream: StreamId, desc: KernelDesc) {
+    /// Enqueues an asynchronous host↔device copy on a stream (infallible
+    /// convenience; panics if a fault plan injects a failure).
+    pub fn memcpy_async(&mut self, stream: StreamId, dir: CopyDir, bytes: u64) {
+        self.try_memcpy_async(stream, dir, bytes)
+            .expect("memcpy failed under fault injection; use try_memcpy_async");
+    }
+
+    /// Enqueues a kernel launch on a stream, reporting an injected launch
+    /// fault if the plan fires one. The API overhead is charged either way.
+    pub fn try_launch_kernel(
+        &mut self,
+        stream: StreamId,
+        desc: KernelDesc,
+    ) -> Result<(), GpuError> {
         assert!(stream < self.streams.len(), "unknown stream {stream}");
         let dur = self.spec.api_launch_ns as f64;
         self.record_api(ApiKind::LaunchKernel, self.host_ns, dur);
         self.host_ns += dur;
+        let mut hangs = false;
+        if let Some(f) = self.fault.as_mut() {
+            if f.launch_fails(stream) {
+                self.trace.push(TraceRecord::Fault {
+                    kind: FaultKind::LaunchFailure,
+                    stream: Some(stream),
+                    start_ns: self.host_ns as u64,
+                });
+                return Err(GpuError::LaunchFailed { stream });
+            }
+            hangs = f.hang_on_this_kernel();
+        }
+        if hangs {
+            self.hung = true;
+            self.trace.push(TraceRecord::Fault {
+                kind: FaultKind::DeviceHang,
+                stream: Some(stream),
+                start_ns: self.host_ns as u64,
+            });
+        }
         let wait_events = std::mem::take(&mut self.pending_waits[stream]);
         self.streams[stream].push_back(QueuedOp {
             op: DeviceOp::Kernel(desc),
             visible_at_ns: self.host_ns,
             wait_events,
+            hangs,
         });
+        Ok(())
+    }
+
+    /// Enqueues a kernel launch on a stream (infallible convenience; panics
+    /// if a fault plan injects a failure).
+    pub fn launch_kernel(&mut self, stream: StreamId, desc: KernelDesc) {
+        self.try_launch_kernel(stream, desc)
+            .expect("kernel launch failed under fault injection; use try_launch_kernel");
     }
 
     /// Records an event on a stream (`cudaEventRecord`): the event fires
@@ -307,6 +471,9 @@ impl Gpu {
     }
 
     /// Blocks the host until every stream drains; returns the wait in ns.
+    ///
+    /// Panics if a never-completing kernel is on the device — fault-planned
+    /// callers must use [`Gpu::try_device_synchronize`] with a watchdog.
     pub fn device_synchronize(&mut self) -> u64 {
         let call_start = self.host_ns;
         let drained_at = self.run_device(f64::INFINITY);
@@ -315,6 +482,58 @@ impl Gpu {
         self.record_api(ApiKind::DeviceSynchronize, call_start, dur);
         self.host_ns = resume;
         dur as u64
+    }
+
+    /// `cudaDeviceSynchronize` under a watchdog: blocks the host until every
+    /// stream drains, but gives up once `watchdog_ns` of host time has
+    /// passed. On expiry the call returns [`GpuError::DeviceHang`] with the
+    /// watchdog charged to the host clock; partial device progress up to the
+    /// deadline is kept. Recovery from a true hang requires
+    /// [`Gpu::device_reset`].
+    pub fn try_device_synchronize(&mut self, watchdog_ns: u64) -> Result<u64, GpuError> {
+        let call_start = self.host_ns;
+        let deadline = call_start + watchdog_ns as f64;
+        let reached = self.run_device(deadline);
+        if self.device_has_work() {
+            let dur = watchdog_ns as f64;
+            self.record_api(ApiKind::DeviceSynchronize, call_start, dur);
+            self.host_ns = call_start + dur;
+            return Err(GpuError::DeviceHang { watchdog_ns });
+        }
+        let resume = reached.max(self.host_ns) + self.spec.api_sync_ns as f64;
+        let dur = resume - call_start;
+        self.record_api(ApiKind::DeviceSynchronize, call_start, dur);
+        self.host_ns = resume;
+        Ok(dur as u64)
+    }
+
+    /// Resets the device after a fault: discards every queued and running
+    /// op (including a hung kernel), fires orphaned events so later waits
+    /// cannot deadlock, and clears the hang flag. Allocations survive (this
+    /// models a stream/context teardown, not a full `cudaDeviceReset`), so
+    /// callers re-enqueue work without re-uploading weights.
+    pub fn device_reset(&mut self) {
+        let dur = 100_000.0; // 100 µs: context teardown + re-arm
+        self.record_api(ApiKind::DeviceReset, self.host_ns, dur);
+        self.host_ns += dur;
+        for q in &mut self.streams {
+            q.clear();
+        }
+        for b in &mut self.stream_busy {
+            *b = false;
+        }
+        self.inflight.clear();
+        for w in &mut self.pending_waits {
+            w.clear();
+        }
+        self.event_trackers.clear();
+        let now = self.host_ns;
+        for e in &mut self.events {
+            if e.is_none() {
+                *e = Some(now);
+            }
+        }
+        self.hung = false;
     }
 
     /// Advances the host clock without touching the device (models CPU work
@@ -357,6 +576,8 @@ impl Gpu {
                         (t, 1.0)
                     }
                 };
+                // A hung op occupies its stream (and its demand) forever.
+                let remaining = if q.hangs { f64::INFINITY } else { remaining };
                 self.inflight.push(InflightOp {
                     op: q.op,
                     stream: s,
@@ -369,8 +590,11 @@ impl Gpu {
         }
     }
 
-    /// Execution rate of each inflight op under processor sharing.
-    fn rates(&self) -> Vec<f64> {
+    /// Execution rate of each inflight op under processor sharing at device
+    /// time `now` (the time matters only for thermal throttling, which
+    /// scales kernel rates inside its window).
+    fn rates(&self, now: f64) -> Vec<f64> {
+        let throttle = self.fault.as_ref().map_or(1.0, |f| f.throttle_factor(now));
         // Kernels share the SM/bandwidth pool by demand; memcpys share PCIe
         // per direction equally.
         let kernel_demand: f64 = self
@@ -382,24 +606,41 @@ impl Gpu {
         let h2d = self
             .inflight
             .iter()
-            .filter(|op| matches!(op.op, DeviceOp::Memcpy { dir: CopyDir::H2D, .. }))
+            .filter(|op| {
+                matches!(
+                    op.op,
+                    DeviceOp::Memcpy {
+                        dir: CopyDir::H2D,
+                        ..
+                    }
+                )
+            })
             .count()
             .max(1) as f64;
         let d2h = self
             .inflight
             .iter()
-            .filter(|op| matches!(op.op, DeviceOp::Memcpy { dir: CopyDir::D2H, .. }))
+            .filter(|op| {
+                matches!(
+                    op.op,
+                    DeviceOp::Memcpy {
+                        dir: CopyDir::D2H,
+                        ..
+                    }
+                )
+            })
             .count()
             .max(1) as f64;
         self.inflight
             .iter()
             .map(|op| match &op.op {
                 DeviceOp::Kernel(_) => {
-                    if kernel_demand <= 1.0 {
-                        1.0
-                    } else {
-                        1.0 / kernel_demand
-                    }
+                    throttle
+                        * if kernel_demand <= 1.0 {
+                            1.0
+                        } else {
+                            1.0 / kernel_demand
+                        }
                 }
                 DeviceOp::Memcpy { dir, .. } => match dir {
                     CopyDir::H2D => 1.0 / h2d,
@@ -449,15 +690,16 @@ impl Gpu {
                 now = now.max(next_visible);
                 continue;
             }
-            let rates = self.rates();
-            // Earliest completion among inflight ops.
+            let rates = self.rates(now);
+            // Earliest completion among inflight ops (a hung op has infinite
+            // remaining time and never wins this min on its own).
             let (idx, completion) = self
                 .inflight
                 .iter()
                 .zip(rates.iter())
                 .enumerate()
                 .map(|(i, (op, r))| (i, now + op.remaining_ns / r))
-                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("comparable times"))
                 .expect("non-empty inflight");
             // Earliest op becoming visible on an idle stream (could add
             // parallelism before the completion). Event-blocked heads wake
@@ -475,7 +717,20 @@ impl Gpu {
                 .filter(|&t| t > now)
                 .fold(f64::INFINITY, f64::min);
 
-            let event = completion.min(next_visible);
+            // A throttle-window edge changes kernel rates, so it is a
+            // simulation event like any completion or arrival.
+            let boundary = self
+                .fault
+                .as_ref()
+                .map_or(f64::INFINITY, |f| f.next_throttle_boundary(now));
+
+            let event = completion.min(next_visible).min(boundary);
+            if event.is_infinite() && deadline.is_infinite() {
+                panic!(
+                    "device hung: an inflight op will never complete \
+                     (synchronize with try_device_synchronize and a watchdog)"
+                );
+            }
             if event > deadline {
                 // Advance partially to the deadline and stop.
                 let dt = deadline - now;
@@ -492,7 +747,16 @@ impl Gpu {
                 op.remaining_ns -= dt * r;
             }
             now = event;
-            if completion <= next_visible {
+            if let Some(f) = self.fault.as_mut() {
+                for (kind, at_ns) in f.take_throttle_crossings(now) {
+                    self.trace.push(TraceRecord::Fault {
+                        kind,
+                        stream: None,
+                        start_ns: at_ns,
+                    });
+                }
+            }
+            if completion <= next_visible && completion <= boundary {
                 let done = self.inflight.remove(idx);
                 self.stream_busy[done.stream] = false;
                 // Event bookkeeping: completions on this stream count down
@@ -608,7 +872,9 @@ mod tests {
             .records
             .iter()
             .filter_map(|r| match r {
-                TraceRecord::Kernel { start_ns, dur_ns, .. } => Some((*start_ns, *dur_ns)),
+                TraceRecord::Kernel {
+                    start_ns, dur_ns, ..
+                } => Some((*start_ns, *dur_ns)),
                 _ => None,
             })
             .collect();
@@ -631,7 +897,9 @@ mod tests {
             .records
             .iter()
             .filter_map(|r| match r {
-                TraceRecord::Kernel { start_ns, dur_ns, .. } => Some((*start_ns, *dur_ns)),
+                TraceRecord::Kernel {
+                    start_ns, dur_ns, ..
+                } => Some((*start_ns, *dur_ns)),
                 _ => None,
             })
             .collect();
@@ -658,7 +926,9 @@ mod tests {
             .records
             .iter()
             .filter_map(|r| match r {
-                TraceRecord::Kernel { start_ns, dur_ns, .. } => Some((*start_ns, *dur_ns)),
+                TraceRecord::Kernel {
+                    start_ns, dur_ns, ..
+                } => Some((*start_ns, *dur_ns)),
                 _ => None,
             })
             .collect();
@@ -684,8 +954,10 @@ mod tests {
         assert!(g.malloc(1 << 29).is_ok());
         assert_eq!(g.mem_used(), 1 << 29);
         assert!(g.malloc(1 << 29).is_ok());
-        let err = g.malloc(1).unwrap_err();
-        assert_eq!(err.capacity, 1 << 30);
+        match g.malloc(1).unwrap_err() {
+            GpuError::OutOfMemory(oom) => assert_eq!(oom.capacity, 1 << 30),
+            other => panic!("expected OOM, got {other:?}"),
+        }
         g.free(1 << 29);
         assert!(g.malloc(1).is_ok());
     }
@@ -723,7 +995,10 @@ mod tests {
         // still holds ~1 ms of work.
         assert!(wait < 100_000, "stream sync waited {wait} ns");
         let full = g.device_synchronize();
-        assert!(full > 500_000, "device sync should still wait for stream 0, got {full}");
+        assert!(
+            full > 500_000,
+            "device sync should still wait for stream 0, got {full}"
+        );
     }
 
     #[test]
@@ -800,7 +1075,9 @@ mod tests {
             .records
             .iter()
             .filter_map(|r| match r {
-                TraceRecord::Kernel { start_ns, dur_ns, .. } => Some((*start_ns, *dur_ns)),
+                TraceRecord::Kernel {
+                    start_ns, dur_ns, ..
+                } => Some((*start_ns, *dur_ns)),
                 _ => None,
             })
             .collect();
@@ -828,7 +1105,9 @@ mod tests {
             .records
             .iter()
             .filter_map(|r| match r {
-                TraceRecord::Kernel { stream, start_ns, .. } => Some((*stream, *start_ns)),
+                TraceRecord::Kernel {
+                    stream, start_ns, ..
+                } => Some((*stream, *start_ns)),
                 _ => None,
             })
             .collect();
@@ -838,6 +1117,188 @@ mod tests {
             vec![0, s1, s2],
             "chain must execute in dependency order"
         );
+    }
+
+    #[test]
+    fn vram_pressure_shrinks_usable_capacity_and_records_fault() {
+        use crate::fault::FaultPlan;
+        let plan = FaultPlan {
+            vram_pressure_bytes: 1 << 29, // half the 1 GiB test GPU
+            ..FaultPlan::none()
+        };
+        let mut g = Gpu::with_faults(DeviceSpec::test_gpu(), plan);
+        assert!(g.malloc(1 << 28).is_ok());
+        let err = g.malloc(1 << 29).unwrap_err(); // fits real capacity, not usable
+        match err {
+            GpuError::OutOfMemory(oom) => assert_eq!(oom.capacity, 1 << 29),
+            other => panic!("expected OOM, got {other:?}"),
+        }
+        assert_eq!(g.trace().fault_count(FaultKind::VramPressure), 1);
+    }
+
+    #[test]
+    fn persistent_stream_launch_fails_while_stream0_succeeds() {
+        use crate::fault::FaultPlan;
+        let plan = FaultPlan {
+            persistent_launch_failure_streams: vec![1],
+            ..FaultPlan::none()
+        };
+        let mut g = Gpu::with_faults(DeviceSpec::test_gpu(), plan);
+        let s1 = g.create_stream();
+        assert!(g.try_launch_kernel(0, conv_kernel(1.0, 32.0)).is_ok());
+        let err = g.try_launch_kernel(s1, conv_kernel(1.0, 32.0)).unwrap_err();
+        assert_eq!(err, GpuError::LaunchFailed { stream: s1 });
+        assert_eq!(g.trace().fault_count(FaultKind::LaunchFailure), 1);
+        g.device_synchronize();
+    }
+
+    #[test]
+    fn hang_trips_watchdog_and_reset_recovers() {
+        use crate::fault::FaultPlan;
+        let plan = FaultPlan {
+            hang_after_kernels: Some(1),
+            ..FaultPlan::none()
+        };
+        let mut g = Gpu::with_faults(DeviceSpec::test_gpu(), plan);
+        g.try_launch_kernel(0, conv_kernel(10.0, 32.0)).unwrap(); // completes
+        g.try_launch_kernel(0, conv_kernel(10.0, 32.0)).unwrap(); // hangs
+        assert!(g.is_hung());
+        let before = g.host_ns();
+        let err = g.try_device_synchronize(5_000_000).unwrap_err();
+        assert_eq!(
+            err,
+            GpuError::DeviceHang {
+                watchdog_ns: 5_000_000
+            }
+        );
+        // The watchdog wait was charged to the host clock.
+        assert_eq!(g.host_ns() - before, 5_000_000);
+        assert_eq!(g.trace().fault_count(FaultKind::DeviceHang), 1);
+        g.device_reset();
+        assert!(!g.is_hung());
+        // The device accepts and completes fresh work.
+        g.try_launch_kernel(0, conv_kernel(10.0, 32.0)).unwrap();
+        assert!(g.try_device_synchronize(5_000_000).is_ok());
+    }
+
+    #[test]
+    fn throttle_window_slows_kernels_inside_it() {
+        use crate::fault::{FaultPlan, ThrottleWindow};
+        // Free-running kernel: ~1 ms isolated. Throttle 0.5× over a window
+        // covering the whole run → roughly doubles the duration.
+        let mut free = gpu();
+        free.launch_kernel(0, conv_kernel(1_000.0, 100.0));
+        free.device_synchronize();
+        let free_dur = free
+            .trace()
+            .records
+            .iter()
+            .find_map(|r| match r {
+                TraceRecord::Kernel { dur_ns, .. } => Some(*dur_ns),
+                _ => None,
+            })
+            .expect("kernel record");
+
+        let plan = FaultPlan {
+            throttle: Some(ThrottleWindow {
+                start_ns: 0,
+                end_ns: u64::MAX,
+                factor: 0.5,
+            }),
+            ..FaultPlan::none()
+        };
+        let mut hot = Gpu::with_faults(DeviceSpec::test_gpu(), plan);
+        hot.launch_kernel(0, conv_kernel(1_000.0, 100.0));
+        hot.device_synchronize();
+        let hot_dur = hot
+            .trace()
+            .records
+            .iter()
+            .find_map(|r| match r {
+                TraceRecord::Kernel { dur_ns, .. } => Some(*dur_ns),
+                _ => None,
+            })
+            .expect("kernel record");
+        let ratio = hot_dur as f64 / free_dur as f64;
+        assert!((ratio - 2.0).abs() < 0.05, "throttle ratio {ratio}");
+    }
+
+    #[test]
+    fn throttle_boundary_splits_execution_and_is_traced() {
+        use crate::fault::{FaultPlan, ThrottleWindow};
+        // The kernel starts after library load (~1 ms) + launch overhead.
+        // Throttle kicks in mid-kernel; the total must be longer than free
+        // running but shorter than fully-throttled.
+        let mut free = gpu();
+        free.launch_kernel(0, conv_kernel(1_000.0, 100.0));
+        free.device_synchronize();
+        let free_dur = free
+            .trace()
+            .records
+            .iter()
+            .find_map(|r| match r {
+                TraceRecord::Kernel {
+                    start_ns, dur_ns, ..
+                } => Some((*start_ns, *dur_ns)),
+                _ => None,
+            })
+            .expect("kernel record");
+
+        let mid = free_dur.0 + free_dur.1 / 2;
+        let plan = FaultPlan {
+            throttle: Some(ThrottleWindow {
+                start_ns: mid,
+                end_ns: u64::MAX,
+                factor: 0.5,
+            }),
+            ..FaultPlan::none()
+        };
+        let mut hot = Gpu::with_faults(DeviceSpec::test_gpu(), plan);
+        hot.launch_kernel(0, conv_kernel(1_000.0, 100.0));
+        hot.device_synchronize();
+        let hot_dur = hot
+            .trace()
+            .records
+            .iter()
+            .find_map(|r| match r {
+                TraceRecord::Kernel { dur_ns, .. } => Some(*dur_ns),
+                _ => None,
+            })
+            .expect("kernel record");
+        assert!(
+            hot_dur > free_dur.1 * 11 / 10,
+            "hot {hot_dur} vs free {}",
+            free_dur.1
+        );
+        assert!(
+            hot_dur < free_dur.1 * 2,
+            "hot {hot_dur} vs free {}",
+            free_dur.1
+        );
+        assert_eq!(hot.trace().fault_count(FaultKind::ThrottleStart), 1);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical_to_no_plan() {
+        use crate::fault::FaultPlan;
+        let drive = |g: &mut Gpu| {
+            let s1 = g.create_stream();
+            g.malloc(1 << 20).unwrap();
+            g.memcpy_async(0, CopyDir::H2D, 1 << 20);
+            g.launch_kernel(0, conv_kernel(50.0, 100.0));
+            g.launch_kernel(s1, conv_kernel(20.0, 32.0));
+            let ev = g.record_event(0);
+            g.stream_wait_event(s1, ev);
+            g.launch_kernel(s1, conv_kernel(10.0, 32.0));
+            g.memcpy_async(0, CopyDir::D2H, 1 << 10);
+            g.device_synchronize();
+        };
+        let mut plain = gpu();
+        drive(&mut plain);
+        let mut planned = Gpu::with_faults(DeviceSpec::test_gpu(), FaultPlan::none());
+        drive(&mut planned);
+        assert_eq!(plain.trace().records, planned.trace().records);
+        assert_eq!(plain.host_ns(), planned.host_ns());
     }
 
     #[test]

@@ -1,0 +1,362 @@
+//! Seeded, deterministic fault injection for the simulated GPU.
+//!
+//! A [`FaultPlan`] describes *what can go wrong* during a simulation run:
+//! transient kernel-launch and memcpy failures, streams that fail
+//! persistently, reduced usable VRAM (pressure from a co-tenant process),
+//! a thermal-throttling window, and a device hang. A [`FaultInjector`]
+//! turns the plan into concrete, reproducible decisions: every decision is
+//! a pure function of the plan seed and a per-category draw counter, so a
+//! run with the same plan replays the same faults — and a *retry* of a
+//! failed call draws a fresh sample, which is what makes transient faults
+//! transient.
+//!
+//! An empty plan (the [`Default`]) injects nothing; the engine behaves
+//! bit-identically to a fault-free run (see the property tests).
+
+use serde::{Deserialize, Serialize};
+
+/// The category of an injected fault, as recorded in the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A `cudaLaunchKernel` that returned an error.
+    LaunchFailure,
+    /// A `cudaMemcpyAsync` that returned an error.
+    MemcpyFailure,
+    /// An allocation that failed only because of injected VRAM pressure.
+    VramPressure,
+    /// Thermal throttling began (kernel rates scaled down).
+    ThrottleStart,
+    /// Thermal throttling ended.
+    ThrottleEnd,
+    /// A kernel that will never complete was enqueued.
+    DeviceHang,
+}
+
+impl FaultKind {
+    /// Report label for the profiler.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::LaunchFailure => "launch failure",
+            FaultKind::MemcpyFailure => "memcpy failure",
+            FaultKind::VramPressure => "vram pressure",
+            FaultKind::ThrottleStart => "throttle start",
+            FaultKind::ThrottleEnd => "throttle end",
+            FaultKind::DeviceHang => "device hang",
+        }
+    }
+}
+
+/// A thermal-throttling window in device time: kernels executing inside
+/// `[start_ns, end_ns)` progress at `factor` times their normal rate.
+/// Memcpys are unaffected (PCIe does not thermally throttle with the SMs).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThrottleWindow {
+    /// Window start, device-time ns.
+    pub start_ns: u64,
+    /// Window end, device-time ns.
+    pub end_ns: u64,
+    /// Rate multiplier in `(0, 1]` applied to kernels inside the window.
+    pub factor: f64,
+}
+
+/// A declarative description of the faults to inject into one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed for all probabilistic decisions.
+    pub seed: u64,
+    /// Probability in `[0, 1]` that any one kernel launch fails transiently.
+    pub launch_failure_rate: f64,
+    /// Probability in `[0, 1]` that any one memcpy fails transiently.
+    pub memcpy_failure_rate: f64,
+    /// Streams on which *every* kernel launch fails (a persistent fault:
+    /// retries never help; callers must fall back to other streams).
+    pub persistent_launch_failure_streams: Vec<usize>,
+    /// Bytes of device memory unavailable to the simulation (co-tenant
+    /// pressure). Allocations are checked against `capacity − pressure`.
+    pub vram_pressure_bytes: u64,
+    /// Optional thermal-throttling window.
+    pub throttle: Option<ThrottleWindow>,
+    /// After this many successful kernel enqueues, the next kernel never
+    /// completes: synchronization can only end by watchdog.
+    pub hang_after_kernels: Option<u64>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            launch_failure_rate: 0.0,
+            memcpy_failure_rate: 0.0,
+            persistent_launch_failure_streams: Vec::new(),
+            vram_pressure_bytes: 0,
+            throttle: None,
+            hang_after_kernels: None,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether this plan can ever inject a fault.
+    pub fn is_empty(&self) -> bool {
+        self.launch_failure_rate <= 0.0
+            && self.memcpy_failure_rate <= 0.0
+            && self.persistent_launch_failure_streams.is_empty()
+            && self.vram_pressure_bytes == 0
+            && self.throttle.is_none()
+            && self.hang_after_kernels.is_none()
+    }
+}
+
+/// SplitMix64: one step of the seed-expansion generator. Decisions hash
+/// `seed ^ salt ^ counter` through this, so each category has an
+/// independent, reproducible stream.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Maps a hash to a uniform draw in `[0, 1)`.
+fn unit(x: u64) -> f64 {
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+const SALT_LAUNCH: u64 = 0x4C41_554E_4348_0001;
+const SALT_MEMCPY: u64 = 0x4D45_4D43_5059_0002;
+
+/// Stateful decision-maker over a [`FaultPlan`]. Owned by the engine; one
+/// injector per `Gpu`.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    launch_draws: u64,
+    memcpy_draws: u64,
+    kernels_enqueued: u64,
+    throttle_start_recorded: bool,
+    throttle_end_recorded: bool,
+}
+
+impl FaultInjector {
+    /// An injector executing the given plan from its first decision.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector {
+            plan,
+            launch_draws: 0,
+            memcpy_draws: 0,
+            kernels_enqueued: 0,
+            throttle_start_recorded: false,
+            throttle_end_recorded: false,
+        }
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Decides whether this kernel launch fails. Persistent streams always
+    /// fail; otherwise one transient draw is consumed, so a retry samples a
+    /// fresh decision.
+    pub fn launch_fails(&mut self, stream: usize) -> bool {
+        if self
+            .plan
+            .persistent_launch_failure_streams
+            .contains(&stream)
+        {
+            return true;
+        }
+        if self.plan.launch_failure_rate <= 0.0 {
+            return false;
+        }
+        let draw = splitmix64(self.plan.seed ^ SALT_LAUNCH ^ self.launch_draws);
+        self.launch_draws += 1;
+        unit(draw) < self.plan.launch_failure_rate
+    }
+
+    /// Decides whether this memcpy fails (one transient draw consumed).
+    pub fn memcpy_fails(&mut self, _stream: usize) -> bool {
+        if self.plan.memcpy_failure_rate <= 0.0 {
+            return false;
+        }
+        let draw = splitmix64(self.plan.seed ^ SALT_MEMCPY ^ self.memcpy_draws);
+        self.memcpy_draws += 1;
+        unit(draw) < self.plan.memcpy_failure_rate
+    }
+
+    /// Injected VRAM pressure in bytes.
+    pub fn vram_pressure_bytes(&self) -> u64 {
+        self.plan.vram_pressure_bytes
+    }
+
+    /// Counts a successful kernel enqueue; returns `true` exactly once,
+    /// when the hang threshold is crossed — that kernel never completes.
+    pub fn hang_on_this_kernel(&mut self) -> bool {
+        let Some(after) = self.plan.hang_after_kernels else {
+            return false;
+        };
+        let hit = self.kernels_enqueued == after;
+        self.kernels_enqueued += 1;
+        hit
+    }
+
+    /// Kernel rate multiplier at device time `now_ns` (1.0 outside any
+    /// throttle window).
+    pub fn throttle_factor(&self, now_ns: f64) -> f64 {
+        match &self.plan.throttle {
+            Some(w) if now_ns >= w.start_ns as f64 && now_ns < w.end_ns as f64 => w.factor,
+            _ => 1.0,
+        }
+    }
+
+    /// The next device time at which the throttle factor changes, or
+    /// infinity if it never will.
+    pub fn next_throttle_boundary(&self, now_ns: f64) -> f64 {
+        match &self.plan.throttle {
+            Some(w) if now_ns < w.start_ns as f64 => w.start_ns as f64,
+            Some(w) if now_ns < w.end_ns as f64 => w.end_ns as f64,
+            _ => f64::INFINITY,
+        }
+    }
+
+    /// Throttle boundaries crossed by advancing device time to `now_ns`,
+    /// each reported exactly once (for trace recording).
+    pub fn take_throttle_crossings(&mut self, now_ns: f64) -> Vec<(FaultKind, u64)> {
+        let mut out = Vec::new();
+        if let Some(w) = &self.plan.throttle {
+            if !self.throttle_start_recorded && now_ns >= w.start_ns as f64 {
+                self.throttle_start_recorded = true;
+                out.push((FaultKind::ThrottleStart, w.start_ns));
+            }
+            if !self.throttle_end_recorded && now_ns >= w.end_ns as f64 {
+                self.throttle_end_recorded = true;
+                out.push((FaultKind::ThrottleEnd, w.end_ns));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let mut inj = FaultInjector::new(FaultPlan::none());
+        assert!(FaultPlan::none().is_empty());
+        for s in 0..4 {
+            assert!(!inj.launch_fails(s));
+            assert!(!inj.memcpy_fails(s));
+            assert!(!inj.hang_on_this_kernel());
+        }
+        assert_eq!(inj.vram_pressure_bytes(), 0);
+        assert_eq!(inj.throttle_factor(123.0), 1.0);
+        assert!(inj.next_throttle_boundary(0.0).is_infinite());
+    }
+
+    #[test]
+    fn decisions_replay_deterministically() {
+        let plan = FaultPlan {
+            seed: 42,
+            launch_failure_rate: 0.3,
+            memcpy_failure_rate: 0.2,
+            ..FaultPlan::none()
+        };
+        let mut a = FaultInjector::new(plan.clone());
+        let mut b = FaultInjector::new(plan);
+        let da: Vec<bool> = (0..64).map(|_| a.launch_fails(0)).collect();
+        let db: Vec<bool> = (0..64).map(|_| b.launch_fails(0)).collect();
+        assert_eq!(da, db);
+        let ma: Vec<bool> = (0..64).map(|_| a.memcpy_fails(0)).collect();
+        let mb: Vec<bool> = (0..64).map(|_| b.memcpy_fails(0)).collect();
+        assert_eq!(ma, mb);
+    }
+
+    #[test]
+    fn failure_rate_is_roughly_honoured() {
+        let mut inj = FaultInjector::new(FaultPlan {
+            seed: 7,
+            launch_failure_rate: 0.25,
+            ..FaultPlan::none()
+        });
+        let fails = (0..4000).filter(|_| inj.launch_fails(0)).count();
+        let rate = fails as f64 / 4000.0;
+        assert!((rate - 0.25).abs() < 0.05, "observed rate {rate}");
+    }
+
+    #[test]
+    fn persistent_stream_always_fails_and_consumes_no_draws() {
+        let mut inj = FaultInjector::new(FaultPlan {
+            seed: 1,
+            persistent_launch_failure_streams: vec![2],
+            ..FaultPlan::none()
+        });
+        for _ in 0..10 {
+            assert!(inj.launch_fails(2));
+            assert!(!inj.launch_fails(0));
+        }
+    }
+
+    #[test]
+    fn hang_triggers_exactly_once_at_threshold() {
+        let mut inj = FaultInjector::new(FaultPlan {
+            hang_after_kernels: Some(3),
+            ..FaultPlan::none()
+        });
+        let hits: Vec<bool> = (0..6).map(|_| inj.hang_on_this_kernel()).collect();
+        assert_eq!(hits, vec![false, false, false, true, false, false]);
+    }
+
+    #[test]
+    fn throttle_window_scales_and_reports_boundaries() {
+        let mut inj = FaultInjector::new(FaultPlan {
+            throttle: Some(ThrottleWindow {
+                start_ns: 100,
+                end_ns: 200,
+                factor: 0.5,
+            }),
+            ..FaultPlan::none()
+        });
+        assert_eq!(inj.throttle_factor(50.0), 1.0);
+        assert_eq!(inj.throttle_factor(150.0), 0.5);
+        assert_eq!(inj.throttle_factor(200.0), 1.0);
+        assert_eq!(inj.next_throttle_boundary(0.0), 100.0);
+        assert_eq!(inj.next_throttle_boundary(100.0), 200.0);
+        assert!(inj.next_throttle_boundary(250.0).is_infinite());
+        assert!(inj.take_throttle_crossings(50.0).is_empty());
+        assert_eq!(
+            inj.take_throttle_crossings(150.0),
+            vec![(FaultKind::ThrottleStart, 100)]
+        );
+        assert_eq!(
+            inj.take_throttle_crossings(300.0),
+            vec![(FaultKind::ThrottleEnd, 200)]
+        );
+        assert!(inj.take_throttle_crossings(400.0).is_empty());
+    }
+
+    #[test]
+    fn plan_roundtrips_through_value_tree() {
+        let plan = FaultPlan {
+            seed: 9,
+            launch_failure_rate: 0.1,
+            memcpy_failure_rate: 0.05,
+            persistent_launch_failure_streams: vec![1, 3],
+            vram_pressure_bytes: 1 << 20,
+            throttle: Some(ThrottleWindow {
+                start_ns: 10,
+                end_ns: 20,
+                factor: 0.25,
+            }),
+            hang_after_kernels: Some(5),
+        };
+        let back = FaultPlan::deserialize(&serde::Serialize::serialize(&plan)).unwrap();
+        assert_eq!(back, plan);
+    }
+}

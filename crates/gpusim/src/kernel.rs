@@ -161,7 +161,7 @@ mod tests {
     fn ramp_dominates_tiny_kernels() {
         let k = KernelDesc::new("tiny", KernelClass::Elementwise, 10.0, 10.0, 32.0);
         let t = k.isolated_ns(&dev());
-        assert!(t >= 1000.0 && t < 1100.0, "tiny kernel ≈ ramp, got {t}");
+        assert!((1000.0..1100.0).contains(&t), "tiny kernel ≈ ramp, got {t}");
     }
 
     #[test]

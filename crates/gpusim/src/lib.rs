@@ -29,10 +29,12 @@
 
 pub mod device;
 pub mod engine;
+pub mod fault;
 pub mod kernel;
 pub mod trace;
 
 pub use device::DeviceSpec;
-pub use engine::{Gpu, StreamId};
+pub use engine::{Gpu, GpuError, OutOfMemory, StreamId};
+pub use fault::{FaultInjector, FaultKind, FaultPlan, ThrottleWindow};
 pub use kernel::{KernelClass, KernelDesc};
 pub use trace::{ApiKind, CopyDir, Trace, TraceRecord};

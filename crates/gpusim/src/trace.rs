@@ -1,5 +1,6 @@
 //! nsys-like trace records collected during simulation.
 
+use crate::fault::FaultKind;
 use crate::kernel::KernelClass;
 use serde::{Deserialize, Serialize};
 
@@ -43,6 +44,8 @@ pub enum ApiKind {
     EventRecord,
     /// `cudaStreamWaitEvent`.
     StreamWaitEvent,
+    /// `cudaDeviceReset` (fault recovery).
+    DeviceReset,
 }
 
 impl ApiKind {
@@ -58,6 +61,7 @@ impl ApiKind {
             ApiKind::StreamCreate => "cudaStreamCreate",
             ApiKind::EventRecord => "cudaEventRecord",
             ApiKind::StreamWaitEvent => "cudaStreamWaitEvent",
+            ApiKind::DeviceReset => "cudaDeviceReset",
         }
     }
 }
@@ -98,6 +102,16 @@ pub enum TraceRecord {
         /// Transfer duration, ns.
         dur_ns: u64,
     },
+    /// An injected fault (see `dcd_gpusim::fault`).
+    Fault {
+        /// The fault category.
+        kind: FaultKind,
+        /// The stream the fault hit, when stream-scoped.
+        stream: Option<usize>,
+        /// Time of injection, ns (host time for API faults, device time for
+        /// throttle edges).
+        start_ns: u64,
+    },
 }
 
 /// A full simulation trace.
@@ -124,7 +138,9 @@ impl Trace {
         self.records
             .iter()
             .filter_map(|r| match r {
-                TraceRecord::Api { kind: k, dur_ns, .. } if *k == kind => Some(*dur_ns),
+                TraceRecord::Api {
+                    kind: k, dur_ns, ..
+                } if *k == kind => Some(*dur_ns),
                 _ => None,
             })
             .sum()
@@ -135,7 +151,9 @@ impl Trace {
         self.records
             .iter()
             .filter_map(|r| match r {
-                TraceRecord::Kernel { class: c, dur_ns, .. } if *c == class => Some(*dur_ns),
+                TraceRecord::Kernel {
+                    class: c, dur_ns, ..
+                } if *c == class => Some(*dur_ns),
                 _ => None,
             })
             .sum()
@@ -144,9 +162,28 @@ impl Trace {
     /// All memop records.
     pub fn memops(&self) -> impl Iterator<Item = (&CopyDir, u64, u64)> {
         self.records.iter().filter_map(|r| match r {
-            TraceRecord::Memop { dir, bytes, dur_ns, .. } => Some((dir, *bytes, *dur_ns)),
+            TraceRecord::Memop {
+                dir, bytes, dur_ns, ..
+            } => Some((dir, *bytes, *dur_ns)),
             _ => None,
         })
+    }
+
+    /// All injected-fault records as `(kind, stream, time_ns)`.
+    pub fn faults(&self) -> impl Iterator<Item = (FaultKind, Option<usize>, u64)> + '_ {
+        self.records.iter().filter_map(|r| match r {
+            TraceRecord::Fault {
+                kind,
+                stream,
+                start_ns,
+            } => Some((*kind, *stream, *start_ns)),
+            _ => None,
+        })
+    }
+
+    /// Number of injected faults of one kind.
+    pub fn fault_count(&self, kind: FaultKind) -> usize {
+        self.faults().filter(|(k, _, _)| *k == kind).count()
     }
 
     /// Number of records.

@@ -140,6 +140,37 @@ proptest! {
     }
 
     #[test]
+    fn empty_fault_plan_is_invisible(
+        ops in prop::collection::vec(0u8..5, 1..30), seed in 0u64..1_000,
+    ) {
+        // A present-but-empty fault plan must be bit-identical to running
+        // with no plan at all: same trace records, same clocks.
+        use dcd_gpusim::FaultPlan;
+        let drive = |gpu: &mut Gpu| {
+            let s1 = gpu.create_stream();
+            for &op in &ops {
+                match op {
+                    0 => gpu.launch_kernel(0, kernel(1e6, 0.0, 64.0)),
+                    1 => gpu.launch_kernel(s1, kernel(1e6, 1e4, 64.0)),
+                    2 => gpu.memcpy_async(0, CopyDir::H2D, 4096),
+                    3 => gpu.malloc(1024).unwrap(),
+                    _ => {
+                        gpu.device_synchronize();
+                    }
+                }
+            }
+            gpu.device_synchronize();
+        };
+        let mut plain = Gpu::new(DeviceSpec::test_gpu());
+        drive(&mut plain);
+        let mut planned = Gpu::new(DeviceSpec::test_gpu());
+        planned.set_fault_plan(FaultPlan { seed, ..FaultPlan::none() });
+        drive(&mut planned);
+        prop_assert_eq!(plain.host_ns(), planned.host_ns());
+        prop_assert_eq!(&plain.trace().records, &planned.trace().records);
+    }
+
+    #[test]
     fn memory_accounting_is_exact(
         allocs in prop::collection::vec(1u64..1_000_000, 1..10),
     ) {

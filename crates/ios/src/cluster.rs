@@ -216,7 +216,11 @@ mod tests {
             four.throughput,
             one.throughput
         );
-        assert!(four.scaling_efficiency > 0.95, "eff {}", four.scaling_efficiency);
+        assert!(
+            four.scaling_efficiency > 0.95,
+            "eff {}",
+            four.scaling_efficiency
+        );
     }
 
     #[test]

@@ -52,8 +52,7 @@ pub fn greedy_schedule(graph: &Graph) -> Schedule {
             .iter()
             .copied()
             .filter(|op| {
-                remaining.contains(op)
-                    && graph.ops[*op].inputs.iter().all(|i| done.contains(i))
+                remaining.contains(op) && graph.ops[*op].inputs.iter().all(|i| done.contains(i))
             })
             .collect();
         assert!(!ready.is_empty(), "graph has a dependency cycle");
@@ -88,11 +87,18 @@ pub fn greedy_schedule(graph: &Graph) -> Schedule {
 pub fn ios_schedule(graph: &Graph, cost: &mut StageCostModel<'_>, opts: IosOptions) -> Schedule {
     let kernel_ops = graph.kernel_ops();
     let n = kernel_ops.len();
-    assert!(n <= 63, "bitmask DP supports at most 63 kernel ops, got {n}");
+    assert!(
+        n <= 63,
+        "bitmask DP supports at most 63 kernel ops, got {n}"
+    );
     assert!(opts.max_groups >= 1 && opts.max_group_len >= 1);
 
     // op id -> bit position
-    let bit: HashMap<OpId, usize> = kernel_ops.iter().enumerate().map(|(i, &op)| (op, i)).collect();
+    let bit: HashMap<OpId, usize> = kernel_ops
+        .iter()
+        .enumerate()
+        .map(|(i, &op)| (op, i))
+        .collect();
     let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
 
     // Predecessor masks (non-kernel inputs are always satisfied).
@@ -153,7 +159,13 @@ pub fn ios_schedule(graph: &Graph, cost: &mut StageCostModel<'_>, opts: IosOptio
     let succ = graph.successors();
     let succ_bits: Vec<Vec<usize>> = kernel_ops
         .iter()
-        .map(|&op| succ[op].iter().filter_map(|s| bit.get(s)).copied().collect())
+        .map(|&op| {
+            succ[op]
+                .iter()
+                .filter_map(|s| bit.get(s))
+                .copied()
+                .collect()
+        })
         .collect();
 
     // Candidate stages (as groups of bit indices) from a state.
@@ -180,7 +192,8 @@ pub fn ios_schedule(graph: &Graph, cost: &mut StageCostModel<'_>, opts: IosOptio
             let mut claimed: u64 = seeds.iter().fold(0, |m, &s| m | (1 << s));
             let mut chained: Vec<Vec<usize>> = Vec::with_capacity(seeds.len());
             for &s in &seeds {
-                let grp = extend_chain(s, mask, claimed, &succ_bits, &pred_mask, opts.max_group_len);
+                let grp =
+                    extend_chain(s, mask, claimed, &succ_bits, &pred_mask, opts.max_group_len);
                 claimed |= grp.iter().fold(0u64, |m, &b| m | (1 << b));
                 chained.push(grp);
             }
@@ -310,7 +323,10 @@ mod tests {
         let t_greedy = cost.schedule_latency(&greedy_schedule(&g));
         assert!(t_ios <= t_seq, "ios {t_ios} > sequential {t_seq}");
         assert!(t_ios <= t_greedy, "ios {t_ios} > greedy {t_greedy}");
-        assert!(t_ios < t_seq, "ios should strictly beat the sequential baseline");
+        assert!(
+            t_ios < t_seq,
+            "ios should strictly beat the sequential baseline"
+        );
     }
 
     #[test]
@@ -325,7 +341,12 @@ mod tests {
         let mut cost = StageCostModel::new(&g, dev, 1);
         let s = ios_schedule(&g, &mut cost, IosOptions::default());
         assert_eq!(s.validate(&g), Ok(()));
-        assert_eq!(s.num_stages(), 1, "chain should fuse into one stage: {}", s.render(&g));
+        assert_eq!(
+            s.num_stages(),
+            1,
+            "chain should fuse into one stage: {}",
+            s.render(&g)
+        );
         assert_eq!(s.stages[0].groups[0], vec![1, 2, 3]);
     }
 
@@ -347,7 +368,10 @@ mod tests {
             },
         );
         assert_eq!(s.validate(&g), Ok(()));
-        assert!(s.stages.iter().all(|st| st.groups.iter().all(|gr| gr.len() <= 2)));
+        assert!(s
+            .stages
+            .iter()
+            .all(|st| st.groups.iter().all(|gr| gr.len() <= 2)));
         assert_eq!(s.num_stages(), 3); // 5 ops in chains of ≤2 → ≥3 stages
     }
 

@@ -6,8 +6,41 @@
 //! Table 2 / Fig 6.
 
 use crate::graph::Graph;
-use crate::schedule::Schedule;
-use dcd_gpusim::{CopyDir, DeviceSpec, Gpu, StreamId, Trace};
+use crate::schedule::{Schedule, ScheduleError};
+use dcd_gpusim::{CopyDir, DeviceSpec, Gpu, GpuError, StreamId, Trace};
+
+/// Typed executor error: either the schedule does not fit the graph, or the
+/// simulated device failed (allocation, launch, transfer, hang).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// The schedule failed validation against the graph.
+    InvalidSchedule(ScheduleError),
+    /// The simulated GPU reported an error.
+    Gpu(GpuError),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::InvalidSchedule(e) => write!(f, "invalid schedule: {e}"),
+            ExecError::Gpu(e) => write!(f, "gpu error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<GpuError> for ExecError {
+    fn from(e: GpuError) -> Self {
+        ExecError::Gpu(e)
+    }
+}
+
+impl From<ScheduleError> for ExecError {
+    fn from(e: ScheduleError) -> Self {
+        ExecError::InvalidSchedule(e)
+    }
+}
 
 /// Latency statistics of repeated inference runs.
 #[derive(Debug, Clone, PartialEq)]
@@ -58,25 +91,47 @@ impl<'g> Executor<'g> {
     ///
     /// Panics if the schedule is invalid for the graph or the model does not
     /// fit in device memory (the A5500's 24 GB fits every configuration the
-    /// paper sweeps).
+    /// paper sweeps). Fault-tolerant callers use [`Executor::try_new`].
     pub fn new(graph: &'g Graph, schedule: Schedule, batch: usize, spec: DeviceSpec) -> Self {
+        Self::try_new(graph, schedule, batch, spec).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Executor::new`]: returns a typed error instead of
+    /// panicking on an invalid schedule or a failed allocation.
+    pub fn try_new(
+        graph: &'g Graph,
+        schedule: Schedule,
+        batch: usize,
+        spec: DeviceSpec,
+    ) -> Result<Self, ExecError> {
+        Self::try_with_gpu(graph, schedule, batch, Gpu::new(spec))
+    }
+
+    /// Builds the context on an existing (possibly fault-planned) GPU.
+    ///
+    /// Allocation failures are reported as [`ExecError::Gpu`]; under VRAM
+    /// pressure, construct at a small batch first and grow with
+    /// [`Executor::set_batch`] so OOM degrades the batch instead of losing
+    /// the context.
+    pub fn try_with_gpu(
+        graph: &'g Graph,
+        schedule: Schedule,
+        batch: usize,
+        mut gpu: Gpu,
+    ) -> Result<Self, ExecError> {
         assert!(batch > 0, "batch must be positive");
-        schedule
-            .validate(graph)
-            .unwrap_or_else(|e| panic!("invalid schedule: {e}"));
-        let mut gpu = Gpu::new(spec);
-        gpu.malloc(graph.weight_bytes())
-            .expect("weights exceed simulated device memory");
-        gpu.malloc(graph.activation_bytes(batch))
-            .expect("activations exceed simulated device memory");
+        schedule.validate(graph)?;
+        gpu.malloc(graph.weight_bytes())?;
+        gpu.malloc(graph.activation_bytes(batch))?;
         let mut streams = vec![0usize];
         for _ in 1..schedule.max_width().max(1) {
             streams.push(gpu.create_stream());
         }
         let input = &graph.ops[0];
         let input_bytes = 4 * batch as u64 * input.out_numel() as u64;
-        let output_bytes = 4 * batch as u64 * graph.ops.last().expect("non-empty").out_numel() as u64;
-        Executor {
+        let output_bytes =
+            4 * batch as u64 * graph.ops.last().expect("non-empty").out_numel() as u64;
+        Ok(Executor {
             graph,
             schedule,
             batch,
@@ -84,12 +139,58 @@ impl<'g> Executor<'g> {
             streams,
             input_bytes,
             output_bytes,
-        }
+        })
     }
 
     /// Batch size this executor runs.
     pub fn batch(&self) -> usize {
         self.batch
+    }
+
+    /// The schedule currently executed.
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// Mutable access to the simulated GPU (fault recovery: `device_reset`,
+    /// backoff via `host_busy`).
+    pub fn gpu_mut(&mut self) -> &mut Gpu {
+        &mut self.gpu
+    }
+
+    /// Re-sizes the batch, swapping the activation allocation. On OOM the
+    /// previous allocation is restored and the executor is unchanged, so
+    /// callers can halve and retry (batch-size degradation).
+    pub fn set_batch(&mut self, batch: usize) -> Result<(), GpuError> {
+        assert!(batch > 0, "batch must be positive");
+        if batch == self.batch {
+            return Ok(());
+        }
+        let old = self.graph.activation_bytes(self.batch);
+        self.gpu.free(old);
+        if let Err(e) = self.gpu.malloc(self.graph.activation_bytes(batch)) {
+            self.gpu
+                .malloc(old)
+                .expect("restoring the previous activation allocation");
+            return Err(e);
+        }
+        self.batch = batch;
+        self.input_bytes = 4 * batch as u64 * self.graph.ops[0].out_numel() as u64;
+        self.output_bytes =
+            4 * batch as u64 * self.graph.ops.last().expect("non-empty").out_numel() as u64;
+        Ok(())
+    }
+
+    /// Swaps in a different (validated) schedule, creating any additional
+    /// streams it needs. Used by the resilience layer to fall back from an
+    /// IOS-optimized schedule to the sequential baseline.
+    pub fn set_schedule(&mut self, schedule: Schedule) -> Result<(), ExecError> {
+        schedule.validate(self.graph)?;
+        while self.streams.len() < schedule.max_width().max(1) {
+            self.streams.push(self.gpu.create_stream());
+        }
+        self.schedule = schedule;
+        Ok(())
     }
 
     /// Device memory currently allocated (weights + activations), bytes.
@@ -118,6 +219,62 @@ impl<'g> Executor<'g> {
         self.gpu.memcpy_async(0, CopyDir::D2H, self.output_bytes);
         self.gpu.device_synchronize();
         self.gpu.host_ns() - t0
+    }
+
+    /// Fallible [`Executor::run_inference`]: every CUDA call can fail under
+    /// an injected fault plan, and synchronization is bounded by a watchdog.
+    ///
+    /// On any error the device is returned to a clean state before the error
+    /// propagates — a hang triggers `cudaDeviceReset`, every other failure
+    /// drains the already-enqueued work — so the caller can retry, degrade
+    /// the batch, or fall back to another schedule on the same executor.
+    pub fn try_run_inference(&mut self, watchdog_ns: u64) -> Result<u64, GpuError> {
+        let t0 = self.gpu.host_ns();
+        let r = self.try_run_inference_inner(watchdog_ns);
+        match r {
+            Ok(()) => Ok(self.gpu.host_ns() - t0),
+            Err(e) => {
+                self.recover(watchdog_ns, &e);
+                Err(e)
+            }
+        }
+    }
+
+    fn try_run_inference_inner(&mut self, watchdog_ns: u64) -> Result<(), GpuError> {
+        self.gpu
+            .try_memcpy_async(0, CopyDir::H2D, self.input_bytes)?;
+        self.gpu.try_device_synchronize(watchdog_ns)?;
+        for stage in &self.schedule.stages {
+            let max_len = stage.groups.iter().map(|g| g.len()).max().unwrap_or(0);
+            for i in 0..max_len {
+                for (gi, group) in stage.groups.iter().enumerate() {
+                    if let Some(&op) = group.get(i) {
+                        self.gpu.try_launch_kernel(
+                            self.streams[gi],
+                            self.graph.kernel_for(op, self.batch),
+                        )?;
+                    }
+                }
+            }
+            self.gpu.try_device_synchronize(watchdog_ns)?;
+        }
+        self.gpu
+            .try_memcpy_async(0, CopyDir::D2H, self.output_bytes)?;
+        self.gpu.try_device_synchronize(watchdog_ns)?;
+        Ok(())
+    }
+
+    /// Returns the device to an idle state after a failed inference.
+    fn recover(&mut self, watchdog_ns: u64, err: &GpuError) {
+        if matches!(err, GpuError::DeviceHang { .. }) || self.gpu.is_hung() {
+            self.gpu.device_reset();
+            return;
+        }
+        // Drain whatever was already enqueued; a hang surfacing here is
+        // handled by reset as well.
+        if self.gpu.try_device_synchronize(watchdog_ns).is_err() {
+            self.gpu.device_reset();
+        }
     }
 
     /// Runs one inference using event-based stage synchronization instead
@@ -246,7 +403,11 @@ mod tests {
         let stats = measure_latency(&g, &s, 1, &DeviceSpec::test_gpu(), 2, 5);
         assert!(stats.mean_ns > 0.0);
         // Steady state: deterministic up to f64 clock rounding (≤ a few ns).
-        assert!(stats.max_ns - stats.min_ns <= 4, "jitter {}", stats.max_ns - stats.min_ns);
+        assert!(
+            stats.max_ns - stats.min_ns <= 4,
+            "jitter {}",
+            stats.max_ns - stats.min_ns
+        );
     }
 
     #[test]
@@ -364,5 +525,87 @@ mod tests {
             stages: vec![crate::schedule::Stage::solo(1)],
         };
         Executor::new(&g, s, 1, DeviceSpec::test_gpu());
+    }
+
+    #[test]
+    fn try_new_reports_typed_errors() {
+        let g = small_graph();
+        let bad = Schedule {
+            stages: vec![crate::schedule::Stage::solo(1)],
+        };
+        match Executor::try_new(&g, bad, 1, DeviceSpec::test_gpu()) {
+            Err(ExecError::InvalidSchedule(_)) => {}
+            other => panic!(
+                "expected InvalidSchedule, got {other:?}",
+                other = other.err()
+            ),
+        }
+        let mut tiny = DeviceSpec::test_gpu();
+        tiny.mem_capacity = 16;
+        match Executor::try_new(&g, sequential_schedule(&g), 1, tiny) {
+            Err(ExecError::Gpu(GpuError::OutOfMemory(_))) => {}
+            other => panic!("expected OOM, got {other:?}", other = other.err()),
+        }
+    }
+
+    #[test]
+    fn try_run_inference_matches_infallible_without_faults() {
+        let g = small_graph();
+        let s = sequential_schedule(&g);
+        let mut a = Executor::new(&g, s.clone(), 2, DeviceSpec::test_gpu());
+        let mut b = Executor::new(&g, s, 2, DeviceSpec::test_gpu());
+        let plain = a.run_inference();
+        let fallible = b.try_run_inference(u64::MAX).expect("no faults planned");
+        assert_eq!(plain, fallible);
+    }
+
+    #[test]
+    fn set_batch_restores_allocation_on_oom() {
+        let g = small_graph();
+        let s = sequential_schedule(&g);
+        let mut spec = DeviceSpec::test_gpu();
+        // Fits batch 2 but not batch 64.
+        spec.mem_capacity = g.weight_bytes() + g.activation_bytes(4);
+        let mut exec = Executor::try_new(&g, s, 2, spec).expect("batch 2 fits");
+        let before = exec.mem_used();
+        assert!(matches!(exec.set_batch(64), Err(GpuError::OutOfMemory(_))));
+        assert_eq!(exec.batch(), 2);
+        assert_eq!(exec.mem_used(), before);
+        exec.set_batch(4).expect("batch 4 fits");
+        assert_eq!(exec.batch(), 4);
+        // The executor still runs after the failed resize.
+        assert!(exec.try_run_inference(u64::MAX).is_ok());
+    }
+
+    #[test]
+    fn set_schedule_swaps_to_sequential_fallback() {
+        let g = small_graph();
+        let wide = greedy_schedule(&g);
+        let mut exec = Executor::new(&g, wide, 1, DeviceSpec::test_gpu());
+        exec.run_inference();
+        exec.set_schedule(sequential_schedule(&g)).expect("valid");
+        assert_eq!(exec.schedule().max_width(), 1);
+        assert!(exec.try_run_inference(u64::MAX).is_ok());
+    }
+
+    #[test]
+    fn hang_recovery_resets_device_and_allows_rerun() {
+        use dcd_gpusim::FaultPlan;
+        let g = small_graph();
+        let s = sequential_schedule(&g);
+        let plan = FaultPlan {
+            hang_after_kernels: Some(0),
+            ..FaultPlan::none()
+        };
+        let mut gpu = Gpu::new(DeviceSpec::test_gpu());
+        gpu.set_fault_plan(plan);
+        let mut exec = Executor::try_with_gpu(&g, s, 1, gpu).expect("fits");
+        match exec.try_run_inference(1_000_000) {
+            Err(GpuError::DeviceHang { watchdog_ns }) => assert_eq!(watchdog_ns, 1_000_000),
+            other => panic!("expected DeviceHang, got {other:?}"),
+        }
+        // The hang fired once; after reset the executor completes cleanly.
+        assert!(!exec.gpu_mut().is_hung());
+        assert!(exec.try_run_inference(1_000_000).is_ok());
     }
 }

@@ -128,9 +128,8 @@ impl Op {
                 kernel,
                 ..
             } => {
-                let macs = (*c_out * *c_in * *kernel * *kernel) as f64 * out
-                    / self.out_shape.0 as f64
-                    * b;
+                let macs =
+                    (*c_out * *c_in * *kernel * *kernel) as f64 * out / self.out_shape.0 as f64 * b;
                 let weight_bytes = 4.0 * (*c_out * *c_in * *kernel * *kernel) as f64;
                 (2.0 * macs, weight_bytes + act_bytes, out * b)
             }
@@ -152,7 +151,13 @@ impl Op {
                 )
             }
         };
-        KernelDesc::new(self.name.clone(), self.kernel_class(), flops, bytes, threads)
+        KernelDesc::new(
+            self.name.clone(),
+            self.kernel_class(),
+            flops,
+            bytes,
+            threads,
+        )
     }
 }
 
@@ -265,7 +270,11 @@ impl Graph {
 
     /// Ids of ops that launch kernels (everything but `Input`).
     pub fn kernel_ops(&self) -> Vec<OpId> {
-        self.ops.iter().filter(|o| o.has_kernel()).map(|o| o.id).collect()
+        self.ops
+            .iter()
+            .filter(|o| o.has_kernel())
+            .map(|o| o.id)
+            .collect()
     }
 
     /// Consumers of each op.
@@ -281,7 +290,11 @@ impl Graph {
 
     /// Per-sample input element count of an op (sum over producers).
     pub fn in_numel(&self, id: OpId) -> usize {
-        self.ops[id].inputs.iter().map(|&i| self.ops[i].out_numel()).sum()
+        self.ops[id]
+            .inputs
+            .iter()
+            .map(|&i| self.ops[i].out_numel())
+            .sum()
     }
 
     /// Kernel descriptor for op `id` at the given batch size.
@@ -429,14 +442,7 @@ mod tests {
     fn gemm_shape_mismatch_panics() {
         let mut g = Graph::new();
         let input = g.add_input("in", (8, 1, 1));
-        g.add(
-            "fc",
-            OpKind::Gemm {
-                in_f: 9,
-                out_f: 2,
-            },
-            vec![input],
-        );
+        g.add("fc", OpKind::Gemm { in_f: 9, out_f: 2 }, vec![input]);
     }
 
     #[test]

@@ -69,7 +69,8 @@ impl<'g> HiosExecutor<'g> {
         for _ in 0..n_gpus {
             let mut gpu = Gpu::new(spec.clone());
             gpu.malloc(graph.weight_bytes()).expect("weights fit");
-            gpu.malloc(graph.activation_bytes(batch)).expect("activations fit");
+            gpu.malloc(graph.activation_bytes(batch))
+                .expect("activations fit");
             let mut pool = vec![0usize];
             for _ in 1..width {
                 pool.push(gpu.create_stream());
@@ -206,8 +207,7 @@ mod tests {
             Placement::SingleGpu,
         );
         let t_hios = hios.measure(1, 3);
-        let t_plain =
-            crate::executor::measure_latency(&graph, &schedule, 1, &spec, 1, 3).mean_ns;
+        let t_plain = crate::executor::measure_latency(&graph, &schedule, 1, &spec, 1, 3).mean_ns;
         let ratio = t_hios / t_plain;
         assert!(
             (0.9..1.1).contains(&ratio),

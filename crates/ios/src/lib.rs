@@ -34,7 +34,7 @@ pub mod schedule;
 pub use cluster::{measure_cluster, split_batch, ClusterConfig, ClusterStats};
 pub use cost::StageCostModel;
 pub use dp::{greedy_schedule, ios_schedule, sequential_schedule, IosOptions};
-pub use executor::{measure_latency, Executor, RunStats};
+pub use executor::{measure_latency, ExecError, Executor, RunStats};
 pub use graph::{Graph, Op, OpId, OpKind};
 pub use hios::{HiosExecutor, Placement};
 pub use lower::{branched_graph, lower_sppnet};

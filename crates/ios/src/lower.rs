@@ -149,11 +149,7 @@ pub fn lower_sppnet(config: &SppNetConfig, input_hw: (usize, usize)) -> Graph {
 ///
 /// `input` is `(channels, h, w)`; each branch convolves to `branch_width`
 /// channels and adaptive-pools to 1×1.
-pub fn branched_graph(
-    branches: usize,
-    input: (usize, usize, usize),
-    branch_width: usize,
-) -> Graph {
+pub fn branched_graph(branches: usize, input: (usize, usize, usize), branch_width: usize) -> Graph {
     assert!(branches >= 1, "need at least one branch");
     let mut g = Graph::new();
     let inp = g.add_input("input", input);

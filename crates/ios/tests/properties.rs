@@ -1,9 +1,10 @@
 //! Property-based tests: scheduler correctness over random DAGs and
 //! simulator invariants.
 
-use dcd_gpusim::DeviceSpec;
+use dcd_gpusim::{DeviceSpec, FaultPlan, Gpu, GpuError};
 use dcd_ios::{
-    greedy_schedule, ios_schedule, sequential_schedule, Graph, IosOptions, OpKind, StageCostModel,
+    greedy_schedule, ios_schedule, sequential_schedule, Executor, Graph, IosOptions, OpKind,
+    StageCostModel,
 };
 use proptest::prelude::*;
 
@@ -106,6 +107,52 @@ proptest! {
         let t16 = dcd_ios::measure_latency(&g, &s, 16, &dev, 0, 1).mean_ns;
         prop_assert!(t1 > 0.0);
         prop_assert!(t16 >= t1 * 0.99, "batch 16 ({t16}) cheaper than batch 1 ({t1})");
+    }
+
+    #[test]
+    fn batch_degradation_is_monotone_and_terminates_at_one(
+        target in 1usize..128, headroom in 0usize..8, seed in 0u64..1_000,
+    ) {
+        // Under arbitrary VRAM pressure, the OOM-driven halving loop
+        // strictly decreases the batch, stops at the first fit, and in the
+        // worst case bottoms out at batch 1 (which always fits, because the
+        // runner was constructed there).
+        let g = random_graph(&[2, 2], seed);
+        let spec = DeviceSpec::test_gpu();
+        // Leave room for exactly `headroom` batches' worth of activations.
+        let fits = g.weight_bytes() + g.activation_bytes(headroom.max(1));
+        let plan = FaultPlan {
+            vram_pressure_bytes: spec.mem_capacity.saturating_sub(fits),
+            ..FaultPlan::none()
+        };
+        let mut gpu = Gpu::new(spec);
+        gpu.set_fault_plan(plan);
+        let mut exec = Executor::try_with_gpu(&g, sequential_schedule(&g), 1, gpu)
+            .expect("batch 1 always fits");
+        let mut batch = target;
+        let mut degradations = 0usize;
+        let achieved = loop {
+            prop_assert!(batch >= 1, "halving loop dropped below 1");
+            match exec.set_batch(batch) {
+                Ok(()) => break batch,
+                Err(GpuError::OutOfMemory(_)) => {
+                    prop_assert!(batch > 1, "batch 1 must never OOM here");
+                    let next = batch / 2;
+                    prop_assert!(next < batch, "degradation must be strictly monotone");
+                    batch = next;
+                    degradations += 1;
+                }
+                Err(e) => prop_assert!(false, "unexpected error {}", e),
+            }
+        };
+        prop_assert_eq!(achieved, exec.batch());
+        prop_assert!(achieved <= target);
+        prop_assert!(achieved >= 1);
+        prop_assert!(achieved <= headroom.max(1), "achieved batch cannot exceed the headroom");
+        // Halving from `target` reaches the fit in at most log2(target)+1 steps.
+        prop_assert!(degradations <= target.ilog2() as usize + 1);
+        // The degraded executor still runs.
+        prop_assert!(exec.try_run_inference(u64::MAX).is_ok());
     }
 
     #[test]

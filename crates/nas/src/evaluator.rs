@@ -70,7 +70,10 @@ impl crate::halving::BudgetedEvaluator for TrainingEvaluator {
     /// A fractional budget scales the number of training epochs — the
     /// natural rung currency for successive halving.
     fn evaluate_budgeted(&self, config: &SppNetConfig, budget: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&budget) && budget > 0.0, "budget in (0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&budget) && budget > 0.0,
+            "budget in (0, 1]"
+        );
         let mut rng = SeededRng::new(self.init_seed);
         let mut model = SppNet::new(config.clone(), &mut rng);
         let mut tc = self.train_config;

@@ -4,6 +4,7 @@ use crate::evaluator::Evaluator;
 use crate::strategy::ExplorationStrategy;
 use dcd_nn::SppNetConfig;
 use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 /// One completed trial.
@@ -19,6 +20,49 @@ pub struct Trial {
     pub score: f64,
     /// Wall-clock evaluation time, seconds.
     pub duration_s: f64,
+    /// Evaluation attempts the supervisor spent on this trial (1 when the
+    /// first attempt succeeded).
+    pub attempts: u32,
+}
+
+/// Per-trial supervision: evaluations run under `catch_unwind` with a
+/// bounded retry budget, so one crashing trial cannot kill a long NAS
+/// experiment (NNI marks such trials failed and moves on; we do the same).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrialSupervisor {
+    /// Attempts per trial; panicking evaluations are retried until the
+    /// budget is spent. At least 1.
+    pub max_attempts: u32,
+    /// Score assigned when every attempt panics. Keep it below any real
+    /// score (APs live in `[0, 1]`) so failed trials sink in the ranking
+    /// and never pass an accuracy constraint.
+    pub failed_score: f64,
+}
+
+impl Default for TrialSupervisor {
+    fn default() -> Self {
+        TrialSupervisor {
+            max_attempts: 2,
+            failed_score: -1.0,
+        }
+    }
+}
+
+impl TrialSupervisor {
+    /// Evaluates one candidate under supervision, returning the score and
+    /// the number of attempts spent. A panic on the last attempt yields
+    /// `failed_score` instead of propagating.
+    pub fn evaluate(&self, evaluator: &dyn Evaluator, config: &SppNetConfig) -> (f64, u32) {
+        let budget = self.max_attempts.max(1);
+        let mut attempt = 1;
+        loop {
+            match catch_unwind(AssertUnwindSafe(|| evaluator.evaluate(config))) {
+                Ok(score) => return (score, attempt),
+                Err(_) if attempt < budget => attempt += 1,
+                Err(_) => return (self.failed_score, attempt),
+            }
+        }
+    }
 }
 
 /// A multi-trial NAS experiment: strategy proposes, evaluator scores,
@@ -36,10 +80,23 @@ impl Experiment {
     }
 
     /// Runs trials until the strategy is exhausted or `max_trials` is hit.
+    ///
+    /// Evaluations run under the default [`TrialSupervisor`]; use
+    /// [`Experiment::run_with`] to tune the per-trial retry budget.
     pub fn run(
         strategy: &mut dyn ExplorationStrategy,
         evaluator: &dyn Evaluator,
         max_trials: usize,
+    ) -> Self {
+        Self::run_with(strategy, evaluator, max_trials, TrialSupervisor::default())
+    }
+
+    /// [`Experiment::run`] with an explicit trial supervisor.
+    pub fn run_with(
+        strategy: &mut dyn ExplorationStrategy,
+        evaluator: &dyn Evaluator,
+        max_trials: usize,
+        supervisor: TrialSupervisor,
     ) -> Self {
         let mut exp = Experiment::new();
         let mut history: Vec<(SppNetConfig, f64)> = Vec::new();
@@ -48,7 +105,7 @@ impl Experiment {
                 break;
             };
             let start = Instant::now();
-            let score = evaluator.evaluate(&config);
+            let (score, attempts) = supervisor.evaluate(evaluator, &config);
             let duration_s = start.elapsed().as_secs_f64();
             history.push((config.clone(), score));
             exp.trials.push(Trial {
@@ -57,6 +114,7 @@ impl Experiment {
                 config,
                 score,
                 duration_s,
+                attempts,
             });
         }
         exp
@@ -77,6 +135,7 @@ impl Experiment {
         max_trials: usize,
     ) -> Self {
         use rayon::prelude::*;
+        let supervisor = TrialSupervisor::default();
         let mut proposals: Vec<SppNetConfig> = Vec::new();
         while proposals.len() < max_trials {
             match strategy.next(&[]) {
@@ -84,22 +143,23 @@ impl Experiment {
                 None => break,
             }
         }
-        let scored: Vec<(SppNetConfig, f64, f64)> = proposals
+        let scored: Vec<(SppNetConfig, f64, u32, f64)> = proposals
             .into_par_iter()
             .map(|config| {
                 let start = Instant::now();
-                let score = evaluator.evaluate(&config);
-                (config, score, start.elapsed().as_secs_f64())
+                let (score, attempts) = supervisor.evaluate(evaluator, &config);
+                (config, score, attempts, start.elapsed().as_secs_f64())
             })
             .collect();
         let mut exp = Experiment::new();
-        for (config, score, duration_s) in scored {
+        for (config, score, attempts, duration_s) in scored {
             exp.trials.push(Trial {
                 id: exp.trials.len(),
                 summary: config.summary(),
                 config,
                 score,
                 duration_s,
+                attempts,
             });
         }
         exp
@@ -169,7 +229,8 @@ mod tests {
     #[test]
     fn best_and_top_k_order_by_score() {
         let mut strat = RandomSearch::new(SppNetSearchSpace::paper(), 20, 2);
-        let eval = FunctionalEvaluator::new(|c: &SppNetConfig| c.fc1 as f64 + c.conv1_kernel as f64);
+        let eval =
+            FunctionalEvaluator::new(|c: &SppNetConfig| c.fc1 as f64 + c.conv1_kernel as f64);
         let exp = Experiment::run(&mut strat, &eval, 20);
         let best = exp.best().expect("has trials");
         let top = exp.top_k(5);
@@ -182,7 +243,8 @@ mod tests {
     #[test]
     fn candidates_above_filters_by_accuracy() {
         let mut strat = RandomSearch::new(SppNetSearchSpace::paper(), 30, 3);
-        let eval = FunctionalEvaluator::new(|c: &SppNetConfig| if c.fc1 >= 2048 { 0.97 } else { 0.90 });
+        let eval =
+            FunctionalEvaluator::new(|c: &SppNetConfig| if c.fc1 >= 2048 { 0.97 } else { 0.90 });
         let exp = Experiment::run(&mut strat, &eval, 30);
         let good = exp.candidates_above(0.95);
         assert!(!good.is_empty());
@@ -213,6 +275,61 @@ mod tests {
         let mut s = RandomSearch::new(SppNetSearchSpace::paper(), 100, 1);
         let exp = Experiment::run_parallel(&mut s, &eval, 7);
         assert_eq!(exp.trials.len(), 7);
+    }
+
+    #[test]
+    fn supervisor_retries_flaky_evaluations() {
+        use std::cell::Cell;
+        // Every evaluation panics on its first attempt and succeeds on the
+        // second — the shape of a transient trial-worker crash.
+        let calls = Cell::new(0u32);
+        let eval = FunctionalEvaluator::new(|c: &SppNetConfig| {
+            calls.set(calls.get() + 1);
+            if calls.get() % 2 == 1 {
+                panic!("transient trial crash");
+            }
+            c.fc1 as f64
+        });
+        let mut strat = RandomSearch::new(SppNetSearchSpace::paper(), 5, 8);
+        let exp = Experiment::run(&mut strat, &eval, 5);
+        assert_eq!(exp.trials.len(), 5);
+        for t in &exp.trials {
+            assert_eq!(t.attempts, 2, "each trial needed exactly one retry");
+            assert_eq!(t.score, t.config.fc1 as f64, "retry recovered the score");
+        }
+    }
+
+    #[test]
+    fn supervisor_sinks_persistently_crashing_trials() {
+        let eval = FunctionalEvaluator::new(|c: &SppNetConfig| {
+            if c.conv1_kernel == 7 {
+                panic!("this architecture always crashes the worker");
+            }
+            0.9
+        });
+        let mut strat = RandomSearch::new(SppNetSearchSpace::paper(), 40, 13);
+        let exp = Experiment::run_with(
+            &mut strat,
+            &eval,
+            40,
+            TrialSupervisor {
+                max_attempts: 3,
+                failed_score: -1.0,
+            },
+        );
+        let failed: Vec<_> = exp.trials.iter().filter(|t| t.score < 0.0).collect();
+        assert!(!failed.is_empty(), "search never proposed conv1_kernel = 7");
+        for t in &failed {
+            assert_eq!(t.config.conv1_kernel, 7);
+            assert_eq!(t.attempts, 3, "budget spent before giving up");
+        }
+        // Crashing trials never pass an accuracy constraint.
+        assert!(exp
+            .candidates_above(0.5)
+            .iter()
+            .all(|t| t.config.conv1_kernel != 7));
+        // The experiment itself survived to the full budget.
+        assert_eq!(exp.trials.len(), 40);
     }
 
     #[test]

@@ -96,7 +96,8 @@ pub fn successive_halving(
         "min_budget must be in (0, 1]"
     );
     let mut rng = SeededRng::new(config.seed);
-    let mut cohort: Vec<SppNetConfig> = (0..config.cohort).map(|_| space.sample(&mut rng)).collect();
+    let mut cohort: Vec<SppNetConfig> =
+        (0..config.cohort).map(|_| space.sample(&mut rng)).collect();
     let mut budget = config.min_budget;
     let mut journal = Experiment::new();
     let mut budget_spent = 0.0;
@@ -104,7 +105,11 @@ pub fn successive_halving(
 
     loop {
         // Final rung always runs at full budget.
-        let effective = if cohort.len() <= config.eta { 1.0 } else { budget.min(1.0) };
+        let effective = if cohort.len() <= config.eta {
+            1.0
+        } else {
+            budget.min(1.0)
+        };
         last_scores = cohort
             .iter()
             .map(|cfg| {
@@ -117,6 +122,7 @@ pub fn successive_halving(
                     config: cfg.clone(),
                     score,
                     duration_s: start.elapsed().as_secs_f64(),
+                    attempts: 1,
                 });
                 score
             })
@@ -128,7 +134,11 @@ pub fn successive_halving(
         let mut order: Vec<usize> = (0..cohort.len()).collect();
         order.sort_by(|&a, &b| last_scores[b].partial_cmp(&last_scores[a]).expect("finite"));
         let keep = (cohort.len() / config.eta).max(1);
-        cohort = order.iter().take(keep).map(|&i| cohort[i].clone()).collect();
+        cohort = order
+            .iter()
+            .take(keep)
+            .map(|&i| cohort[i].clone())
+            .collect();
         budget = (budget * config.eta as f64).min(1.0);
     }
 
@@ -174,7 +184,11 @@ mod tests {
             },
         );
         // The winner must be among the largest-FC configs sampled.
-        assert!(result.winner.fc1 >= 2048, "winner fc1 {}", result.winner.fc1);
+        assert!(
+            result.winner.fc1 >= 2048,
+            "winner fc1 {}",
+            result.winner.fc1
+        );
         assert!(result.winner_score >= 11.0);
     }
 

@@ -26,7 +26,7 @@ pub mod space;
 pub mod strategy;
 
 pub use evaluator::{Evaluator, FunctionalEvaluator, TrainingEvaluator};
-pub use experiment::{Experiment, Trial};
+pub use experiment::{Experiment, Trial, TrialSupervisor};
 pub use halving::{successive_halving, BudgetedEvaluator, HalvingConfig, HalvingResult};
 pub use space::SppNetSearchSpace;
 pub use strategy::{ExplorationStrategy, GridSearch, RandomSearch, RegularizedEvolution};

@@ -55,7 +55,11 @@ impl SppNetSearchSpace {
         if self.search_fc2 {
             // None plus each width, uniformly.
             let pick = rng.index(FC_CHOICES.len() + 1);
-            cfg.fc2 = if pick == 0 { None } else { Some(FC_CHOICES[pick - 1]) };
+            cfg.fc2 = if pick == 0 {
+                None
+            } else {
+                Some(FC_CHOICES[pick - 1])
+            };
         } else {
             cfg.fc2 = self.base.fc2;
         }
@@ -65,7 +69,9 @@ impl SppNetSearchSpace {
     /// Enumerates the whole space in a deterministic order (grid search).
     pub fn enumerate(&self) -> Vec<SppNetConfig> {
         let fc2_options: Vec<Option<usize>> = if self.search_fc2 {
-            std::iter::once(None).chain(FC_CHOICES.iter().map(|&f| Some(f))).collect()
+            std::iter::once(None)
+                .chain(FC_CHOICES.iter().map(|&f| Some(f)))
+                .collect()
         } else {
             vec![self.base.fc2]
         };
@@ -97,7 +103,11 @@ impl SppNetSearchSpace {
             2 => child.fc1 = *rng.choose(&FC_CHOICES),
             _ => {
                 let pick = rng.index(FC_CHOICES.len() + 1);
-                child.fc2 = if pick == 0 { None } else { Some(FC_CHOICES[pick - 1]) };
+                child.fc2 = if pick == 0 {
+                    None
+                } else {
+                    Some(FC_CHOICES[pick - 1])
+                };
             }
         }
         child

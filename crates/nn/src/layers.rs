@@ -52,7 +52,10 @@ impl Conv2d {
     ) -> Self {
         let fan_in = c_in * kernel * kernel;
         Conv2d {
-            weight: Param::new(Tensor::kaiming([c_out, c_in, kernel, kernel], fan_in, rng), true),
+            weight: Param::new(
+                Tensor::kaiming([c_out, c_in, kernel, kernel], fan_in, rng),
+                true,
+            ),
             bias: Param::new(Tensor::zeros([c_out]), false),
             stride,
             pad,
@@ -69,11 +72,20 @@ impl Conv2d {
 impl Layer for Conv2d {
     fn forward(&mut self, x: &Tensor) -> Tensor {
         self.cached_input = Some(x.clone());
-        conv2d(x, &self.weight.value, &self.bias.value, self.stride, self.pad)
+        conv2d(
+            x,
+            &self.weight.value,
+            &self.bias.value,
+            self.stride,
+            self.pad,
+        )
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self.cached_input.as_ref().expect("Conv2d::backward before forward");
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("Conv2d::backward before forward");
         let grads = conv2d_backward(x, &self.weight.value, grad_out, self.stride, self.pad);
         self.weight.grad.axpy(1.0, &grads.weight);
         self.bias.grad.axpy(1.0, &grads.bias);
@@ -86,7 +98,10 @@ impl Layer for Conv2d {
 
     fn name(&self) -> String {
         let d = self.weight.value.dims();
-        format!("Conv2d({}->{}, k={}, s={}, p={})", d[1], d[0], d[2], self.stride, self.pad)
+        format!(
+            "Conv2d({}->{}, k={}, s={}, p={})",
+            d[1], d[0], d[2], self.stride, self.pad
+        )
     }
 }
 
@@ -154,7 +169,10 @@ impl Layer for MaxPool2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let ix = self.saved.as_ref().expect("MaxPool2d::backward before forward");
+        let ix = self
+            .saved
+            .as_ref()
+            .expect("MaxPool2d::backward before forward");
         max_pool2d_backward(grad_out, ix)
     }
 
@@ -215,7 +233,10 @@ impl Layer for SppLayer {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let shape = self.input_shape.as_ref().expect("SppLayer::backward before forward");
+        let shape = self
+            .input_shape
+            .as_ref()
+            .expect("SppLayer::backward before forward");
         let (n, c, h, w) = shape.nchw();
         let mut gx = Tensor::zeros([n, c, h, w]);
         let mut col = 0usize;
@@ -264,7 +285,10 @@ impl Layer for Flatten {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let shape = self.input_shape.clone().expect("Flatten::backward before forward");
+        let shape = self
+            .input_shape
+            .clone()
+            .expect("Flatten::backward before forward");
         grad_out.clone().reshape(shape)
     }
 
@@ -289,7 +313,10 @@ impl Linear {
     /// Kaiming-initialized fully-connected layer.
     pub fn new(in_features: usize, out_features: usize, rng: &mut SeededRng) -> Self {
         Linear {
-            weight: Param::new(Tensor::kaiming([in_features, out_features], in_features, rng), true),
+            weight: Param::new(
+                Tensor::kaiming([in_features, out_features], in_features, rng),
+                true,
+            ),
             bias: Param::new(Tensor::zeros([out_features]), false),
             cached_input: None,
         }
@@ -323,7 +350,10 @@ impl Layer for Linear {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self.cached_input.as_ref().expect("Linear::backward before forward");
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("Linear::backward before forward");
         let (m, k) = x.shape().matrix();
         let n = self.out_features();
         // gw = x^T (k×m) · go (m×n)
@@ -410,7 +440,10 @@ impl Layer for Sequential {
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 
     fn name(&self) -> String {
@@ -489,7 +522,11 @@ mod tests {
             v.iter().sum::<f32>()
         };
         let num = numeric_grad(&x, 1e-2, f);
-        assert!(gx.max_abs_diff(&num) < 0.02, "diff {}", gx.max_abs_diff(&num));
+        assert!(
+            gx.max_abs_diff(&num) < 0.02,
+            "diff {}",
+            gx.max_abs_diff(&num)
+        );
 
         let x2 = x.clone();
         let b2 = lin.bias.value.clone();
@@ -524,7 +561,11 @@ mod tests {
             let mut s = SppLayer::new([3, 1]);
             s.forward(xp).sum()
         });
-        assert!(gx.max_abs_diff(&num) < 1e-2, "diff {}", gx.max_abs_diff(&num));
+        assert!(
+            gx.max_abs_diff(&num) < 1e-2,
+            "diff {}",
+            gx.max_abs_diff(&num)
+        );
     }
 
     #[test]
@@ -590,7 +631,11 @@ mod tests {
                 .push(lin.clone());
             net2.forward(xp).sum()
         });
-        assert!(gx.max_abs_diff(&num) < 0.05, "diff {}", gx.max_abs_diff(&num));
+        assert!(
+            gx.max_abs_diff(&num) < 0.05,
+            "diff {}",
+            gx.max_abs_diff(&num)
+        );
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub fn bce_with_logits(logits: &Tensor, targets: &Tensor) -> (f32, Tensor) {
 /// `mask` has one entry per row of `pred`; rows with mask 0 contribute
 /// nothing (used to skip box regression on negative patches). The loss is
 /// averaged over *masked* elements, matching Fast R-CNN practice.
+#[allow(clippy::needless_range_loop)]
 pub fn smooth_l1(pred: &Tensor, target: &Tensor, mask: &[f32]) -> (f32, Tensor) {
     assert_eq!(pred.shape(), target.shape(), "smooth_l1: shape mismatch");
     let (rows, cols) = pred.shape().matrix();
@@ -71,6 +72,7 @@ pub fn smooth_l1(pred: &Tensor, target: &Tensor, mask: &[f32]) -> (f32, Tensor) 
 ///
 /// Returns the mean loss and its gradient (`softmax − onehot`, scaled by
 /// `1/N`). Used by the rcnn-lite baseline's classifier head and in tests.
+#[allow(clippy::needless_range_loop)]
 pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
     let (n, c) = logits.shape().matrix();
     assert_eq!(labels.len(), n, "cross_entropy: label count mismatch");

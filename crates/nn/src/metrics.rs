@@ -37,10 +37,7 @@ pub struct PrPoint {
 /// descending score.
 ///
 /// Returns `(ap, curve)`.
-pub fn average_precision(
-    detections: &[(f32, bool)],
-    num_positives: usize,
-) -> (f32, Vec<PrPoint>) {
+pub fn average_precision(detections: &[(f32, bool)], num_positives: usize) -> (f32, Vec<PrPoint>) {
     if num_positives == 0 || detections.is_empty() {
         return (0.0, Vec::new());
     }
@@ -88,7 +85,9 @@ pub fn evaluate_detections(
         .iter()
         .zip(truths.iter())
         .map(|(&(score, pbox), truth)| {
-            let matched = truth.map(|t| iou(&pbox, &t) >= iou_threshold).unwrap_or(false);
+            let matched = truth
+                .map(|t| iou(&pbox, &t) >= iou_threshold)
+                .unwrap_or(false);
             (score, matched)
         })
         .collect();

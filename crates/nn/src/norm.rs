@@ -66,6 +66,7 @@ impl BatchNorm2d {
 }
 
 impl Layer for BatchNorm2d {
+    #[allow(clippy::needless_range_loop)]
     fn forward(&mut self, x: &Tensor) -> Tensor {
         let (n, c, h, w) = x.shape().nchw();
         assert_eq!(c, self.channels(), "BatchNorm2d channel mismatch");
@@ -117,7 +118,10 @@ impl Layer for BatchNorm2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let cache = self.cache.as_ref().expect("BatchNorm2d::backward before forward");
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("BatchNorm2d::backward before forward");
         let (n, c, h, w) = cache.dims;
         let spatial = h * w;
         let count = (n * spatial) as f32;
@@ -145,8 +149,8 @@ impl Layer for BatchNorm2d {
                         let idx = (s * c + ci) * spatial + i;
                         let dy = grad_out.data()[idx];
                         let xh = cache.x_hat.data()[idx];
-                        gx.data_mut()[idx] = g * inv_std / count
-                            * (count * dy - sum_dy - xh * sum_dy_xhat);
+                        gx.data_mut()[idx] =
+                            g * inv_std / count * (count * dy - sum_dy - xh * sum_dy_xhat);
                     }
                 }
             } else {
@@ -212,7 +216,11 @@ impl Layer for Dropout {
         let keep = 1.0 - self.p;
         let mut mask = Tensor::zeros(x.shape().clone());
         for m in mask.data_mut() {
-            *m = if self.rng.chance(keep) { 1.0 / keep } else { 0.0 };
+            *m = if self.rng.chance(keep) {
+                1.0 / keep
+            } else {
+                0.0
+            };
         }
         let y = x.mul(&mask);
         self.mask = Some(mask);

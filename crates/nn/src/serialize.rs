@@ -39,7 +39,10 @@ impl std::fmt::Display for CheckpointError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CheckpointError::ParamCount { expected, actual } => {
-                write!(f, "checkpoint has {actual} parameters, model expects {expected}")
+                write!(
+                    f,
+                    "checkpoint has {actual} parameters, model expects {expected}"
+                )
             }
             CheckpointError::ParamShape { index } => {
                 write!(f, "checkpoint parameter {index} has the wrong shape")

@@ -402,7 +402,10 @@ mod tests {
         // conv1: 4·1·3·3+4; conv2: 8·4·3·3+8; conv3: 8·8·3·3+8;
         // fc1: (8·5)·32+32; heads: 32·1+1 + 32·4+4
         let spp_f = cfg.spp_features();
-        let expect = (4 * 9 + 4) + (8 * 4 * 9 + 8) + (8 * 8 * 9 + 8) + (spp_f * 32 + 32)
+        let expect = (4 * 9 + 4)
+            + (8 * 4 * 9 + 8)
+            + (8 * 8 * 9 + 8)
+            + (spp_f * 32 + 32)
             + (32 + 1)
             + (32 * 4 + 4);
         assert_eq!(net.num_params(), expect);

@@ -104,7 +104,12 @@ impl Trainer {
 
     /// [`Trainer::train_batch`] with an explicit optimizer (used by the
     /// epoch loop to apply learning-rate decay).
-    fn train_batch_with(&self, model: &mut SppNet, samples: &[&Sample], sgd: Sgd) -> (f32, f32, f32) {
+    fn train_batch_with(
+        &self,
+        model: &mut SppNet,
+        samples: &[&Sample],
+        sgd: Sgd,
+    ) -> (f32, f32, f32) {
         let (x, obj_t, box_t, mask) = Self::batch_tensors(samples);
         let out = model.forward(&x);
         let (obj_loss, grad_obj) = bce_with_logits(&out.obj_logits, &obj_t);
@@ -248,7 +253,12 @@ mod tests {
             samples.push(Sample::positive(img, BBox::new(0.5, 0.5, 0.25, 0.25)));
         }
         for _ in 0..n_neg {
-            samples.push(Sample::negative(Tensor::randn([1, 16, 16], 0.0, 0.1, &mut rng)));
+            samples.push(Sample::negative(Tensor::randn(
+                [1, 16, 16],
+                0.0,
+                0.1,
+                &mut rng,
+            )));
         }
         samples
     }
@@ -332,9 +342,11 @@ mod tests {
         let (final_ap, _) = evaluate(&mut plain, &val, 0.1);
         // Validation-selected training on the identical setup.
         let mut selected = SppNet::new(SppNetConfig::tiny(), &mut SeededRng::new(31));
-        let (_, best_ap) =
-            Trainer::new(tc).train_with_validation(&mut selected, &data, &val, 0.1);
-        assert!(best_ap + 1e-6 >= final_ap, "selected {best_ap} < final {final_ap}");
+        let (_, best_ap) = Trainer::new(tc).train_with_validation(&mut selected, &data, &val, 0.1);
+        assert!(
+            best_ap + 1e-6 >= final_ap,
+            "selected {best_ap} < final {final_ap}"
+        );
         // The restored weights actually reproduce the best validation AP.
         let (restored_ap, _) = evaluate(&mut selected, &val, 0.1);
         assert!((restored_ap - best_ap).abs() < 1e-6);

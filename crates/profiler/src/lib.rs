@@ -17,6 +17,7 @@ pub mod report;
 pub mod timeline;
 
 pub use report::{
-    api_report, kernel_report, memop_report, render_stats, ApiUsage, KernelShare, MemopStats,
+    api_report, fault_report, kernel_report, memop_report, render_stats, ApiUsage, FaultCount,
+    KernelShare, MemopStats,
 };
 pub use timeline::{timeline, TimelineStats};

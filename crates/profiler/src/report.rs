@@ -1,6 +1,6 @@
 //! Trace aggregation and text rendering.
 
-use dcd_gpusim::{ApiKind, CopyDir, KernelClass, Trace, TraceRecord};
+use dcd_gpusim::{ApiKind, CopyDir, FaultKind, KernelClass, Trace, TraceRecord};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -154,12 +154,49 @@ pub fn kernel_pct(trace: &Trace, class: KernelClass) -> f64 {
         .unwrap_or(0.0)
 }
 
+/// Occurrence count of one injected-fault category.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultCount {
+    /// Fault category label (`kernel launch failure`, …).
+    pub kind: String,
+    /// Number of injections recorded in the trace.
+    pub count: usize,
+    /// Time of the first injection, ns.
+    pub first_ns: u64,
+}
+
+/// Aggregates injected-fault records by category, sorted by descending
+/// count. Empty for a healthy (or fault-free) run.
+pub fn fault_report(trace: &Trace) -> Vec<FaultCount> {
+    let mut by_kind: HashMap<FaultKind, (usize, u64)> = HashMap::new();
+    for (kind, _stream, at_ns) in trace.faults() {
+        let e = by_kind.entry(kind).or_insert((0, u64::MAX));
+        e.0 += 1;
+        e.1 = e.1.min(at_ns);
+    }
+    let mut rows: Vec<FaultCount> = by_kind
+        .into_iter()
+        .map(|(kind, (count, first_ns))| FaultCount {
+            kind: kind.label().to_string(),
+            count,
+            first_ns,
+        })
+        .collect();
+    rows.sort_by(|a, b| b.count.cmp(&a.count).then(a.kind.cmp(&b.kind)));
+    rows
+}
+
 /// Renders the three views as a text report shaped like
 /// `nsys profile --stats=true`.
 pub fn render_stats(trace: &Trace) -> String {
     let mut out = String::new();
     writeln!(out, "** CUDA API Summary:").unwrap();
-    writeln!(out, "{:>8}  {:>14}  {:>7}  Name", "Calls", "Total (ns)", "Time %").unwrap();
+    writeln!(
+        out,
+        "{:>8}  {:>14}  {:>7}  Name",
+        "Calls", "Total (ns)", "Time %"
+    )
+    .unwrap();
     for row in api_report(trace) {
         writeln!(
             out,
@@ -185,7 +222,12 @@ pub fn render_stats(trace: &Trace) -> String {
     writeln!(out, "\n** CUDA Kernel Summary (by operator class):").unwrap();
     writeln!(out, "{:>14}  {:>7}  Class", "Total (ns)", "Time %").unwrap();
     for row in kernel_report(trace) {
-        writeln!(out, "{:>14}  {:>6.1}%  {}", row.total_ns, row.pct, row.class).unwrap();
+        writeln!(
+            out,
+            "{:>14}  {:>6.1}%  {}",
+            row.total_ns, row.pct, row.class
+        )
+        .unwrap();
     }
     if let Some(t) = crate::timeline::timeline(trace) {
         writeln!(out, "\n** Device Timeline Summary:").unwrap();
@@ -198,6 +240,14 @@ pub fn render_stats(trace: &Trace) -> String {
             t.per_stream_ns.len()
         )
         .unwrap();
+    }
+    let faults = fault_report(trace);
+    if !faults.is_empty() {
+        writeln!(out, "\n** Injected Fault Summary:").unwrap();
+        writeln!(out, "{:>8}  {:>14}  Kind", "Count", "First (ns)").unwrap();
+        for row in &faults {
+            writeln!(out, "{:>8}  {:>14}  {}", row.count, row.first_ns, row.kind).unwrap();
+        }
     }
     out
 }
@@ -353,6 +403,41 @@ mod tests {
     }
 
     #[test]
+    fn fault_report_counts_by_kind() {
+        let mut t = sample_trace();
+        t.push(TraceRecord::Fault {
+            kind: FaultKind::LaunchFailure,
+            stream: Some(1),
+            start_ns: 850,
+        });
+        t.push(TraceRecord::Fault {
+            kind: FaultKind::LaunchFailure,
+            stream: Some(2),
+            start_ns: 820,
+        });
+        t.push(TraceRecord::Fault {
+            kind: FaultKind::DeviceHang,
+            stream: None,
+            start_ns: 950,
+        });
+        let rows = fault_report(&t);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].kind, FaultKind::LaunchFailure.label());
+        assert_eq!(rows[0].count, 2);
+        assert_eq!(rows[0].first_ns, 820);
+        assert_eq!(rows[1].count, 1);
+        let s = render_stats(&t);
+        assert!(s.contains("Injected Fault Summary"));
+        assert!(s.contains(FaultKind::DeviceHang.label()));
+    }
+
+    #[test]
+    fn healthy_trace_omits_fault_section() {
+        assert!(fault_report(&sample_trace()).is_empty());
+        assert!(!render_stats(&sample_trace()).contains("Injected Fault Summary"));
+    }
+
+    #[test]
     fn api_report_is_deterministic_order() {
         // Ties and ordering: same trace renders identically twice.
         let a = render_stats(&sample_trace());
@@ -366,8 +451,7 @@ mod tests {
         use dcd_gpusim::DeviceSpec;
         let graph = dcd_ios::lower_sppnet(&dcd_nn::SppNetConfig::original(), (100, 100));
         let schedule = dcd_ios::sequential_schedule(&graph);
-        let mut exec =
-            dcd_ios::Executor::new(&graph, schedule, 2, DeviceSpec::rtx_a5500());
+        let mut exec = dcd_ios::Executor::new(&graph, schedule, 2, DeviceSpec::rtx_a5500());
         exec.run_inference();
         let trace = exec.into_trace();
         let rows = kernel_report(&trace);

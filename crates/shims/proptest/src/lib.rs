@@ -1,0 +1,376 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset the workspace's property tests use: the
+//! `proptest!` macro with an optional `#![proptest_config(...)]` header,
+//! integer/float range strategies, `prop_map`, `prop::collection::vec`, and
+//! the `prop_assert!`/`prop_assert_eq!` macros.
+//!
+//! Differences from real proptest, by design:
+//! - cases are drawn from a fixed-seed deterministic RNG (no persisted
+//!   failure seeds, no env-var overrides), so every run explores the same
+//!   inputs — reproducibility over novelty;
+//! - no shrinking: a failing case reports its index and message directly.
+
+/// Test-runner configuration and failure plumbing.
+pub mod test_runner {
+    /// Subset of proptest's config: just the case count.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// A failed property within a generated case.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        msg: String,
+    }
+
+    impl TestCaseError {
+        /// Builds a failure with a message.
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError { msg: msg.into() }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.msg)
+        }
+    }
+
+    /// Deterministic splitmix64 case generator.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// The fixed-seed generator every test uses.
+        pub fn deterministic() -> TestRng {
+            TestRng {
+                state: 0x005E_ED0F_CAFE_D00D,
+            }
+        }
+
+        /// The next 64 uniform bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform integer in `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            let zone = u64::MAX - (u64::MAX % n);
+            loop {
+                let v = self.next_u64();
+                if v < zone {
+                    return v % n;
+                }
+            }
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of an associated type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A constant strategy (proptest's `Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let width = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(width) as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let width = (end as i128 - start as i128 + 1) as u64;
+                    if width == 0 {
+                        return (start as i128 + rng.next_u64() as i128) as $t;
+                    }
+                    (start as i128 + rng.below(width) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (self.end - self.start) * rng.unit_f64() as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    start + (end - start) * rng.unit_f64() as $t
+                }
+            }
+        )*};
+    }
+
+    float_strategies!(f32, f64);
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with element strategy `S` and a length range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generates vectors whose length is drawn from `len` and whose elements
+    /// come from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.generate(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property-test file imports.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// The `prop::` namespace (`prop::collection::vec(...)`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests. Supports an optional
+/// `#![proptest_config(ProptestConfig::with_cases(N))]` header followed by
+/// any number of `#[test] fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal: expands each test item under a shared config.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::deterministic();
+            for __case in 0..__config.cases {
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                )+
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(__e) = __outcome {
+                    panic!("property failed at case {}/{}: {}", __case + 1, __config.cases, __e);
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __l = $left;
+        let __r = $right;
+        $crate::prop_assert!(
+            __l == __r,
+            "assertion failed: `{:?}` != `{:?}`", __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let __l = $left;
+        let __r = $right;
+        $crate::prop_assert!(__l == __r, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __l = $left;
+        let __r = $right;
+        $crate::prop_assert!(__l != __r, "assertion failed: `{:?}` == `{:?}`", __l, __r);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn scaled() -> impl Strategy<Value = f32> {
+        (-100i32..=100).prop_map(|x| x as f32 / 10.0)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respected(a in 1usize..10, b in 0u64..1000, x in 0.5f64..2.0) {
+            prop_assert!((1..10).contains(&a));
+            prop_assert!(b < 1000);
+            prop_assert!((0.5..2.0).contains(&x));
+        }
+
+        #[test]
+        fn mapped_strategy_applies(v in scaled()) {
+            prop_assert!((-10.0..=10.0).contains(&v), "{v} out of range");
+        }
+
+        #[test]
+        fn vec_strategy_len_and_elements(xs in prop::collection::vec(0u8..4, 1..20)) {
+            prop_assert!(!xs.is_empty() && xs.len() < 20);
+            for x in xs {
+                prop_assert!(x < 4);
+            }
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = crate::test_runner::TestRng::deterministic();
+        let mut b = crate::test_runner::TestRng::deterministic();
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment has no crates.io access, so `par_iter`-family calls
+//! resolve to these traits, which return the corresponding *sequential*
+//! standard-library iterators. Call sites keep rayon's spelling (and with it
+//! the documented parallel intent); dropping the real `rayon` back in is a
+//! one-line Cargo change. Because std iterators supply `map`, `zip`,
+//! `enumerate`, `for_each`, `sum`, and `collect`, no adapter shims are
+//! needed.
+
+/// Sequential stand-ins for rayon's prelude traits.
+pub mod prelude {
+    /// `into_par_iter()` on any `IntoIterator` (ranges, `Vec`, …).
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Sequential stand-in for rayon's parallel consumption.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<T: IntoIterator> IntoParallelIterator for T {}
+
+    /// `par_iter()` / `par_chunks()` on slices.
+    pub trait ParallelSlice<T> {
+        /// Sequential stand-in for `par_iter`.
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        /// Sequential stand-in for `par_chunks`.
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// `par_iter_mut()` / `par_chunks_mut()` on slices.
+    pub trait ParallelSliceMut<T> {
+        /// Sequential stand-in for `par_iter_mut`.
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        /// Sequential stand-in for `par_chunks_mut`.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn matches_sequential_semantics() {
+        let v = [1u32, 2, 3, 4];
+        let doubled: Vec<u32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+
+        let mut w = vec![0u32; 4];
+        w.par_chunks_mut(2)
+            .enumerate()
+            .for_each(|(i, chunk)| chunk.fill(i as u32));
+        assert_eq!(w, vec![0, 0, 1, 1]);
+
+        let total: u32 = (1u32..=10).into_par_iter().sum();
+        assert_eq!(total, 55);
+    }
+}

@@ -1,0 +1,408 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! small slice of serde's surface the workspace uses: `Serialize` and
+//! `Deserialize` traits over an in-memory [`Value`] tree, plus the derive
+//! macros (re-exported from the sibling `serde_derive` shim). `serde_json`
+//! (also shimmed) renders and parses the `Value` tree.
+//!
+//! Deliberate simplifications relative to real serde:
+//! - serialization is eager and allocates a `Value` tree (fine at the data
+//!   sizes this workspace serializes: checkpoints, reports, traces);
+//! - objects preserve insertion order via `Vec<(String, Value)>`, so output
+//!   is deterministic and follows field declaration order like real serde;
+//! - enums use the externally-tagged representation (serde's default):
+//!   unit variants as `"Name"`, data variants as `{"Name": ...}`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::HashMap;
+
+/// An in-memory JSON-like value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Integer number (kept exact; `i128` covers every integer type in use).
+    Int(i128),
+    /// Floating-point number.
+    Float(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object with insertion-ordered fields.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// An empty object (the derive macros build structs with this).
+    pub fn new_object() -> Value {
+        Value::Object(Vec::new())
+    }
+
+    /// Appends a field to an object value. Panics on non-objects (only the
+    /// derive macros call this, always on `new_object()`).
+    pub fn push_field(&mut self, name: &str, value: Value) {
+        match self {
+            Value::Object(fields) => fields.push((name.to_string(), value)),
+            _ => panic!("push_field on non-object Value"),
+        }
+    }
+
+    /// Looks up a field of an object.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// For externally-tagged enums: the single `{tag: inner}` entry.
+    pub fn single_entry(&self) -> Option<(&str, &Value)> {
+        match self {
+            Value::Object(fields) if fields.len() == 1 => {
+                Some((fields[0].0.as_str(), &fields[0].1))
+            }
+            _ => None,
+        }
+    }
+
+    /// The elements if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error: a message plus optional field context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Builds an error from a message.
+    pub fn new(msg: impl Into<String>) -> DeError {
+        DeError { msg: msg.into() }
+    }
+
+    /// Prefixes the error with the field it occurred under.
+    pub fn in_field(self, field: &str) -> DeError {
+        DeError {
+            msg: format!("field `{field}`: {}", self.msg),
+        }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves as a [`Value`].
+pub trait Serialize {
+    /// Serializes `self` into the value tree.
+    fn serialize(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Deserializes from the value tree.
+    fn deserialize(value: &Value) -> Result<Self, DeError>;
+}
+
+/// Helper used by derived impls: pulls a named field out of an object and
+/// deserializes it. A missing field deserializes from `Null`, which succeeds
+/// exactly for `Option` fields (→ `None`) and errors otherwise.
+pub fn de_field<T: Deserialize>(value: &Value, name: &str) -> Result<T, DeError> {
+    match value.get(name) {
+        Some(v) => T::deserialize(v).map_err(|e| e.in_field(name)),
+        None => T::deserialize(&Value::Null)
+            .map_err(|_| DeError::new(format!("missing field `{name}`"))),
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<bool, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::new("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<String, DeError> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            _ => Err(DeError::new("expected string")),
+        }
+    }
+}
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<$t, DeError> {
+                match value {
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| DeError::new("integer out of range")),
+                    _ => Err(DeError::new(concat!("expected ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+int_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<$t, DeError> {
+                match value {
+                    Value::Float(x) => Ok(*x as $t),
+                    // JSON has one number type: "3" parses as Int.
+                    Value::Int(i) => Ok(*i as $t),
+                    Value::Null => Ok(<$t>::NAN),
+                    _ => Err(DeError::new(concat!("expected ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+float_impls!(f32, f64);
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(inner) => inner.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Option<T>, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::deserialize(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(value: &Value) -> Result<[T; N], DeError> {
+        let items = value
+            .as_array()
+            .ok_or_else(|| DeError::new("expected array"))?;
+        if items.len() != N {
+            return Err(DeError::new(format!(
+                "expected array of length {N}, got {}",
+                items.len()
+            )));
+        }
+        let parsed: Vec<T> = items.iter().map(T::deserialize).collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| DeError::new("array length mismatch"))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Vec<T>, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            _ => Err(DeError::new("expected array")),
+        }
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($t:ident : $i:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$i.serialize()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(value: &Value) -> Result<Self, DeError> {
+                let items = value.as_array().ok_or_else(|| DeError::new("expected array for tuple"))?;
+                let arity = [$($i),+].len();
+                if items.len() != arity {
+                    return Err(DeError::new("tuple arity mismatch"));
+                }
+                Ok(($($t::deserialize(&items[$i])?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_impls! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Object keys: JSON requires strings, so integer keys are rendered in
+/// decimal like real `serde_json` does for integer-keyed maps.
+pub trait MapKey: Sized {
+    /// Renders the key.
+    fn to_key(&self) -> String;
+    /// Parses the key back.
+    fn from_key(key: &str) -> Result<Self, DeError>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(key: &str) -> Result<String, DeError> {
+        Ok(key.to_string())
+    }
+}
+
+macro_rules! int_key_impls {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(key: &str) -> Result<$t, DeError> {
+                key.parse().map_err(|_| DeError::new("invalid integer map key"))
+            }
+        }
+    )*};
+}
+
+int_key_impls!(u32, u64, usize, i32, i64);
+
+impl<K, V, S> Serialize for HashMap<K, V, S>
+where
+    K: MapKey,
+    V: Serialize,
+{
+    fn serialize(&self) -> Value {
+        // Sort by rendered key so output is deterministic across runs.
+        let mut fields: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_key(), v.serialize()))
+            .collect();
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(fields)
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: MapKey + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::deserialize(v)?)))
+                .collect(),
+            _ => Err(DeError::new("expected object for map")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_roundtrip() {
+        let some: Option<u32> = Some(7);
+        let none: Option<u32> = None;
+        assert_eq!(Option::<u32>::deserialize(&some.serialize()), Ok(Some(7)));
+        assert_eq!(Option::<u32>::deserialize(&none.serialize()), Ok(None));
+    }
+
+    #[test]
+    fn missing_field_is_none_for_option() {
+        let obj = Value::new_object();
+        let got: Result<Option<u32>, _> = de_field(&obj, "absent");
+        assert_eq!(got, Ok(None));
+        let got: Result<u32, _> = de_field(&obj, "absent");
+        assert!(got.is_err());
+    }
+
+    #[test]
+    fn map_keys_sorted() {
+        let mut m: HashMap<usize, u32> = HashMap::new();
+        m.insert(10, 1);
+        m.insert(2, 2);
+        match m.serialize() {
+            Value::Object(fields) => {
+                let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+                assert_eq!(keys, vec!["10", "2"]);
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,421 @@
+//! Offline stand-in for the real `serde_derive`.
+//!
+//! The build environment has no registry access, so the workspace ships a
+//! minimal serde data model (see the sibling `serde` shim) and this crate
+//! derives `Serialize`/`Deserialize` against it. The derive is implemented
+//! directly on `proc_macro::TokenStream` (no `syn`/`quote`) and supports the
+//! shapes this workspace actually uses:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtype structs serialize transparently),
+//! * enums with unit, tuple and struct variants (externally tagged, like
+//!   real serde's default representation).
+//!
+//! Generics and serde attributes (`#[serde(...)]`) are intentionally not
+//! supported and produce a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of the deriving type.
+enum Item {
+    /// Named-field struct: field names in declaration order.
+    Struct { name: String, fields: Vec<String> },
+    /// Tuple struct with N fields.
+    TupleStruct { name: String, arity: usize },
+    /// Enum: variants with their shapes.
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("error tokens")
+}
+
+/// Consumes attributes (`#[...]`) and doc comments from the front of `iter`.
+fn skip_attrs(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    while let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        iter.next(); // '#'
+                     // Outer attribute: a bracketed group follows.
+        if let Some(TokenTree::Group(_)) = iter.peek() {
+            iter.next();
+        }
+    }
+}
+
+/// Consumes a visibility qualifier (`pub`, `pub(crate)`, …) if present.
+fn skip_vis(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if let Some(TokenTree::Ident(id)) = iter.peek() {
+        if id.to_string() == "pub" {
+            iter.next();
+            if let Some(TokenTree::Group(g)) = iter.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    iter.next();
+                }
+            }
+        }
+    }
+}
+
+/// Parses the field names out of a named-fields brace group.
+fn parse_named_fields(group: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut iter = group.into_iter().peekable();
+    loop {
+        skip_attrs(&mut iter);
+        skip_vis(&mut iter);
+        match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => {
+                fields.push(id.to_string());
+                // Expect ':' then the type; skip to the next top-level ','.
+                match iter.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => return Err(format!("expected ':' after field, got {other:?}")),
+                }
+                let mut angle_depth = 0i32;
+                for tt in iter.by_ref() {
+                    match tt {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                        _ => {}
+                    }
+                }
+            }
+            Some(other) => return Err(format!("unexpected token in fields: {other}")),
+        }
+    }
+    Ok(fields)
+}
+
+/// Counts the fields of a tuple group (top-level commas + 1, empty → 0).
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    let mut trailing_comma = false;
+    for tt in group {
+        any = true;
+        trailing_comma = false;
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                commas += 1;
+                trailing_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if !any {
+        0
+    } else if trailing_comma {
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+fn parse_variants(group: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut iter = group.into_iter().peekable();
+    loop {
+        skip_attrs(&mut iter);
+        match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => {
+                let name = id.to_string();
+                let shape = match iter.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let fields = parse_named_fields(g.stream())?;
+                        iter.next();
+                        VariantShape::Struct(fields)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let arity = count_tuple_fields(g.stream());
+                        iter.next();
+                        VariantShape::Tuple(arity)
+                    }
+                    _ => VariantShape::Unit,
+                };
+                variants.push(Variant { name, shape });
+                // Skip an optional discriminant and the trailing comma.
+                for tt in iter.by_ref() {
+                    if let TokenTree::Punct(p) = &tt {
+                        if p.as_char() == ',' {
+                            break;
+                        }
+                    }
+                }
+            }
+            Some(other) => return Err(format!("unexpected token in enum body: {other}")),
+        }
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut iter = input.into_iter().peekable();
+    // Scan past attributes/visibility/modifiers to the item keyword.
+    let kind = loop {
+        skip_attrs(&mut iter);
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                // `pub`, `pub(crate)` group handled by the next loop turn.
+            }
+            Some(_) => {}
+            None => return Err("no struct or enum found".to_string()),
+        }
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde shim derive does not support generic type `{name}`"
+            ));
+        }
+    }
+    // Body: brace group (named / enum) or paren group (tuple struct).
+    match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if kind == "struct" {
+                Ok(Item::Struct {
+                    name,
+                    fields: parse_named_fields(g.stream())?,
+                })
+            } else {
+                Ok(Item::Enum {
+                    name,
+                    variants: parse_variants(g.stream())?,
+                })
+            }
+        }
+        Some(TokenTree::Group(g))
+            if g.delimiter() == Delimiter::Parenthesis && kind == "struct" =>
+        {
+            Ok(Item::TupleStruct {
+                name,
+                arity: count_tuple_fields(g.stream()),
+            })
+        }
+        other => Err(format!("unsupported item body: {other:?}")),
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let mut body = String::from("let mut __o = ::serde::Value::new_object();\n");
+            for f in fields {
+                body.push_str(&format!(
+                    "__o.push_field({f:?}, ::serde::Serialize::serialize(&self.{f}));\n"
+                ));
+            }
+            body.push_str("__o");
+            impl_block(
+                name,
+                "Serialize",
+                &format!("fn serialize(&self) -> ::serde::Value {{ {body} }}"),
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "::serde::Serialize::serialize(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            };
+            impl_block(
+                name,
+                "Serialize",
+                &format!("fn serialize(&self) -> ::serde::Value {{ {body} }}"),
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String({vn:?}.to_string()),\n"
+                    )),
+                    VariantShape::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize({b})"))
+                            .collect();
+                        let inner = if *arity == 1 {
+                            items[0].clone()
+                        } else {
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => {{ let mut __o = ::serde::Value::new_object(); \
+                             __o.push_field({vn:?}, {inner}); __o }}\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds = fields.join(", ");
+                        let mut inner =
+                            String::from("let mut __m = ::serde::Value::new_object();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__m.push_field({f:?}, ::serde::Serialize::serialize({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{ {inner} let mut __o = \
+                             ::serde::Value::new_object(); __o.push_field({vn:?}, __m); __o }}\n"
+                        ));
+                    }
+                }
+            }
+            impl_block(
+                name,
+                "Serialize",
+                &format!("fn serialize(&self) -> ::serde::Value {{ match self {{ {arms} }} }}"),
+            )
+        }
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!("{f}: ::serde::de_field(__v, {f:?})?,\n"));
+            }
+            impl_block(name, "Deserialize", &format!(
+                "fn deserialize(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{ \
+                 ::core::result::Result::Ok({name} {{ {inits} }}) }}"
+            ))
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!(
+                    "::core::result::Result::Ok({name}(::serde::Deserialize::deserialize(__v)?))"
+                )
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::deserialize(&__a[{i}])?"))
+                    .collect();
+                format!(
+                    "let __a = __v.as_array().ok_or_else(|| ::serde::DeError::new(\
+                     \"expected array for tuple struct\"))?;\n\
+                     if __a.len() != {arity} {{ return ::core::result::Result::Err(\
+                     ::serde::DeError::new(\"tuple struct arity mismatch\")); }}\n\
+                     ::core::result::Result::Ok({name}({items}))",
+                    items = items.join(", ")
+                )
+            };
+            impl_block(name, "Deserialize", &format!(
+                "fn deserialize(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{ {body} }}"
+            ))
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => unit_arms.push_str(&format!(
+                        "{vn:?} => return ::core::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantShape::Tuple(arity) => {
+                        let body = if *arity == 1 {
+                            format!(
+                                "return ::core::result::Result::Ok({name}::{vn}(\
+                                 ::serde::Deserialize::deserialize(__inner)?));"
+                            )
+                        } else {
+                            let items: Vec<String> = (0..*arity)
+                                .map(|i| format!("::serde::Deserialize::deserialize(&__a[{i}])?"))
+                                .collect();
+                            format!(
+                                "let __a = __inner.as_array().ok_or_else(|| \
+                                 ::serde::DeError::new(\"expected array\"))?;\n\
+                                 if __a.len() != {arity} {{ return ::core::result::Result::Err(\
+                                 ::serde::DeError::new(\"variant arity mismatch\")); }}\n\
+                                 return ::core::result::Result::Ok({name}::{vn}({items}));",
+                                items = items.join(", ")
+                            )
+                        };
+                        tagged_arms.push_str(&format!("{vn:?} => {{ {body} }}\n"));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&format!("{f}: ::serde::de_field(__inner, {f:?})?,\n"));
+                        }
+                        tagged_arms.push_str(&format!(
+                            "{vn:?} => return ::core::result::Result::Ok(\
+                             {name}::{vn} {{ {inits} }}),\n"
+                        ));
+                    }
+                }
+            }
+            let body = format!(
+                "if let ::serde::Value::String(__s) = __v {{\n\
+                     match __s.as_str() {{ {unit_arms} _ => {{}} }}\n\
+                 }}\n\
+                 if let ::core::option::Option::Some((__tag, __inner)) = __v.single_entry() {{\n\
+                     match __tag {{ {tagged_arms} _ => {{}} }}\n\
+                 }}\n\
+                 ::core::result::Result::Err(::serde::DeError::new(concat!(\
+                 \"invalid value for enum \", stringify!({name}))))"
+            );
+            impl_block(name, "Deserialize", &format!(
+                "fn deserialize(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{ {body} }}"
+            ))
+        }
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
+
+fn impl_block(name: &str, trait_name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::{trait_name} for {name} {{ {body} }}"
+    )
+}

@@ -39,6 +39,7 @@ pub struct Conv2dGrads {
 
 /// Unpacks one sample `[C, H, W]` into im2col columns
 /// `[C·KH·KW, OH·OW]` (row-major, column index = oh·OW + ow).
+#[allow(clippy::too_many_arguments)]
 fn im2col(
     x: &[f32],
     c: usize,
@@ -123,7 +124,10 @@ fn col2im(
 pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, stride: usize, pad: usize) -> Tensor {
     let (n, c_in, h, w) = input.shape().nchw();
     let (c_out, wc_in, kh, kw) = weight.shape().nchw();
-    assert_eq!(c_in, wc_in, "conv2d: input channels {c_in} != weight channels {wc_in}");
+    assert_eq!(
+        c_in, wc_in,
+        "conv2d: input channels {c_in} != weight channels {wc_in}"
+    );
     assert_eq!(bias.numel(), c_out, "conv2d: bias size != C_out");
     let oh = out_dim(h, kh, stride, pad);
     let ow = out_dim(w, kw, stride, pad);

@@ -19,8 +19,20 @@ const MC: usize = 32;
 /// Slices are raw row-major matrices; see [`matmul`] for the [`Tensor`]
 /// wrapper.
 pub fn gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
-    assert_eq!(a.len(), m * k, "A buffer is {} but m*k = {}", a.len(), m * k);
-    assert_eq!(b.len(), k * n, "B buffer is {} but k*n = {}", b.len(), k * n);
+    assert_eq!(
+        a.len(),
+        m * k,
+        "A buffer is {} but m*k = {}",
+        a.len(),
+        m * k
+    );
+    assert_eq!(
+        b.len(),
+        k * n,
+        "B buffer is {} but k*n = {}",
+        b.len(),
+        k * n
+    );
     let mut c = vec![0.0f32; m * n];
     gemm_into(a, b, &mut c, m, k, n);
     c
@@ -36,7 +48,13 @@ pub fn gemm_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usiz
 
 /// `C = A·B` overwriting an existing buffer.
 pub fn gemm_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    assert_eq!(c.len(), m * n, "C buffer is {} but m*n = {}", c.len(), m * n);
+    assert_eq!(
+        c.len(),
+        m * n,
+        "C buffer is {} but m*n = {}",
+        c.len(),
+        m * n
+    );
     c.iter_mut().for_each(|x| *x = 0.0);
     inner_gemm(a, b, c, m, k, n);
 }
@@ -55,19 +73,22 @@ fn inner_gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize)
         }
         return;
     }
-    c.par_chunks_mut(MC * n).enumerate().for_each(|(blk, c_blk)| {
-        let i0 = blk * MC;
-        let i1 = (i0 + MC).min(m);
-        for kb in (0..k).step_by(KC) {
-            let kend = (kb + KC).min(k);
-            block_rows(a, b, c_blk, i0, i1, kb, kend, k, n);
-        }
-    });
+    c.par_chunks_mut(MC * n)
+        .enumerate()
+        .for_each(|(blk, c_blk)| {
+            let i0 = blk * MC;
+            let i1 = (i0 + MC).min(m);
+            for kb in (0..k).step_by(KC) {
+                let kend = (kb + KC).min(k);
+                block_rows(a, b, c_blk, i0, i1, kb, kend, k, n);
+            }
+        });
 }
 
 /// Multiplies rows `[i0, i1)` of A against the `[kb, kend)` slab of B,
 /// accumulating into `c_rows` (whose row 0 corresponds to global row `i0`).
 #[inline]
+#[allow(clippy::too_many_arguments)]
 fn block_rows(
     a: &[f32],
     b: &[f32],

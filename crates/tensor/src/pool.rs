@@ -181,25 +181,27 @@ pub fn adaptive_avg_pool2d(input: &Tensor, out_size: usize) -> Tensor {
     let sample_out = c * out_spatial;
 
     let mut out = vec![0.0f32; n * sample_out];
-    out.par_chunks_mut(sample_out).enumerate().for_each(|(s, o)| {
-        let x = &input.data()[s * sample_in..(s + 1) * sample_in];
-        for ci in 0..c {
-            for oy in 0..out_size {
-                let (y0, y1) = adaptive_bin(oy, h, out_size);
-                for ox in 0..out_size {
-                    let (x0, x1) = adaptive_bin(ox, w, out_size);
-                    let mut acc = 0.0f32;
-                    for iy in y0..y1 {
-                        for ixp in x0..x1 {
-                            acc += x[ci * in_spatial + iy * w + ixp];
+    out.par_chunks_mut(sample_out)
+        .enumerate()
+        .for_each(|(s, o)| {
+            let x = &input.data()[s * sample_in..(s + 1) * sample_in];
+            for ci in 0..c {
+                for oy in 0..out_size {
+                    let (y0, y1) = adaptive_bin(oy, h, out_size);
+                    for ox in 0..out_size {
+                        let (x0, x1) = adaptive_bin(ox, w, out_size);
+                        let mut acc = 0.0f32;
+                        for iy in y0..y1 {
+                            for ixp in x0..x1 {
+                                acc += x[ci * in_spatial + iy * w + ixp];
+                            }
                         }
+                        let count = ((y1 - y0) * (x1 - x0)) as f32;
+                        o[ci * out_spatial + oy * out_size + ox] = acc / count;
                     }
-                    let count = ((y1 - y0) * (x1 - x0)) as f32;
-                    o[ci * out_spatial + oy * out_size + ox] = acc / count;
                 }
             }
-        }
-    });
+        });
     Tensor::from_vec([n, c, out_size, out_size], out).expect("adaptive avg output")
 }
 
@@ -212,8 +214,16 @@ pub fn adaptive_avg_pool2d_backward(
 ) -> Tensor {
     let [n, c, h, w]: [usize; 4] = input_shape.try_into().expect("NCHW input shape");
     let (gn, gc, goh, gow) = grad_out.shape().nchw();
-    assert_eq!((gn, gc), (n, c), "adaptive_avg backward batch/channel mismatch");
-    assert_eq!((goh, gow), (out_size, out_size), "adaptive_avg backward size mismatch");
+    assert_eq!(
+        (gn, gc),
+        (n, c),
+        "adaptive_avg backward batch/channel mismatch"
+    );
+    assert_eq!(
+        (goh, gow),
+        (out_size, out_size),
+        "adaptive_avg backward size mismatch"
+    );
     let in_spatial = h * w;
     let out_spatial = out_size * out_size;
     let mut gx = vec![0.0f32; n * c * in_spatial];
@@ -224,9 +234,8 @@ pub fn adaptive_avg_pool2d_backward(
                 for ox in 0..out_size {
                     let (x0, x1) = adaptive_bin(ox, w, out_size);
                     let count = ((y1 - y0) * (x1 - x0)) as f32;
-                    let g = grad_out.data()
-                        [(s * c + ci) * out_spatial + oy * out_size + ox]
-                        / count;
+                    let g =
+                        grad_out.data()[(s * c + ci) * out_spatial + oy * out_size + ox] / count;
                     for iy in y0..y1 {
                         for ixp in x0..x1 {
                             gx[(s * c + ci) * in_spatial + iy * w + ixp] += g;

@@ -56,14 +56,18 @@ impl Tensor {
     /// I.i.d. uniform samples in `[lo, hi)`.
     pub fn uniform(shape: impl Into<Shape>, lo: f32, hi: f32, rng: &mut SeededRng) -> Self {
         let shape = shape.into();
-        let data = (0..shape.numel()).map(|_| rng.uniform_range(lo, hi)).collect();
+        let data = (0..shape.numel())
+            .map(|_| rng.uniform_range(lo, hi))
+            .collect();
         Tensor { shape, data }
     }
 
     /// I.i.d. normal samples with the given mean and standard deviation.
     pub fn randn(shape: impl Into<Shape>, mean: f32, std: f32, rng: &mut SeededRng) -> Self {
         let shape = shape.into();
-        let data = (0..shape.numel()).map(|_| mean + std * rng.normal()).collect();
+        let data = (0..shape.numel())
+            .map(|_| mean + std * rng.normal())
+            .collect();
         Tensor { shape, data }
     }
 
@@ -144,7 +148,11 @@ impl Tensor {
     pub fn index_axis0(&self, i: usize) -> Tensor {
         let dims = self.shape.dims();
         assert!(!dims.is_empty(), "cannot index a scalar");
-        assert!(i < dims[0], "index {i} out of bounds for axis 0 of size {}", dims[0]);
+        assert!(
+            i < dims[0],
+            "index {i} out of bounds for axis 0 of size {}",
+            dims[0]
+        );
         let inner: usize = dims[1..].iter().product();
         let data = self.data[i * inner..(i + 1) * inner].to_vec();
         Tensor {
@@ -174,7 +182,10 @@ impl Tensor {
     pub fn concat(parts: &[&Tensor], axis: usize) -> Tensor {
         assert!(!parts.is_empty(), "concat of zero tensors");
         let rank = parts[0].shape.rank();
-        assert!(axis < rank, "concat axis {axis} out of range for rank {rank}");
+        assert!(
+            axis < rank,
+            "concat axis {axis} out of range for rank {rank}"
+        );
         for p in parts {
             assert_eq!(p.shape.rank(), rank, "concat rank mismatch");
             for a in 0..rank {

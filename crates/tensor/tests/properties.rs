@@ -1,8 +1,8 @@
 //! Property-based tests for the tensor kernels.
 
 use dcd_tensor::{
-    adaptive_avg_pool2d, adaptive_max_pool2d, conv2d, conv2d_backward, gemm, max_pool2d,
-    SeededRng, Tensor,
+    adaptive_avg_pool2d, adaptive_max_pool2d, conv2d, conv2d_backward, gemm, max_pool2d, SeededRng,
+    Tensor,
 };
 use proptest::prelude::*;
 

@@ -44,7 +44,10 @@ fn main() {
     let mut random = RandomSearch::new(space.clone(), budget, 1);
     let exp_random = Experiment::run(&mut random, &evaluator, budget);
     for t in &exp_random.trials {
-        println!("  trial {}: AP {:.3}  {} ({:.1}s)", t.id, t.score, t.summary, t.duration_s);
+        println!(
+            "  trial {}: AP {:.3}  {} ({:.1}s)",
+            t.id, t.score, t.summary, t.duration_s
+        );
     }
     let best_r = exp_random.best().expect("trials ran");
     println!("  best: AP {:.3}  {}", best_r.score, best_r.summary);
@@ -85,8 +88,14 @@ fn main() {
     );
 
     println!("\naccuracy-constrained candidate sets (a(n) > 0.5):");
-    println!("  random search: {} candidates", exp_random.candidates_above(0.5).len());
-    println!("  evolution:     {} candidates", exp_evo.candidates_above(0.5).len());
+    println!(
+        "  random search: {} candidates",
+        exp_random.candidates_above(0.5).len()
+    );
+    println!(
+        "  evolution:     {} candidates",
+        exp_evo.candidates_above(0.5).len()
+    );
 
     // Persist the journal like NNI's experiment directory would.
     let path = std::env::temp_dir().join("dcd_nas_journal.json");

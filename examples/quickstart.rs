@@ -39,7 +39,10 @@ fn main() {
 
     // 3. Evaluate with the paper's metric (average precision, Eq. 1).
     let ap = detector.average_precision(&dataset.test, 0.5);
-    println!("test AP@IoU0.5 = {:.3} (paper reports 0.95–0.974 on real NAIP data)", ap);
+    println!(
+        "test AP@IoU0.5 = {:.3} (paper reports 0.95–0.974 on real NAIP data)",
+        ap
+    );
 
     // 4. Detect on a few patches.
     detector.threshold = 0.5;

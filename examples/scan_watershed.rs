@@ -24,7 +24,11 @@ fn main() {
     let mut arch = SppNetConfig::original();
     arch.channels = [12, 24, 32];
     arch.fc1 = 128;
-    println!("training {} on {} patches ...", arch.summary(), dataset.train.len());
+    println!(
+        "training {} on {} patches ...",
+        arch.summary(),
+        dataset.train.len()
+    );
     let mut detector = DrainageCrossingDetector::train(
         arch,
         &dataset.train,
@@ -89,12 +93,14 @@ fn main() {
     //    colour-infrared orthophoto with the detector's boxes.
     let out = std::env::temp_dir();
     let map = dcd_geodata::scene_overlay(scene);
-    map.save_ppm(out.join("watershed_map.ppm")).expect("write map");
+    map.save_ppm(out.join("watershed_map.ppm"))
+        .expect("write map");
     let mut cir = dcd_geodata::bands_to_cir(&bands);
     for d in &detections {
         cir.draw_box(d.x, d.y, (d.w / 2.0) as usize + 1, [255, 255, 0]);
     }
-    cir.save_ppm(out.join("watershed_detections.ppm")).expect("write cir");
+    cir.save_ppm(out.join("watershed_detections.ppm"))
+        .expect("write cir");
     println!(
         "\nwrote {} and {}",
         out.join("watershed_map.ppm").display(),

@@ -4,10 +4,10 @@
 //! workspace-level `examples/` and `tests/` can exercise every layer.
 
 pub use dcd_core as core;
+pub use dcd_geodata as geodata;
 pub use dcd_gpusim as gpusim;
 pub use dcd_ios as ios;
 pub use dcd_nas as nas;
 pub use dcd_nn as nn;
 pub use dcd_profiler as profiler;
 pub use dcd_tensor as tensor;
-pub use dcd_geodata as geodata;

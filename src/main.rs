@@ -29,7 +29,9 @@ fn flag(args: &[String], name: &str) -> Option<String> {
 }
 
 fn parse<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
-    flag(args, name).and_then(|v| v.parse().ok()).unwrap_or(default)
+    flag(args, name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() {
@@ -62,7 +64,11 @@ fn cmd_train(args: &[String]) {
     let out = flag(args, "--out").unwrap_or_else(|| "model.json".to_string());
 
     let ds = dataset(seed);
-    println!("dataset: {} train / {} test patches", ds.train.len(), ds.test.len());
+    println!(
+        "dataset: {} train / {} test patches",
+        ds.train.len(),
+        ds.test.len()
+    );
     let mut arch = SppNetConfig::original();
     arch.channels = [12, 24, 32];
     arch.fc1 = 128;

@@ -63,9 +63,8 @@ fn scheduling_and_simulation_are_deterministic() {
 
 #[test]
 fn nas_experiments_are_deterministic() {
-    let eval = FunctionalEvaluator::new(|c: &SppNetConfig| {
-        c.fc1 as f64 + c.conv1_kernel as f64 * 10.0
-    });
+    let eval =
+        FunctionalEvaluator::new(|c: &SppNetConfig| c.fc1 as f64 + c.conv1_kernel as f64 * 10.0);
     let run = || {
         let mut strat = RandomSearch::new(SppNetSearchSpace::paper(), 10, 42);
         dcd_nas::Experiment::run(&mut strat, &eval, 10)

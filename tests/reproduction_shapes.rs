@@ -107,7 +107,11 @@ fn fig8_shape_api_share_crossover() {
     let b1 = &profiles[0];
     let b64 = profiles.last().expect("non-empty");
     // Batch 1: library loading dominates, synchronization is minor.
-    assert!(b1.lib_load_pct > 60.0, "lib load at batch 1: {}%", b1.lib_load_pct);
+    assert!(
+        b1.lib_load_pct > 60.0,
+        "lib load at batch 1: {}%",
+        b1.lib_load_pct
+    );
     assert!(b1.sync_pct < 15.0, "sync at batch 1: {}%", b1.sync_pct);
     // Shares move monotonically in opposite directions.
     for w in profiles.windows(2) {
@@ -131,7 +135,12 @@ fn table3_shape_kernel_mix_rotates_from_gemm_to_conv() {
     let b1 = &profiles[0];
     let b64 = profiles.last().expect("non-empty");
     // Batch 1: matrix multiplication leads convolution.
-    assert!(b1.gemm_pct > b1.conv_pct, "b1: gemm {} conv {}", b1.gemm_pct, b1.conv_pct);
+    assert!(
+        b1.gemm_pct > b1.conv_pct,
+        "b1: gemm {} conv {}",
+        b1.gemm_pct,
+        b1.conv_pct
+    );
     assert!(b1.gemm_pct > 30.0);
     // Batch 64: convolution dominates (paper: 77.2%).
     assert!(b64.conv_pct > 50.0, "b64 conv {}%", b64.conv_pct);
