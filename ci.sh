@@ -14,4 +14,13 @@ echo "== tier-1: cargo build --release && cargo test -q =="
 cargo build --release
 cargo test -q
 
+# The rayon shim runs a real thread pool; the whole suite must also pass
+# with the pool pinned sequential (RAYON_NUM_THREADS=1), and the parallel
+# equivalence tests assert both modes produce bit-identical results.
+echo "== tier-1 again, pool pinned sequential (RAYON_NUM_THREADS=1) =="
+RAYON_NUM_THREADS=1 cargo test -q
+
+echo "== parallel kernel microbenchmark -> BENCH_parallel.json =="
+cargo run --release -q -p dcd-bench --bin parallel
+
 echo "CI OK"

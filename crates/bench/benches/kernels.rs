@@ -58,5 +58,39 @@ fn bench_pooling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_gemm, bench_conv2d, bench_pooling);
+/// The same hot kernels with the thread pool engaged vs forced inline —
+/// the before/after of replacing the sequential rayon shim with a real
+/// pool (`cargo run -p dcd-bench --bin parallel` records the same
+/// comparison to `BENCH_parallel.json`).
+fn bench_parallel_vs_sequential(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_vs_sequential");
+    let mut rng = SeededRng::new(4);
+    let n = 256;
+    let a: Vec<f32> = (0..n * n).map(|_| rng.normal()).collect();
+    let b: Vec<f32> = (0..n * n).map(|_| rng.normal()).collect();
+    group.bench_function("gemm_256_parallel", |bench| {
+        bench.iter(|| gemm(&a, &b, n, n, n));
+    });
+    group.bench_function("gemm_256_sequential", |bench| {
+        bench.iter(|| rayon::force_sequential(|| gemm(&a, &b, n, n, n)));
+    });
+    let x = Tensor::randn([8, 64, 50, 50], 0.0, 1.0, &mut rng);
+    let w = Tensor::randn([128, 64, 3, 3], 0.0, 0.1, &mut rng);
+    let bias = Tensor::zeros([128]);
+    group.bench_function("conv2_b8_parallel", |bench| {
+        bench.iter(|| conv2d(&x, &w, &bias, 1, 1));
+    });
+    group.bench_function("conv2_b8_sequential", |bench| {
+        bench.iter(|| rayon::force_sequential(|| conv2d(&x, &w, &bias, 1, 1)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gemm,
+    bench_conv2d,
+    bench_pooling,
+    bench_parallel_vs_sequential
+);
 criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Parallel-vs-sequential kernel microbenchmark for the rayon shim's pool.
+//!
+//! Times the paper's hot kernels (GEMM and conv2d, the two dominating
+//! inference cost in Table 3) with the thread pool engaged and with every
+//! parallel call forced inline, and records the speedups in
+//! `BENCH_parallel.json`. On a machine with ≥4 hardware threads the
+//! parallel GEMM/conv runs are expected to be ≥2× faster; on a single-core
+//! box the pool has no workers and the ratio is ~1.
+//!
+//! Usage: `cargo run --release -p dcd-bench --bin parallel`
+
+use dcd_tensor::{conv2d, gemm, SeededRng, Tensor};
+use serde::Serialize;
+use std::time::Instant;
+
+/// One kernel's timings, milliseconds (best of `REPS` runs).
+#[derive(Debug, Serialize)]
+struct KernelTiming {
+    name: String,
+    sequential_ms: f64,
+    parallel_ms: f64,
+    speedup: f64,
+}
+
+/// The recorded artifact.
+#[derive(Debug, Serialize)]
+struct Report {
+    threads: usize,
+    kernels: Vec<KernelTiming>,
+}
+
+const REPS: usize = 5;
+
+/// Best-of-REPS wall-clock of `f`, milliseconds.
+fn best_ms(mut f: impl FnMut()) -> f64 {
+    f(); // warm-up (first parallel call also spawns the pool)
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn time_kernel(name: &str, mut f: impl FnMut()) -> KernelTiming {
+    let parallel_ms = best_ms(&mut f);
+    let sequential_ms = rayon::force_sequential(|| best_ms(&mut f));
+    KernelTiming {
+        name: name.to_string(),
+        sequential_ms,
+        parallel_ms,
+        speedup: sequential_ms / parallel_ms,
+    }
+}
+
+fn main() {
+    let threads = rayon::current_num_threads();
+    let mut rng = SeededRng::new(1);
+
+    // Square GEMM at the workspace's fc-layer scale.
+    let n = 256;
+    let a: Vec<f32> = (0..n * n).map(|_| rng.normal()).collect();
+    let b: Vec<f32> = (0..n * n).map(|_| rng.normal()).collect();
+    let g = time_kernel("gemm_256", || {
+        std::hint::black_box(gemm(&a, &b, n, n, n));
+    });
+
+    // The paper's conv2 (64→128 channels on the post-pool1 map), batch 8 so
+    // the per-sample split has work to spread.
+    let x = Tensor::randn([8, 64, 50, 50], 0.0, 1.0, &mut rng);
+    let w = Tensor::randn([128, 64, 3, 3], 0.0, 0.1, &mut rng);
+    let bias = Tensor::zeros([128]);
+    let c = time_kernel("conv2_64to128_50x50_b8", || {
+        std::hint::black_box(conv2d(&x, &w, &bias, 1, 1));
+    });
+
+    let report = Report {
+        threads,
+        kernels: vec![g, c],
+    };
+    println!("pool threads: {threads}");
+    for k in &report.kernels {
+        println!(
+            "{:26} seq {:8.2} ms   par {:8.2} ms   speedup {:.2}x",
+            k.name, k.sequential_ms, k.parallel_ms, k.speedup
+        );
+    }
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_parallel.json", json).expect("write BENCH_parallel.json");
+    println!("wrote BENCH_parallel.json");
+}

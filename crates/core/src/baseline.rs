@@ -156,7 +156,11 @@ impl RcnnLite {
         let (best_i, best) = dets
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.score.partial_cmp(&b.1.score).expect("finite scores"))
+            .max_by(|a, b| {
+                // NaN logits rank last instead of panicking the selection.
+                let rank = |s: f32| if s.is_nan() { f32::NEG_INFINITY } else { s };
+                rank(a.1.score).total_cmp(&rank(b.1.score))
+            })
             .expect("at least one proposal");
         // Second-stage refinement: the scorer regresses a box in *window*
         // coordinates; map it back to patch coordinates (the R-CNN recipe).

@@ -18,6 +18,7 @@ use dcd_ios::{
 use dcd_nn::metrics::iou;
 use dcd_nn::BBox;
 use dcd_tensor::Tensor;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -87,21 +88,32 @@ impl ScanConfig {
 }
 
 /// Greedy non-maximum suppression over scene detections.
+///
+/// Detections with a non-finite score (NaN/±∞ logits from a degenerate
+/// model) are dropped up front with a warning instead of poisoning the sort:
+/// one bad logit must not kill a whole-scene scan.
 pub fn nms(
-    mut dets: Vec<SceneDetection>,
+    dets: Vec<SceneDetection>,
     scene_w: usize,
     scene_h: usize,
     iou_threshold: f32,
 ) -> Vec<SceneDetection> {
-    dets.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+    let total = dets.len();
+    let mut dets: Vec<SceneDetection> = dets.into_iter().filter(|d| d.score.is_finite()).collect();
+    let dropped = total - dets.len();
+    if dropped > 0 {
+        eprintln!("warning: nms dropped {dropped} detection(s) with non-finite scores");
+    }
+    dets.sort_by(|a, b| b.score.total_cmp(&a.score));
     let mut keep: Vec<SceneDetection> = Vec::new();
+    // Each kept detection's bbox is reused by every later IoU test —
+    // compute it once instead of once per O(n²) inner-loop probe.
+    let mut keep_boxes: Vec<BBox> = Vec::new();
     for d in dets {
         let db = d.bbox(scene_w, scene_h);
-        if keep
-            .iter()
-            .all(|k| iou(&k.bbox(scene_w, scene_h), &db) <= iou_threshold)
-        {
+        if keep_boxes.iter().all(|kb| iou(kb, &db) <= iou_threshold) {
             keep.push(d);
+            keep_boxes.push(db);
         }
     }
     keep
@@ -151,8 +163,10 @@ fn detect_chunk(
     (h, w): (usize, usize),
     raw: &mut Vec<SceneDetection>,
 ) {
+    // Patch extraction is embarrassingly parallel across tile centres; the
+    // per-patch clip + normalize dominates chunk setup at small strides.
     let patches: Vec<Tensor> = chunk
-        .iter()
+        .par_iter()
         .map(|&(cx, cy)| {
             let p = clip_patch(bands, cx, cy, config.patch_size);
             if config.normalize {
@@ -355,6 +369,10 @@ fn suppress_within_radius(dets: Vec<SceneDetection>, radius: usize) -> Vec<Scene
 /// Precision/recall of scene detections against ground-truth crossing
 /// points, with a match tolerance in cells (a detection matches at most one
 /// truth point and vice versa; greedy by score).
+///
+/// Conventions for empty inputs: an empty detection set has no false
+/// positives, so precision is 1.0 (recall is still 0.0 when truths exist);
+/// an empty truth set has no missable targets, so recall is 1.0.
 pub fn match_detections(
     detections: &[SceneDetection],
     truths: &[(usize, usize)],
@@ -381,12 +399,12 @@ pub fn match_detections(
         }
     }
     let precision = if detections.is_empty() {
-        0.0
+        1.0
     } else {
         tp as f32 / detections.len() as f32
     };
     let recall = if truths.is_empty() {
-        0.0
+        1.0
     } else {
         tp as f32 / truths.len() as f32
     };
@@ -435,6 +453,69 @@ mod tests {
     }
 
     #[test]
+    fn nms_drops_nan_scores_without_panicking() {
+        // Regression: the old sort used partial_cmp().expect(), so one NaN
+        // logit panicked the whole scan. NaN detections must be dropped and
+        // the finite ones kept.
+        let dets = vec![
+            det(20, 20, f32::NAN, 8.0),
+            det(150, 150, 0.8, 8.0),
+            det(60, 60, f32::INFINITY, 8.0),
+            det(100, 20, 0.4, 8.0),
+        ];
+        let kept = nms(dets, 200, 200, 0.3);
+        assert_eq!(kept.len(), 2);
+        assert!(kept.iter().all(|d| d.score.is_finite()));
+        assert_eq!(kept[0].score, 0.8);
+        assert_eq!(kept[1].score, 0.4);
+    }
+
+    #[test]
+    fn nms_all_nan_yields_empty() {
+        let dets = vec![det(20, 20, f32::NAN, 8.0), det(30, 30, f32::NAN, 8.0)];
+        assert!(nms(dets, 200, 200, 0.3).is_empty());
+    }
+
+    #[test]
+    fn scan_survives_a_nan_producing_detector() {
+        // A model whose weights are all NaN scores every patch as NaN. The
+        // scan must complete (returning nothing), not panic in NMS.
+        use dcd_nn::SppNet;
+        let mut arch = SppNetConfig::tiny();
+        arch.in_channels = 4;
+        let mut model = SppNet::new(arch, &mut SeededRng::new(3));
+        for p in model.params_mut() {
+            p.value.map_inplace(|_| f32::NAN);
+        }
+        let mut detector = DrainageCrossingDetector::from_model(model);
+        detector.threshold = f32::NEG_INFINITY;
+        let cfg = small_config();
+        let ds = PatchDataset::generate(&cfg, 11);
+        let bands = render_bands(&ds.scene, 0.03, &mut SeededRng::new(9));
+        let scan = ScanConfig {
+            batch_size: 8,
+            stride: 24,
+            ..ScanConfig::for_patch(48)
+        };
+        let dets = scan_scene(&mut detector, &bands, &scan);
+        assert!(dets.iter().all(|d| d.score.is_finite()));
+    }
+
+    #[test]
+    fn match_detections_empty_detections_has_perfect_precision() {
+        // No detections means no false positives: precision 1.0, recall 0.0.
+        let truths = vec![(50usize, 50usize)];
+        let (p, r) = match_detections(&[], &truths, 5);
+        assert_eq!(p, 1.0);
+        assert_eq!(r, 0.0);
+        // And no truths means nothing to miss: recall 1.0.
+        let dets = vec![det(10, 10, 0.9, 8.0)];
+        let (p, r) = match_detections(&dets, &[], 5);
+        assert_eq!(p, 0.0);
+        assert_eq!(r, 1.0);
+    }
+
+    #[test]
     fn match_detections_precision_recall() {
         let truths = vec![(50usize, 50usize), (100, 100)];
         // One hit, one miss, one false positive.
@@ -451,6 +532,38 @@ mod tests {
         let (p, r) = match_detections(&dets, &truths, 5);
         assert!((p - 0.5).abs() < 1e-6, "second detection must not re-match");
         assert!((r - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scan_scene_parallel_matches_sequential_bitwise() {
+        use dcd_nn::SppNet;
+        rayon::ensure_threads(4);
+        let mut arch = SppNetConfig::tiny();
+        arch.in_channels = 4;
+        let model = SppNet::new(arch, &mut SeededRng::new(5));
+        let mut detector = DrainageCrossingDetector::from_model(model);
+        detector.threshold = 0.0; // fire everywhere: maximal NMS workload
+        let cfg = small_config();
+        let ds = PatchDataset::generate(&cfg, 21);
+        let bands = render_bands(&ds.scene, 0.03, &mut SeededRng::new(9));
+        let scan = ScanConfig {
+            batch_size: 8,
+            stride: 24,
+            ..ScanConfig::for_patch(48)
+        };
+        let par = scan_scene(&mut detector, &bands, &scan);
+        let seq = rayon::force_sequential(|| scan_scene(&mut detector, &bands, &scan));
+        assert!(
+            !par.is_empty(),
+            "untrained scan at threshold 0 found nothing"
+        );
+        assert_eq!(par.len(), seq.len());
+        for (p, s) in par.iter().zip(seq.iter()) {
+            assert_eq!((p.x, p.y), (s.x, s.y));
+            assert_eq!(p.score.to_bits(), s.score.to_bits(), "scores diverged");
+            assert_eq!(p.w.to_bits(), s.w.to_bits());
+            assert_eq!(p.h.to_bits(), s.h.to_bits());
+        }
     }
 
     #[test]

@@ -165,17 +165,32 @@ impl Experiment {
         exp
     }
 
-    /// The best trial by score, if any.
-    pub fn best(&self) -> Option<&Trial> {
-        self.trials
-            .iter()
-            .max_by(|a, b| a.score.partial_cmp(&b.score).expect("finite scores"))
+    /// Trials eligible for ranking: non-finite scores (a NaN loss that
+    /// leaked through an evaluator) are excluded with a counted warning
+    /// rather than poisoning the comparison — one degenerate trial must not
+    /// panic a long experiment's analysis.
+    fn rankable(&self) -> Vec<&Trial> {
+        let rankable: Vec<&Trial> = self.trials.iter().filter(|t| t.score.is_finite()).collect();
+        let dropped = self.trials.len() - rankable.len();
+        if dropped > 0 {
+            eprintln!("warning: ranking ignored {dropped} trial(s) with non-finite scores");
+        }
+        rankable
     }
 
-    /// The `k` best trials, descending by score.
+    /// The best trial by score, if any. Trials with non-finite scores are
+    /// ignored.
+    pub fn best(&self) -> Option<&Trial> {
+        self.rankable()
+            .into_iter()
+            .max_by(|a, b| a.score.total_cmp(&b.score))
+    }
+
+    /// The `k` best trials, descending by score. Trials with non-finite
+    /// scores are ignored.
     pub fn top_k(&self, k: usize) -> Vec<&Trial> {
-        let mut sorted: Vec<&Trial> = self.trials.iter().collect();
-        sorted.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+        let mut sorted = self.rankable();
+        sorted.sort_by(|a, b| b.score.total_cmp(&a.score));
         sorted.truncate(k);
         sorted
     }
@@ -238,6 +253,36 @@ mod tests {
         for w in top.windows(2) {
             assert!(w[0].score >= w[1].score);
         }
+    }
+
+    #[test]
+    fn best_and_top_k_ignore_nan_scores() {
+        // Regression: ranking used partial_cmp().expect(), so one NaN score
+        // panicked best()/top_k(). NaN trials must be skipped instead.
+        let mut strat = RandomSearch::new(SppNetSearchSpace::paper(), 6, 9);
+        let eval = FunctionalEvaluator::new(|c: &SppNetConfig| c.fc1 as f64);
+        let mut exp = Experiment::run(&mut strat, &eval, 6);
+        exp.trials[1].score = f64::NAN;
+        exp.trials[4].score = f64::INFINITY;
+        let best = exp.best().expect("finite trials remain");
+        assert!(best.score.is_finite());
+        let top = exp.top_k(10);
+        assert_eq!(top.len(), 4, "two non-finite trials excluded");
+        for w in top.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+
+        let mut all_nan = Experiment::new();
+        all_nan.trials.push(Trial {
+            id: 0,
+            config: SppNetConfig::tiny(),
+            summary: String::new(),
+            score: f64::NAN,
+            duration_s: 0.0,
+            attempts: 1,
+        });
+        assert!(all_nan.best().is_none());
+        assert!(all_nan.top_k(3).is_empty());
     }
 
     #[test]

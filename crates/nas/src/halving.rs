@@ -130,9 +130,13 @@ pub fn successive_halving(
         if cohort.len() <= 1 || effective >= 1.0 {
             break;
         }
-        // Keep the top 1/eta (at least one).
+        // Keep the top 1/eta (at least one). NaN scores (a degenerate
+        // low-budget evaluation) rank last instead of panicking the sort;
+        // keying NaN to -inf is needed because total_cmp alone would rank
+        // +NaN above every finite score.
+        let rank = |s: f64| if s.is_nan() { f64::NEG_INFINITY } else { s };
         let mut order: Vec<usize> = (0..cohort.len()).collect();
-        order.sort_by(|&a, &b| last_scores[b].partial_cmp(&last_scores[a]).expect("finite"));
+        order.sort_by(|&a, &b| rank(last_scores[b]).total_cmp(&rank(last_scores[a])));
         let keep = (cohort.len() / config.eta).max(1);
         cohort = order
             .iter()
@@ -145,7 +149,10 @@ pub fn successive_halving(
     let best = last_scores
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .max_by(|a, b| {
+            let rank = |s: f64| if s.is_nan() { f64::NEG_INFINITY } else { s };
+            rank(*a.1).total_cmp(&rank(*b.1))
+        })
         .map(|(i, _)| i)
         .expect("non-empty cohort");
     HalvingResult {

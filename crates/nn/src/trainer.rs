@@ -10,6 +10,7 @@ use crate::sgd::Sgd;
 use crate::sppnet::SppNet;
 use crate::BBox;
 use dcd_tensor::{SeededRng, Tensor};
+use rayon::prelude::*;
 
 /// Training-loop configuration.
 #[derive(Debug, Clone, Copy)]
@@ -71,7 +72,9 @@ impl Trainer {
 
     /// Assembles one minibatch into `(images, obj_targets, box_targets, mask)`.
     fn batch_tensors(samples: &[&Sample]) -> (Tensor, Tensor, Tensor, Vec<f32>) {
-        let images: Vec<Tensor> = samples.iter().map(|s| s.image.clone()).collect();
+        // Image buffers copy in parallel; the batch assembly is the only
+        // part of a training step outside the (already parallel) kernels.
+        let images: Vec<Tensor> = samples.par_iter().map(|s| s.image.clone()).collect();
         let x = Tensor::stack(&images);
         let n = samples.len();
         let mut obj = Tensor::zeros([n]);
@@ -221,7 +224,7 @@ pub fn evaluate_batched(
     let mut preds: Vec<(f32, BBox)> = Vec::with_capacity(samples.len());
     let mut truths: Vec<Option<BBox>> = Vec::with_capacity(samples.len());
     for chunk in samples.chunks(batch_size.max(1)) {
-        let images: Vec<Tensor> = chunk.iter().map(|s| s.image.clone()).collect();
+        let images: Vec<Tensor> = chunk.par_iter().map(|s| s.image.clone()).collect();
         let x = Tensor::stack(&images);
         for (det, s) in model.predict(&x).into_iter().zip(chunk.iter()) {
             preds.push((det.score, det.bbox));

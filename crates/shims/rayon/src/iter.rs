@@ -1,0 +1,454 @@
+//! Parallel iterators over splittable producers.
+//!
+//! A [`Producer`] is an exact-length source that can be split at an index
+//! and drained from the front; adapters ([`MapProducer`], [`ZipProducer`],
+//! [`EnumerateProducer`]) compose producers, and the consumers on
+//! [`ParIter`] split the composed producer into pieces and hand them to the
+//! pool ([`crate::pool::run_pieces`]).
+//!
+//! Determinism: the piece count is a pure function of the length (never of
+//! the pool size), each item's result lands in the slot of its original
+//! index, and order-sensitive reductions ([`ParIter::sum`]) fold each piece
+//! left-to-right and then combine the piece partials in index order — so
+//! every consumer yields bit-identical results whether it runs on one
+//! thread or many.
+
+use crate::pool::run_pieces;
+use std::sync::Arc;
+
+/// Cap on pieces per parallel call: enough slack for work-stealing-style
+/// load balance on any realistic thread count, small enough that piece
+/// bookkeeping stays negligible. Must not depend on the pool size, or f32
+/// reductions would stop being reproducible across machines.
+const MAX_PIECES: usize = 64;
+
+/// An exact-length, front-drainable, splittable work source.
+pub trait Producer: Send + Sized {
+    /// Item handed to consumer closures.
+    type Item: Send;
+    /// Remaining items.
+    fn len(&self) -> usize;
+    /// `true` when no items remain.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Splits into `[0, index)` and `[index, len)`.
+    fn split_at(self, index: usize) -> (Self, Self);
+    /// Removes and returns the front item.
+    fn pop_front(&mut self) -> Option<Self::Item>;
+}
+
+/// Sequential drain of one piece (used inside pool tasks).
+struct SeqIter<P>(P);
+
+impl<P: Producer> Iterator for SeqIter<P> {
+    type Item = P::Item;
+    fn next(&mut self) -> Option<P::Item> {
+        self.0.pop_front()
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.len();
+        (n, Some(n))
+    }
+}
+
+/// Splits a producer into at most [`MAX_PIECES`] balanced pieces. Boundaries
+/// depend only on `len`, keeping reductions reproducible.
+fn split_pieces<P: Producer>(producer: P) -> Vec<P> {
+    let len = producer.len();
+    if len == 0 {
+        return Vec::new();
+    }
+    let pieces = len.min(MAX_PIECES);
+    let mut out = Vec::with_capacity(pieces);
+    let mut rest = producer;
+    let mut start = 0;
+    for j in 1..pieces {
+        let end = len * j / pieces;
+        let (head, tail) = rest.split_at(end - start);
+        out.push(head);
+        rest = tail;
+        start = end;
+    }
+    out.push(rest);
+    out
+}
+
+// ------------------------------------------------------------ base producers
+
+/// Shared-slice items (`par_iter`).
+pub struct SliceProducer<'a, T: Sync> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> Producer for SliceProducer<'a, T> {
+    type Item = &'a T;
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at(index);
+        (SliceProducer { slice: l }, SliceProducer { slice: r })
+    }
+    fn pop_front(&mut self) -> Option<&'a T> {
+        let (first, rest) = self.slice.split_first()?;
+        self.slice = rest;
+        Some(first)
+    }
+}
+
+/// Exclusive-slice items (`par_iter_mut`).
+pub struct SliceMutProducer<'a, T: Send> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> Producer for SliceMutProducer<'a, T> {
+    type Item = &'a mut T;
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at_mut(index);
+        (SliceMutProducer { slice: l }, SliceMutProducer { slice: r })
+    }
+    fn pop_front(&mut self) -> Option<&'a mut T> {
+        let (first, rest) = std::mem::take(&mut self.slice).split_first_mut()?;
+        self.slice = rest;
+        Some(first)
+    }
+}
+
+/// Shared chunks (`par_chunks`).
+pub struct ChunksProducer<'a, T: Sync> {
+    slice: &'a [T],
+    chunk: usize,
+}
+
+impl<'a, T: Sync> Producer for ChunksProducer<'a, T> {
+    type Item = &'a [T];
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk)
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let cut = (index * self.chunk).min(self.slice.len());
+        let (l, r) = self.slice.split_at(cut);
+        (
+            ChunksProducer {
+                slice: l,
+                chunk: self.chunk,
+            },
+            ChunksProducer {
+                slice: r,
+                chunk: self.chunk,
+            },
+        )
+    }
+    fn pop_front(&mut self) -> Option<&'a [T]> {
+        if self.slice.is_empty() {
+            return None;
+        }
+        let cut = self.chunk.min(self.slice.len());
+        let (head, rest) = self.slice.split_at(cut);
+        self.slice = rest;
+        Some(head)
+    }
+}
+
+/// Exclusive chunks (`par_chunks_mut`).
+pub struct ChunksMutProducer<'a, T: Send> {
+    slice: &'a mut [T],
+    chunk: usize,
+}
+
+impl<'a, T: Send> Producer for ChunksMutProducer<'a, T> {
+    type Item = &'a mut [T];
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk)
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let cut = (index * self.chunk).min(self.slice.len());
+        let (l, r) = self.slice.split_at_mut(cut);
+        (
+            ChunksMutProducer {
+                slice: l,
+                chunk: self.chunk,
+            },
+            ChunksMutProducer {
+                slice: r,
+                chunk: self.chunk,
+            },
+        )
+    }
+    fn pop_front(&mut self) -> Option<&'a mut [T]> {
+        if self.slice.is_empty() {
+            return None;
+        }
+        let cut = self.chunk.min(self.slice.len());
+        let (head, rest) = std::mem::take(&mut self.slice).split_at_mut(cut);
+        self.slice = rest;
+        Some(head)
+    }
+}
+
+/// Owned items (`into_par_iter` on collections and ranges).
+pub struct VecProducer<T: Send> {
+    items: std::collections::VecDeque<T>,
+}
+
+impl<T: Send> Producer for VecProducer<T> {
+    type Item = T;
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+    fn split_at(mut self, index: usize) -> (Self, Self) {
+        let back = self.items.split_off(index);
+        (self, VecProducer { items: back })
+    }
+    fn pop_front(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+}
+
+// ----------------------------------------------------------------- adapters
+
+/// Output of [`ParIter::map`].
+pub struct MapProducer<P, F> {
+    base: P,
+    f: Arc<F>,
+}
+
+impl<P, R, F> Producer for MapProducer<P, F>
+where
+    P: Producer,
+    R: Send,
+    F: Fn(P::Item) -> R + Send + Sync,
+{
+    type Item = R;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            MapProducer {
+                base: l,
+                f: Arc::clone(&self.f),
+            },
+            MapProducer { base: r, f: self.f },
+        )
+    }
+    fn pop_front(&mut self) -> Option<R> {
+        self.base.pop_front().map(|x| (self.f)(x))
+    }
+}
+
+/// Output of [`ParIter::zip`] (both sides pre-truncated to equal length).
+pub struct ZipProducer<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: Producer, B: Producer> Producer for ZipProducer<A, B> {
+    type Item = (A::Item, B::Item);
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (al, ar) = self.a.split_at(index);
+        let (bl, br) = self.b.split_at(index);
+        (ZipProducer { a: al, b: bl }, ZipProducer { a: ar, b: br })
+    }
+    fn pop_front(&mut self) -> Option<(A::Item, B::Item)> {
+        match (self.a.pop_front(), self.b.pop_front()) {
+            (Some(a), Some(b)) => Some((a, b)),
+            _ => None,
+        }
+    }
+}
+
+/// Output of [`ParIter::enumerate`].
+pub struct EnumerateProducer<P> {
+    base: P,
+    offset: usize,
+}
+
+impl<P: Producer> Producer for EnumerateProducer<P> {
+    type Item = (usize, P::Item);
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            EnumerateProducer {
+                base: l,
+                offset: self.offset,
+            },
+            EnumerateProducer {
+                base: r,
+                offset: self.offset + index,
+            },
+        )
+    }
+    fn pop_front(&mut self) -> Option<(usize, P::Item)> {
+        let item = self.base.pop_front()?;
+        let i = self.offset;
+        self.offset += 1;
+        Some((i, item))
+    }
+}
+
+// ----------------------------------------------------------------- ParIter
+
+/// A parallel iterator: adapters compose the producer, consumers execute it
+/// on the pool.
+pub struct ParIter<P: Producer> {
+    producer: P,
+}
+
+impl<P: Producer> ParIter<P> {
+    fn new(producer: P) -> Self {
+        ParIter { producer }
+    }
+
+    /// Transforms every item with `f`.
+    pub fn map<R, F>(self, f: F) -> ParIter<MapProducer<P, F>>
+    where
+        R: Send,
+        F: Fn(P::Item) -> R + Send + Sync,
+    {
+        ParIter::new(MapProducer {
+            base: self.producer,
+            f: Arc::new(f),
+        })
+    }
+
+    /// Pairs items with another parallel iterator (truncating to the shorter).
+    pub fn zip<Q: Producer>(self, other: ParIter<Q>) -> ParIter<ZipProducer<P, Q>> {
+        let n = self.producer.len().min(other.producer.len());
+        let (a, _) = self.producer.split_at(n);
+        let (b, _) = other.producer.split_at(n);
+        ParIter::new(ZipProducer { a, b })
+    }
+
+    /// Pairs every item with its index.
+    pub fn enumerate(self) -> ParIter<EnumerateProducer<P>> {
+        ParIter::new(EnumerateProducer {
+            base: self.producer,
+            offset: 0,
+        })
+    }
+
+    /// Runs `f` on every item, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(P::Item) + Send + Sync,
+    {
+        run_pieces(split_pieces(self.producer), |_, piece| {
+            for item in SeqIter(piece) {
+                f(item);
+            }
+        });
+    }
+
+    /// Sums the items. Piece partials are combined in index order, so the
+    /// result is identical to the 1-thread run of the same expression.
+    pub fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<P::Item> + std::iter::Sum<S>,
+    {
+        run_pieces(split_pieces(self.producer), |_, piece| {
+            SeqIter(piece).sum::<S>()
+        })
+        .into_iter()
+        .sum()
+    }
+
+    /// Collects the items, preserving their order.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<P::Item>,
+    {
+        C::from_par_iter(self)
+    }
+}
+
+/// Collection types buildable from a [`ParIter`].
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Builds the collection, preserving item order.
+    fn from_par_iter<P: Producer<Item = T>>(iter: ParIter<P>) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P: Producer<Item = T>>(iter: ParIter<P>) -> Self {
+        let parts = run_pieces(split_pieces(iter.producer), |_, piece| {
+            SeqIter(piece).collect::<Vec<T>>()
+        });
+        let total = parts.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(total);
+        for part in parts {
+            out.extend(part);
+        }
+        out
+    }
+}
+
+// ------------------------------------------------------------ entry traits
+
+/// `into_par_iter()` on any `IntoIterator` (ranges, `Vec`, …). Items are
+/// buffered once so the source can be split across workers.
+pub trait IntoParallelIterator: IntoIterator + Sized
+where
+    Self::Item: Send,
+{
+    /// Converts into a parallel iterator over the owned items.
+    fn into_par_iter(self) -> ParIter<VecProducer<Self::Item>> {
+        ParIter::new(VecProducer {
+            items: self.into_iter().collect(),
+        })
+    }
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T where T::Item: Send {}
+
+/// `par_iter()` / `par_chunks()` on slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over shared references.
+    fn par_iter(&self) -> ParIter<SliceProducer<'_, T>>;
+    /// Parallel iterator over `chunk_size`-sized shared chunks.
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<ChunksProducer<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<SliceProducer<'_, T>> {
+        ParIter::new(SliceProducer { slice: self })
+    }
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<ChunksProducer<'_, T>> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParIter::new(ChunksProducer {
+            slice: self,
+            chunk: chunk_size,
+        })
+    }
+}
+
+/// `par_iter_mut()` / `par_chunks_mut()` on slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over exclusive references.
+    fn par_iter_mut(&mut self) -> ParIter<SliceMutProducer<'_, T>>;
+    /// Parallel iterator over `chunk_size`-sized exclusive chunks.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<ChunksMutProducer<'_, T>>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<SliceMutProducer<'_, T>> {
+        ParIter::new(SliceMutProducer { slice: self })
+    }
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<ChunksMutProducer<'_, T>> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParIter::new(ChunksMutProducer {
+            slice: self,
+            chunk: chunk_size,
+        })
+    }
+}

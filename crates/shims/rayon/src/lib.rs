@@ -1,58 +1,50 @@
-//! Offline stand-in for `rayon`.
+//! Offline stand-in for `rayon` with a **real** thread pool.
 //!
 //! The build environment has no crates.io access, so `par_iter`-family calls
-//! resolve to these traits, which return the corresponding *sequential*
-//! standard-library iterators. Call sites keep rayon's spelling (and with it
-//! the documented parallel intent); dropping the real `rayon` back in is a
-//! one-line Cargo change. Because std iterators supply `map`, `zip`,
-//! `enumerate`, `for_each`, `sum`, and `collect`, no adapter shims are
-//! needed.
+//! resolve to this crate. Unlike the first-generation shim — which silently
+//! returned *sequential* std iterators — this implementation genuinely runs
+//! work in parallel: a lazily-initialized global pool of `std::thread`
+//! workers (sized from [`std::thread::available_parallelism`], overridable
+//! via `RAYON_NUM_THREADS`) executes split pieces of every
+//! `par_iter`/`par_iter_mut`/`par_chunks`/`par_chunks_mut`/`into_par_iter`
+//! call, and [`join`] provides rayon-style fork-join via scoped threads.
+//!
+//! Supported adapter surface (the slice this workspace uses): `map`, `zip`,
+//! `enumerate`, `for_each`, `sum`, `collect`. Call sites keep rayon's
+//! spelling, so restoring the real `rayon` remains a one-line Cargo change —
+//! but with this crate the parallelism is real either way.
+//!
+//! # Determinism guarantee
+//!
+//! Every consumer produces output **bit-identical** to a single-threaded run
+//! (`RAYON_NUM_THREADS=1`, or [`force_sequential`]):
+//!
+//! * piece boundaries are a pure function of the input length, never of the
+//!   pool size or scheduling;
+//! * each item's result is written to the slot of its original index;
+//! * order-sensitive reductions (`sum`) fold each piece left-to-right and
+//!   combine piece partials in index order.
+//!
+//! # Divergences from real rayon
+//!
+//! * Nested parallel calls issued from a pool worker run inline (the outer
+//!   call already owns the pool's parallelism); rayon would work-steal.
+//! * `into_par_iter` buffers the source into a deque before splitting.
+//! * A piece that panics does not abort sibling pieces; the first panic is
+//!   re-thrown on the calling thread after the call completes, and the pool
+//!   itself is never wedged by a panicking task.
 
-/// Sequential stand-ins for rayon's prelude traits.
+mod iter;
+mod pool;
+
+pub use pool::{current_num_threads, ensure_threads, force_sequential, join};
+
+/// Parallel-iterator entry traits, mirroring rayon's prelude.
 pub mod prelude {
-    /// `into_par_iter()` on any `IntoIterator` (ranges, `Vec`, …).
-    pub trait IntoParallelIterator: IntoIterator + Sized {
-        /// Sequential stand-in for rayon's parallel consumption.
-        fn into_par_iter(self) -> Self::IntoIter {
-            self.into_iter()
-        }
-    }
-
-    impl<T: IntoIterator> IntoParallelIterator for T {}
-
-    /// `par_iter()` / `par_chunks()` on slices.
-    pub trait ParallelSlice<T> {
-        /// Sequential stand-in for `par_iter`.
-        fn par_iter(&self) -> std::slice::Iter<'_, T>;
-        /// Sequential stand-in for `par_chunks`.
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
-    }
-
-    impl<T> ParallelSlice<T> for [T] {
-        fn par_iter(&self) -> std::slice::Iter<'_, T> {
-            self.iter()
-        }
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
-            self.chunks(chunk_size)
-        }
-    }
-
-    /// `par_iter_mut()` / `par_chunks_mut()` on slices.
-    pub trait ParallelSliceMut<T> {
-        /// Sequential stand-in for `par_iter_mut`.
-        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
-        /// Sequential stand-in for `par_chunks_mut`.
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
-    }
-
-    impl<T> ParallelSliceMut<T> for [T] {
-        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
-            self.iter_mut()
-        }
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
-            self.chunks_mut(chunk_size)
-        }
-    }
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, ParIter, ParallelSlice, ParallelSliceMut,
+        Producer,
+    };
 }
 
 #[cfg(test)]
@@ -73,5 +65,47 @@ mod tests {
 
         let total: u32 = (1u32..=10).into_par_iter().sum();
         assert_eq!(total, 55);
+    }
+
+    #[test]
+    fn zip_truncates_to_shorter_side() {
+        let a = [1u32, 2, 3, 4, 5];
+        let b = [10u32, 20, 30];
+        let sums: Vec<u32> = a
+            .par_iter()
+            .zip(b.par_iter())
+            .map(|(&x, &y)| x + y)
+            .collect();
+        assert_eq!(sums, vec![11, 22, 33]);
+    }
+
+    #[test]
+    fn chunked_writes_cover_every_element() {
+        let mut v = vec![0usize; 1000];
+        v.par_chunks_mut(7).enumerate().for_each(|(i, chunk)| {
+            for x in chunk.iter_mut() {
+                *x = i;
+            }
+        });
+        for (j, &x) in v.iter().enumerate() {
+            assert_eq!(x, j / 7);
+        }
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let v: Vec<f32> = Vec::new();
+        let out: Vec<f32> = v.par_iter().map(|&x| x + 1.0).collect();
+        assert!(out.is_empty());
+        let s: f32 = v.par_iter().sum();
+        assert_eq!(s, 0.0);
+        v.par_chunks(4).for_each(|_| panic!("no chunks expected"));
+    }
+
+    #[test]
+    fn mutation_through_par_iter_mut() {
+        let mut v: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        v.par_iter_mut().for_each(|x| *x *= 2.0);
+        assert_eq!(v[40], 80.0);
     }
 }

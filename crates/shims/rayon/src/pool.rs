@@ -1,0 +1,337 @@
+//! The global worker pool behind the `par_*` iterators.
+//!
+//! Workers are spawned lazily on the first parallel call and parked on a
+//! condvar when idle. A parallel call splits its work into pieces, publishes
+//! an erased descriptor of them on a shared queue, and then *participates*:
+//! the calling thread claims and runs pieces alongside the workers, and only
+//! returns once every piece has finished and no worker still holds a
+//! reference to the (stack-allocated) descriptor. That hand-shake is what
+//! makes it sound to run borrowed, non-`'static` closures on long-lived
+//! threads.
+//!
+//! Sizing: `RAYON_NUM_THREADS` if set (and a positive integer), otherwise
+//! [`std::thread::available_parallelism`]. A pool of 1 thread runs every
+//! parallel call inline on the caller, which is also the behaviour inside
+//! [`force_sequential`] and on nested parallel calls issued from a worker
+//! (the outer call already owns the pool's parallelism).
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+thread_local! {
+    /// Set on pool worker threads: nested parallel calls run inline.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+    /// Set inside [`force_sequential`]: parallel calls run inline.
+    static FORCE_SEQ: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Shared pool state: the task queue and the worker wakeup.
+struct Shared {
+    queue: Mutex<VecDeque<TaskRef>>,
+    work_available: Condvar,
+}
+
+struct Pool {
+    shared: Arc<Shared>,
+    threads: usize,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+/// `RAYON_NUM_THREADS` as a positive integer, if set and valid.
+fn env_threads() -> Option<usize> {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+fn default_threads() -> usize {
+    env_threads().unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+fn build_pool(threads: usize) -> Pool {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        work_available: Condvar::new(),
+    });
+    // The calling thread participates in every parallel call, so `threads`
+    // total parallelism needs `threads - 1` workers.
+    for i in 0..threads.saturating_sub(1) {
+        let s = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name(format!("rayon-shim-{i}"))
+            .spawn(move || worker_loop(s))
+            .expect("spawn pool worker");
+    }
+    Pool { shared, threads }
+}
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| build_pool(default_threads()))
+}
+
+/// The pool's thread count (initializing the pool if needed).
+pub fn current_num_threads() -> usize {
+    pool().threads
+}
+
+/// Initializes the global pool with `threads` threads if it has not been
+/// created yet, and returns the actual thread count.
+///
+/// `RAYON_NUM_THREADS` still takes precedence, so a CI run pinned to one
+/// thread stays sequential even when a test asks for more. Intended for
+/// tests that want real parallelism on small machines (threads may
+/// oversubscribe cores); after the pool exists this is a no-op.
+pub fn ensure_threads(threads: usize) -> usize {
+    POOL.get_or_init(|| build_pool(env_threads().unwrap_or(threads.max(1))))
+        .threads
+}
+
+/// Runs `f` with every parallel call on this thread forced inline.
+///
+/// Not part of real rayon's API; the equivalence tests use it to compare
+/// parallel output against the sequential execution of the *same* piece
+/// structure (which is why the results must be bit-identical).
+pub fn force_sequential<R>(f: impl FnOnce() -> R) -> R {
+    struct Reset(bool);
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            FORCE_SEQ.with(|c| c.set(self.0));
+        }
+    }
+    let prev = FORCE_SEQ.with(|c| c.replace(true));
+    let _reset = Reset(prev);
+    f()
+}
+
+/// Whether parallel calls from this thread must run inline.
+fn sequential_here() -> bool {
+    FORCE_SEQ.with(|c| c.get()) || IN_WORKER.with(|c| c.get())
+}
+
+/// `rayon::join`: runs both closures, potentially in parallel, propagating
+/// panics after both complete. Fork-join via a scoped thread.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if sequential_here() || pool().threads <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        match hb.join() {
+            Ok(rb) => (ra, rb),
+            Err(p) => resume_unwind(p),
+        }
+    })
+}
+
+// --------------------------------------------------------------- task plumbing
+
+/// Type-erased handle to a [`Task`] living on some caller's stack.
+///
+/// `attach` is only ever called under the queue lock while the task is still
+/// enqueued; the owning caller removes the task from the queue and then waits
+/// for `refs == 0 && remaining == 0` before returning, so every dereference
+/// of `data` happens while the task is provably alive.
+#[derive(Clone, Copy)]
+struct TaskRef {
+    data: *const (),
+    attach: unsafe fn(*const ()),
+    run_piece: unsafe fn(*const ()) -> bool,
+    detach: unsafe fn(*const ()),
+}
+
+// SAFETY: the raw pointer targets a Task whose liveness is guaranteed by the
+// attach/detach protocol above; the Task's own fields are Sync.
+unsafe impl Send for TaskRef {}
+
+/// Mutable bookkeeping of one parallel call.
+struct TaskState {
+    /// Next unclaimed piece index.
+    next: usize,
+    /// Pieces claimed-or-unclaimed that have not finished executing.
+    remaining: usize,
+    /// Workers currently attached (holding a [`TaskRef`]).
+    refs: usize,
+    /// First panic payload from a piece, re-thrown by the caller.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+struct Task<P, R, F> {
+    state: Mutex<TaskState>,
+    done: Condvar,
+    pieces: Vec<Mutex<Option<P>>>,
+    results: Vec<Mutex<Option<R>>>,
+    run: F,
+}
+
+unsafe fn attach_raw<P, R, F>(data: *const ())
+where
+    F: Fn(usize, P) -> R + Sync,
+{
+    let task = unsafe { &*(data as *const Task<P, R, F>) };
+    task.state.lock().unwrap().refs += 1;
+}
+
+unsafe fn detach_raw<P, R, F>(data: *const ())
+where
+    F: Fn(usize, P) -> R + Sync,
+{
+    let task = unsafe { &*(data as *const Task<P, R, F>) };
+    let mut st = task.state.lock().unwrap();
+    st.refs -= 1;
+    if st.refs == 0 {
+        task.done.notify_all();
+    }
+}
+
+/// Claims and runs one piece; `false` when no unclaimed pieces remain.
+/// Panics from the piece body are caught and recorded, never unwound into a
+/// worker (a panicking task must not wedge the pool).
+unsafe fn run_piece_raw<P, R, F>(data: *const ()) -> bool
+where
+    F: Fn(usize, P) -> R + Sync,
+{
+    let task = unsafe { &*(data as *const Task<P, R, F>) };
+    let i = {
+        let mut st = task.state.lock().unwrap();
+        if st.next >= task.pieces.len() {
+            return false;
+        }
+        st.next += 1;
+        st.next - 1
+    };
+    let piece = task.pieces[i]
+        .lock()
+        .unwrap()
+        .take()
+        .expect("piece is claimed exactly once");
+    let outcome = catch_unwind(AssertUnwindSafe(|| (task.run)(i, piece)));
+    match outcome {
+        Ok(r) => *task.results[i].lock().unwrap() = Some(r),
+        Err(p) => {
+            let mut st = task.state.lock().unwrap();
+            if st.panic.is_none() {
+                st.panic = Some(p);
+            }
+        }
+    }
+    let mut st = task.state.lock().unwrap();
+    st.remaining -= 1;
+    if st.remaining == 0 {
+        task.done.notify_all();
+    }
+    true
+}
+
+fn remove_task(shared: &Shared, data: *const ()) {
+    let mut q = shared.queue.lock().unwrap();
+    if let Some(pos) = q.iter().position(|t| std::ptr::eq(t.data, data)) {
+        q.remove(pos);
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    IN_WORKER.with(|c| c.set(true));
+    loop {
+        let task = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if let Some(&t) = q.front() {
+                    // Attach under the queue lock: the owning caller cannot
+                    // start its liveness wait until the entry is dequeued.
+                    unsafe { (t.attach)(t.data) };
+                    break t;
+                }
+                q = shared.work_available.wait(q).unwrap();
+            }
+        };
+        while unsafe { (task.run_piece)(task.data) } {}
+        // All pieces claimed: retire the queue entry (idempotent — the
+        // caller and other workers race to the same removal) and release
+        // our reference so the caller may return.
+        remove_task(&shared, task.data);
+        unsafe { (task.detach)(task.data) };
+    }
+}
+
+/// Executes `run(i, piece)` for every piece, in parallel when the pool has
+/// workers, and returns the results in piece order.
+///
+/// Piece boundaries are chosen by the caller and never depend on the pool
+/// size, and each piece is executed exactly once, so any output assembled
+/// per-piece is bit-identical between parallel and sequential execution.
+pub(crate) fn run_pieces<P, R, F>(pieces: Vec<P>, run: F) -> Vec<R>
+where
+    P: Send,
+    R: Send,
+    F: Fn(usize, P) -> R + Sync,
+{
+    let n = pieces.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 || sequential_here() || pool().threads <= 1 {
+        return pieces
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| run(i, p))
+            .collect();
+    }
+    let pool = pool();
+    let task = Task {
+        state: Mutex::new(TaskState {
+            next: 0,
+            remaining: n,
+            refs: 0,
+            panic: None,
+        }),
+        done: Condvar::new(),
+        pieces: pieces.into_iter().map(|p| Mutex::new(Some(p))).collect(),
+        results: (0..n).map(|_| Mutex::new(None)).collect(),
+        run,
+    };
+    let tref = TaskRef {
+        data: &task as *const Task<P, R, F> as *const (),
+        attach: attach_raw::<P, R, F>,
+        run_piece: run_piece_raw::<P, R, F>,
+        detach: detach_raw::<P, R, F>,
+    };
+    {
+        let mut q = pool.shared.queue.lock().unwrap();
+        q.push_back(tref);
+        pool.shared.work_available.notify_all();
+    }
+    // The caller works too instead of blocking.
+    while unsafe { (tref.run_piece)(tref.data) } {}
+    remove_task(&pool.shared, tref.data);
+    {
+        let mut st = task.state.lock().unwrap();
+        while st.remaining > 0 || st.refs > 0 {
+            st = task.done.wait(st).unwrap();
+        }
+        if let Some(p) = st.panic.take() {
+            drop(st);
+            resume_unwind(p);
+        }
+    }
+    task.results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("piece completed"))
+        .collect()
+}

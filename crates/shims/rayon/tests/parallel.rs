@@ -1,0 +1,145 @@
+//! Pool behaviour tests: genuine parallelism, determinism, and panic safety.
+//!
+//! Every test first pins the pool to 4 threads (oversubscription is fine —
+//! the point is concurrency, not speed), so the whole binary exercises the
+//! real parallel path even on a single-core machine. Under
+//! `RAYON_NUM_THREADS=1` the pool stays sequential and these tests become
+//! (still valid) no-op comparisons.
+
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+fn pool_threads() -> usize {
+    rayon::ensure_threads(4)
+}
+
+#[test]
+fn work_is_spread_across_threads() {
+    if pool_threads() < 2 {
+        return; // pinned sequential via RAYON_NUM_THREADS
+    }
+    // Two pieces rendezvous: each waits (bounded) until the other has
+    // started. Only concurrent execution lets both proceed quickly.
+    let started = [AtomicBool::new(false), AtomicBool::new(false)];
+    let both_ran_concurrently = AtomicBool::new(false);
+    [0usize, 1].par_iter().for_each(|&i| {
+        started[i].store(true, Ordering::SeqCst);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while Instant::now() < deadline {
+            if started[1 - i].load(Ordering::SeqCst) {
+                both_ran_concurrently.store(true, Ordering::SeqCst);
+                return;
+            }
+            std::thread::yield_now();
+        }
+    });
+    assert!(
+        both_ran_concurrently.load(Ordering::SeqCst),
+        "pieces never overlapped — the pool is not parallel"
+    );
+}
+
+#[test]
+fn parallel_sum_is_bit_identical_to_sequential() {
+    pool_threads();
+    // Values chosen so float addition order matters: mixing magnitudes makes
+    // any reassociation visible in the low bits.
+    let v: Vec<f32> = (0..100_000)
+        .map(|i| ((i * 2654435761u64 as usize) % 1000) as f32 * 1e-3 + (i % 7) as f32 * 1e4)
+        .collect();
+    let par: f32 = v.par_iter().sum();
+    let seq: f32 = rayon::force_sequential(|| v.par_iter().sum());
+    assert_eq!(par.to_bits(), seq.to_bits());
+
+    let par_sq: f32 = v.par_iter().map(|x| x * x).sum();
+    let seq_sq: f32 = rayon::force_sequential(|| v.par_iter().map(|x| x * x).sum());
+    assert_eq!(par_sq.to_bits(), seq_sq.to_bits());
+}
+
+#[test]
+fn parallel_collect_preserves_order() {
+    pool_threads();
+    let v: Vec<usize> = (0..10_000).collect();
+    let out: Vec<usize> = v.par_iter().map(|&x| x * 3).collect();
+    assert_eq!(out.len(), v.len());
+    for (i, &x) in out.iter().enumerate() {
+        assert_eq!(x, i * 3);
+    }
+}
+
+#[test]
+fn panicking_piece_propagates_without_wedging_the_pool() {
+    pool_threads();
+    let caught = std::panic::catch_unwind(|| {
+        (0..100usize).collect::<Vec<_>>().par_iter().for_each(|&i| {
+            if i == 37 {
+                panic!("injected piece failure");
+            }
+        });
+    });
+    assert!(caught.is_err(), "panic must reach the caller");
+
+    // The pool still works after the panic: run a full-size job and check
+    // every element was processed exactly once.
+    let counter = AtomicUsize::new(0);
+    let mut v = vec![0u8; 50_000];
+    v.par_iter_mut().for_each(|x| {
+        *x = 1;
+        counter.fetch_add(1, Ordering::Relaxed);
+    });
+    assert_eq!(counter.load(Ordering::Relaxed), v.len());
+    assert!(v.iter().all(|&x| x == 1));
+}
+
+#[test]
+fn join_runs_both_and_propagates_panics() {
+    pool_threads();
+    let (a, b) = rayon::join(|| 2 + 2, || "ok".to_string());
+    assert_eq!(a, 4);
+    assert_eq!(b, "ok");
+
+    let caught = std::panic::catch_unwind(|| {
+        rayon::join(|| 1, || -> i32 { panic!("right side fails") });
+    });
+    assert!(caught.is_err());
+}
+
+#[test]
+fn nested_parallel_calls_complete() {
+    pool_threads();
+    // Outer fan-out whose pieces each run an inner parallel reduction —
+    // the shape of conv2d calling gemm per sample.
+    let results: Vec<f64> = (0..8usize)
+        .collect::<Vec<_>>()
+        .par_iter()
+        .map(|&s| {
+            let inner: Vec<f64> = (0..1000).map(|i| (s * 1000 + i) as f64).collect();
+            inner.par_iter().sum::<f64>()
+        })
+        .collect();
+    for (s, &r) in results.iter().enumerate() {
+        let expect: f64 = (0..1000).map(|i| (s * 1000 + i) as f64).sum();
+        assert_eq!(r, expect);
+    }
+}
+
+#[test]
+fn concurrent_callers_do_not_interfere() {
+    pool_threads();
+    // Several OS threads issue parallel calls at once; each must see only
+    // its own results.
+    let handles: Vec<_> = (0..4u64)
+        .map(|seed| {
+            std::thread::spawn(move || {
+                let v: Vec<u64> = (0..20_000).map(|i| i ^ seed).collect();
+                let got: u64 = v.par_iter().sum();
+                let want: u64 = v.iter().sum();
+                assert_eq!(got, want);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("caller thread panicked");
+    }
+}
