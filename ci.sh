@@ -20,7 +20,16 @@ cargo test -q
 echo "== tier-1 again, pool pinned sequential (RAYON_NUM_THREADS=1) =="
 RAYON_NUM_THREADS=1 cargo test -q
 
+echo "== kernel equivalence under a pinned-sequential pool =="
+RAYON_NUM_THREADS=1 cargo test -q -p dcd-tensor --test parallel_equivalence
+
+echo "== criterion benches compile =="
+cargo bench --workspace --no-run
+
 echo "== parallel kernel microbenchmark -> BENCH_parallel.json =="
 cargo run --release -q -p dcd-bench --bin parallel
+
+echo "== packed-vs-legacy GEMM microbenchmark -> BENCH_gemm.json =="
+cargo run --release -q -p dcd-bench --bin gemm
 
 echo "CI OK"

@@ -10,6 +10,7 @@
 //! Usage: `cargo run --release -p dcd-bench --bin parallel`
 
 use dcd_tensor::{conv2d, gemm, SeededRng, Tensor};
+use rayon::prelude::*;
 use serde::Serialize;
 use std::time::Instant;
 
@@ -55,6 +56,12 @@ fn time_kernel(name: &str, mut f: impl FnMut()) -> KernelTiming {
 }
 
 fn main() {
+    // Warm the pool with a real parallel call before reading its size or
+    // timing anything: the recorded `threads` must reflect the workers that
+    // actually served the timed runs, and the first timed iteration must
+    // not pay thread-spawn cost.
+    let warm: f32 = vec![1.0f32; 1 << 15].par_iter().map(|&v| v * 2.0).sum();
+    std::hint::black_box(warm);
     let threads = rayon::current_num_threads();
     let mut rng = SeededRng::new(1);
 

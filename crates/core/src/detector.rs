@@ -58,8 +58,15 @@ impl DrainageCrossingDetector {
             return Vec::new();
         }
         let x = Tensor::stack(images);
+        self.detect_tensor(&x)
+    }
+
+    /// [`DrainageCrossingDetector::detect_batch`] over an already-assembled
+    /// `[N, C, H, W]` batch tensor — the scan hot path, which reuses one
+    /// batch buffer across tiles instead of stacking per-patch tensors.
+    pub fn detect_tensor(&mut self, x: &Tensor) -> Vec<Option<Detection>> {
         self.model
-            .predict(&x)
+            .predict(x)
             .into_iter()
             .map(|d| {
                 if d.score >= self.threshold {

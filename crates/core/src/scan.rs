@@ -10,7 +10,7 @@
 
 use crate::detector::DrainageCrossingDetector;
 use crate::resilience::{ResilientRunner, RetryPolicy, RunHealth};
-use dcd_geodata::render::clip_patch;
+use dcd_geodata::render::clip_patch_into;
 use dcd_gpusim::{DeviceSpec, FaultPlan, Gpu, GpuError};
 use dcd_ios::{
     ios_schedule, lower_sppnet, sequential_schedule, ExecError, IosOptions, StageCostModel,
@@ -155,28 +155,47 @@ fn tile_centers(w: usize, h: usize, config: &ScanConfig) -> Vec<(usize, usize)> 
 
 /// Runs one chunk of tile centres through the detector, appending raster-space
 /// detections to `raw`.
+///
+/// `batch_buf` is the caller's reusable batch buffer: each patch clips and
+/// normalizes directly into its slot (in parallel across tile centres), the
+/// buffer is loaned to a batch tensor for inference, then reclaimed — so a
+/// whole-scene scan allocates its batch storage once, not once per chunk.
 fn detect_chunk(
     detector: &mut DrainageCrossingDetector,
     bands: &Tensor,
     chunk: &[(usize, usize)],
     config: &ScanConfig,
     (h, w): (usize, usize),
+    batch_buf: &mut Vec<f32>,
     raw: &mut Vec<SceneDetection>,
 ) {
-    // Patch extraction is embarrassingly parallel across tile centres; the
-    // per-patch clip + normalize dominates chunk setup at small strides.
-    let patches: Vec<Tensor> = chunk
-        .par_iter()
-        .map(|&(cx, cy)| {
-            let p = clip_patch(bands, cx, cy, config.patch_size);
+    if chunk.is_empty() {
+        return;
+    }
+    let nb = bands.dims()[0];
+    let sample = nb * config.patch_size * config.patch_size;
+    batch_buf.resize(chunk.len() * sample, 0.0);
+    batch_buf
+        .par_chunks_mut(sample)
+        .zip(chunk.par_iter())
+        .for_each(|(dst, &(cx, cy))| {
+            // clip_patch_into writes every element, so stale data from the
+            // previous chunk cannot leak through.
+            clip_patch_into(bands, cx, cy, config.patch_size, dst);
             if config.normalize {
-                p.map(|v| (v - 0.5) * 2.0)
-            } else {
-                p
+                for v in dst.iter_mut() {
+                    *v = (*v - 0.5) * 2.0;
+                }
             }
-        })
-        .collect();
-    for (det, &(cx, cy)) in detector.detect_batch(&patches).into_iter().zip(chunk) {
+        });
+    let x = Tensor::from_vec(
+        [chunk.len(), nb, config.patch_size, config.patch_size],
+        std::mem::take(batch_buf),
+    )
+    .expect("scan batch tensor");
+    let dets = detector.detect_tensor(&x);
+    *batch_buf = x.into_vec();
+    for (det, &(cx, cy)) in dets.into_iter().zip(chunk) {
         if let Some(d) = det {
             // Patch-normalized box → raster coordinates.
             let ps = config.patch_size as f32;
@@ -207,8 +226,17 @@ pub fn scan_scene(
     let (h, w) = scene_dims(bands, config);
     let centers = tile_centers(w, h, config);
     let mut raw: Vec<SceneDetection> = Vec::new();
+    let mut batch_buf: Vec<f32> = Vec::new();
     for chunk in centers.chunks(config.batch_size.max(1)) {
-        detect_chunk(detector, bands, chunk, config, (h, w), &mut raw);
+        detect_chunk(
+            detector,
+            bands,
+            chunk,
+            config,
+            (h, w),
+            &mut batch_buf,
+            &mut raw,
+        );
     }
     let kept = nms(raw, w, h, config.nms_iou);
     suppress_within_radius(kept, config.nms_radius)
@@ -320,6 +348,7 @@ pub fn scan_scene_resilient(
     // batch, so a degraded batch automatically re-chunks the remaining work.
     let mut queue: VecDeque<(usize, usize)> = centers.into();
     let mut raw: Vec<SceneDetection> = Vec::new();
+    let mut batch_buf: Vec<f32> = Vec::new();
     let mut sim_ns = 0u64;
     let mut chunk: Vec<(usize, usize)> = Vec::new();
     while !queue.is_empty() {
@@ -339,7 +368,15 @@ pub fn scan_scene_resilient(
                 })
             }
         }
-        detect_chunk(detector, bands, &chunk, config, (h, w), &mut raw);
+        detect_chunk(
+            detector,
+            bands,
+            &chunk,
+            config,
+            (h, w),
+            &mut batch_buf,
+            &mut raw,
+        );
     }
     let kept = nms(raw, w, h, config.nms_iou);
     Ok(ResilientScanReport {

@@ -62,27 +62,42 @@ fn pixel_spectrum(scene: &Scene, x: usize, y: usize) -> Spectrum {
 /// Clips a `[4, size, size]` patch centred at `(cx, cy)` from rendered
 /// bands; out-of-raster area is zero-padded (edge patches).
 pub fn clip_patch(bands: &Tensor, cx: usize, cy: usize, size: usize) -> Tensor {
+    let nb = bands.dims()[0];
+    let mut patch = Tensor::zeros([nb, size, size]);
+    clip_patch_into(bands, cx, cy, size, patch.data_mut());
+    patch
+}
+
+/// [`clip_patch`] into a caller-provided buffer (e.g. one slot of a reused
+/// batch tensor). Every element of `out` is written — out-of-raster area is
+/// explicitly zeroed — so the buffer may hold stale data from a previous
+/// patch.
+pub fn clip_patch_into(bands: &Tensor, cx: usize, cy: usize, size: usize, out: &mut [f32]) {
     let dims = bands.dims();
     assert_eq!(dims.len(), 3, "expected [bands, H, W]");
     let (nb, h, w) = (dims[0], dims[1], dims[2]);
-    let mut patch = Tensor::zeros([nb, size, size]);
+    assert_eq!(out.len(), nb * size * size, "patch buffer size mismatch");
     let half = size / 2;
+    let src = bands.data();
     for b in 0..nb {
         for py in 0..size {
+            let row = &mut out[(b * size + py) * size..(b * size + py + 1) * size];
             let sy = cy as i64 + py as i64 - half as i64;
             if sy < 0 || sy >= h as i64 {
+                row.fill(0.0);
                 continue;
             }
-            for px in 0..size {
+            let src_row = &src[(b * h + sy as usize) * w..(b * h + sy as usize + 1) * w];
+            for (px, o) in row.iter_mut().enumerate() {
                 let sx = cx as i64 + px as i64 - half as i64;
-                if sx < 0 || sx >= w as i64 {
-                    continue;
-                }
-                patch.set(&[b, py, px], bands.at(&[b, sy as usize, sx as usize]));
+                *o = if sx < 0 || sx >= w as i64 {
+                    0.0
+                } else {
+                    src_row[sx as usize]
+                };
             }
         }
     }
-    patch
 }
 
 #[cfg(test)]
@@ -113,6 +128,19 @@ mod tests {
         for &v in bands.data() {
             assert!((0.0..=1.0).contains(&v));
         }
+    }
+
+    #[test]
+    fn clip_patch_into_overwrites_stale_buffer() {
+        // Edge patch (cx=0, cy=0) hits the zero-padding path; a reused
+        // buffer full of garbage must still come out identical to a fresh
+        // clip.
+        let s = scene();
+        let bands = render_bands(&s, 0.0, &mut SeededRng::new(4));
+        let fresh = clip_patch(&bands, 0, 0, 32);
+        let mut buf = vec![7.0f32; 4 * 32 * 32];
+        clip_patch_into(&bands, 0, 0, 32, &mut buf);
+        assert_eq!(fresh.data(), &buf[..]);
     }
 
     #[test]

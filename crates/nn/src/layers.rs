@@ -356,9 +356,8 @@ impl Layer for Linear {
             .expect("Linear::backward before forward");
         let (m, k) = x.shape().matrix();
         let n = self.out_features();
-        // gw = x^T (k×m) · go (m×n)
-        let xt = x.transpose2d();
-        let gw = dcd_tensor::gemm(xt.data(), grad_out.data(), k, m, n);
+        // gw = xᵀ (k×m) · go (m×n), read straight from x's [m, k] storage.
+        let gw = dcd_tensor::gemm_at(x.data(), grad_out.data(), k, m, n);
         self.weight
             .grad
             .axpy(1.0, &Tensor::from_vec([k, n], gw).expect("gw"));
@@ -372,9 +371,8 @@ impl Layer for Linear {
         self.bias
             .grad
             .axpy(1.0, &Tensor::from_vec([n], gb).expect("gb"));
-        // gx = go (m×n) · W^T (n×k)
-        let wt = self.weight.value.transpose2d();
-        let gx = dcd_tensor::gemm(grad_out.data(), wt.data(), m, n, k);
+        // gx = go (m×n) · Wᵀ, read straight from W's [k, n] storage.
+        let gx = dcd_tensor::gemm_bt(grad_out.data(), self.weight.value.data(), m, n, k);
         Tensor::from_vec([m, k], gx).expect("gx")
     }
 

@@ -16,7 +16,10 @@ use crate::layers::{Conv2d, Layer, Linear, MaxPool2d, Relu, SppLayer};
 use crate::loss::sigmoid;
 use crate::param::Param;
 use crate::BBox;
-use dcd_tensor::{SeededRng, Tensor};
+use dcd_tensor::{
+    adaptive_max_pool2d_values, conv2d_relu, gemm_bias, gemm_bias_relu, max_pool2d_values,
+    SeededRng, Tensor,
+};
 use serde::{Deserialize, Serialize};
 
 /// Sizes explored for the fully-connected layers (§4.2).
@@ -280,9 +283,82 @@ impl SppNet {
         self.params_mut().iter().map(|p| p.numel()).sum()
     }
 
+    /// Inference-only forward pass.
+    ///
+    /// Uses the fused kernels — `conv+bias+ReLU` in one GEMM epilogue,
+    /// values-only pooling (no argmax bookkeeping), `Linear+ReLU` in one
+    /// pass — and caches nothing, so it needs only `&self` and allocates no
+    /// backward state. Numerically identical to [`SppNet::forward`]: the
+    /// fused ReLU yields `+0.0` where the mask path yields `-0.0`, which no
+    /// downstream comparison, sum or sigmoid can distinguish.
+    pub fn forward_inference(&self, x: &Tensor) -> DetectionOutput {
+        let n = x.dims()[0];
+        let conv = |layer: &Conv2d, x: &Tensor| {
+            conv2d_relu(
+                x,
+                &layer.weight.value,
+                &layer.bias.value,
+                layer.stride,
+                layer.pad,
+            )
+        };
+        let mut cur = conv(&self.conv1, x);
+        cur = max_pool2d_values(&cur, self.pool1.kernel, self.pool1.stride);
+        cur = conv(&self.conv2, &cur);
+        cur = max_pool2d_values(&cur, self.pool2.kernel, self.pool2.stride);
+        cur = conv(&self.conv3, &cur);
+        cur = max_pool2d_values(&cur, self.pool3.kernel, self.pool3.stride);
+        // SPP pyramid, values only.
+        let mut parts = Vec::with_capacity(self.spp.levels.len());
+        for &level in &self.spp.levels {
+            let y = adaptive_max_pool2d_values(&cur, level);
+            let f = y.numel() / n;
+            parts.push(y.reshape([n, f]));
+        }
+        let refs: Vec<&Tensor> = parts.iter().collect();
+        cur = Tensor::concat(&refs, 1);
+        // FC trunk with the bias+ReLU epilogue fused into the GEMM.
+        let fc_relu = |l: &Linear, x: &Tensor| {
+            let (m, k) = x.shape().matrix();
+            let nf = l.out_features();
+            let y = gemm_bias_relu(
+                x.data(),
+                l.weight.value.data(),
+                l.bias.value.data(),
+                m,
+                k,
+                nf,
+            );
+            Tensor::from_vec([m, nf], y).expect("fc output")
+        };
+        cur = fc_relu(&self.fc1, &cur);
+        if let Some((fc2, _)) = &self.fc2 {
+            cur = fc_relu(fc2, &cur);
+        }
+        let head = |l: &Linear, x: &Tensor| {
+            let (m, k) = x.shape().matrix();
+            let nf = l.out_features();
+            let y = gemm_bias(
+                x.data(),
+                l.weight.value.data(),
+                l.bias.value.data(),
+                m,
+                k,
+                nf,
+            );
+            Tensor::from_vec([m, nf], y).expect("head output")
+        };
+        let obj = head(&self.head_obj, &cur).reshape([n]);
+        let boxes = head(&self.head_box, &cur);
+        DetectionOutput {
+            obj_logits: obj,
+            boxes,
+        }
+    }
+
     /// Runs inference on a batch and decodes per-image detections.
     pub fn predict(&mut self, x: &Tensor) -> Vec<Detection> {
-        let out = self.forward(x);
+        let out = self.forward_inference(x);
         let n = out.obj_logits.numel();
         (0..n)
             .map(|i| Detection {
@@ -392,6 +468,20 @@ mod tests {
         for d in dets {
             assert!((0.0..=1.0).contains(&d.score));
         }
+    }
+
+    #[test]
+    fn forward_inference_matches_training_forward() {
+        let mut r = rng();
+        let mut cfg = SppNetConfig::tiny();
+        cfg.fc2 = Some(16);
+        let mut net = SppNet::new(cfg, &mut r);
+        let x = Tensor::randn([3, 1, 20, 20], 0.0, 1.0, &mut r);
+        let train = net.forward(&x);
+        let infer = net.forward_inference(&x);
+        // `==` tolerates the fused ReLU's +0.0 vs the mask path's -0.0.
+        assert_eq!(train.obj_logits.data(), infer.obj_logits.data());
+        assert_eq!(train.boxes.data(), infer.boxes.data());
     }
 
     #[test]

@@ -56,6 +56,22 @@ pub struct EpochStats {
     pub box_loss: f32,
 }
 
+/// Stacks equally-shaped sample images into one `[N, ...]` batch tensor,
+/// copying each image directly into its slot in parallel (single output
+/// buffer, no per-sample clones).
+fn stack_images(images: &[&Tensor]) -> Tensor {
+    let n = images.len();
+    assert!(n > 0, "empty batch");
+    let sample_len = images[0].numel();
+    let mut data = vec![0.0f32; n * sample_len];
+    data.par_chunks_mut(sample_len)
+        .zip(images.par_iter())
+        .for_each(|(dst, img)| dst.copy_from_slice(img.data()));
+    let mut dims = vec![n];
+    dims.extend_from_slice(images[0].dims());
+    Tensor::from_vec(dims, data).expect("batch tensor")
+}
+
 /// Drives SGD training of an [`SppNet`].
 pub struct Trainer {
     /// Loop configuration.
@@ -72,10 +88,15 @@ impl Trainer {
 
     /// Assembles one minibatch into `(images, obj_targets, box_targets, mask)`.
     fn batch_tensors(samples: &[&Sample]) -> (Tensor, Tensor, Tensor, Vec<f32>) {
-        // Image buffers copy in parallel; the batch assembly is the only
-        // part of a training step outside the (already parallel) kernels.
-        let images: Vec<Tensor> = samples.par_iter().map(|s| s.image.clone()).collect();
-        let x = Tensor::stack(&images);
+        // Each sample copies straight into its batch slot in parallel — one
+        // pass, no intermediate per-sample clones or stack.
+        let x = stack_images(
+            samples
+                .iter()
+                .map(|s| &s.image)
+                .collect::<Vec<_>>()
+                .as_slice(),
+        );
         let n = samples.len();
         let mut obj = Tensor::zeros([n]);
         let mut boxes = Tensor::zeros([n, 4]);
@@ -224,8 +245,13 @@ pub fn evaluate_batched(
     let mut preds: Vec<(f32, BBox)> = Vec::with_capacity(samples.len());
     let mut truths: Vec<Option<BBox>> = Vec::with_capacity(samples.len());
     for chunk in samples.chunks(batch_size.max(1)) {
-        let images: Vec<Tensor> = chunk.par_iter().map(|s| s.image.clone()).collect();
-        let x = Tensor::stack(&images);
+        let x = stack_images(
+            chunk
+                .iter()
+                .map(|s| &s.image)
+                .collect::<Vec<_>>()
+                .as_slice(),
+        );
         for (det, s) in model.predict(&x).into_iter().zip(chunk.iter()) {
             preds.push((det.score, det.bbox));
             truths.push(s.label);

@@ -7,10 +7,19 @@
 //! * output `[N, C_out, OH, OW]` with `OH = (H + 2·pad − KH)/stride + 1`
 //!
 //! The batch dimension is embarrassingly parallel; forward and backward both
-//! fan out over samples with rayon and reduce weight gradients with a
-//! tree-shaped `reduce` (no shared mutable state).
+//! fan out over samples with rayon and reduce weight gradients with in-order
+//! combination (no shared mutable state).
+//!
+//! Hot-path memory discipline: the weight matrix is packed once per call
+//! ([`PackedLhs`]) and shared read-only by every sample; the per-sample
+//! im2col columns and gradient columns live in the worker's
+//! [`crate::scratch`] pool, so steady-state forward calls perform zero heap
+//! allocations per sample; and the bias (+ optional ReLU) is applied by the
+//! GEMM epilogue as tiles are written back — there is no intermediate
+//! product buffer and no second sweep over the output.
 
-use crate::gemm::{gemm, gemm_acc};
+use crate::gemm::{gemm_bt_acc, gemm_packed, Epilogue, PackedLhs, Trans};
+use crate::scratch;
 use crate::tensor::Tensor;
 use rayon::prelude::*;
 
@@ -39,8 +48,11 @@ pub struct Conv2dGrads {
 
 /// Unpacks one sample `[C, H, W]` into im2col columns
 /// `[C·KH·KW, OH·OW]` (row-major, column index = oh·OW + ow).
+///
+/// `cols` must be zeroed (a fresh [`scratch::take`] buffer is): padding
+/// positions are skipped, not written.
 #[allow(clippy::too_many_arguments)]
-fn im2col(
+fn im2col_into(
     x: &[f32],
     c: usize,
     h: usize,
@@ -51,9 +63,10 @@ fn im2col(
     pad: usize,
     oh: usize,
     ow: usize,
-) -> Vec<f32> {
-    let mut cols = vec![0.0f32; c * kh * kw * oh * ow];
+    cols: &mut [f32],
+) {
     let ospatial = oh * ow;
+    debug_assert_eq!(cols.len(), c * kh * kw * ospatial);
     for ci in 0..c {
         for ki in 0..kh {
             for kj in 0..kw {
@@ -75,13 +88,13 @@ fn im2col(
             }
         }
     }
-    cols
 }
 
 /// Scatters im2col columns back into a `[C, H, W]` gradient (the adjoint of
-/// [`im2col`]); overlapping windows accumulate.
+/// [`im2col_into`]); overlapping windows accumulate into `x`, which must be
+/// zeroed on entry.
 #[allow(clippy::too_many_arguments)]
-fn col2im(
+fn col2im_into(
     cols: &[f32],
     c: usize,
     h: usize,
@@ -92,9 +105,10 @@ fn col2im(
     pad: usize,
     oh: usize,
     ow: usize,
-) -> Vec<f32> {
-    let mut x = vec![0.0f32; c * h * w];
+    x: &mut [f32],
+) {
     let ospatial = oh * ow;
+    debug_assert_eq!(x.len(), c * h * w);
     for ci in 0..c {
         for ki in 0..kh {
             for kj in 0..kw {
@@ -117,11 +131,16 @@ fn col2im(
             }
         }
     }
-    x
 }
 
-/// Convolution forward pass.
-pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, stride: usize, pad: usize) -> Tensor {
+fn conv2d_fused(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    stride: usize,
+    pad: usize,
+    relu: bool,
+) -> Tensor {
     let (n, c_in, h, w) = input.shape().nchw();
     let (c_out, wc_in, kh, kw) = weight.shape().nchw();
     assert_eq!(
@@ -136,20 +155,45 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, stride: usize, pad
     let sample_in = c_in * h * w;
     let sample_out = c_out * ospatial;
 
+    // Pack the weight matrix once; every sample's GEMM reads it in place.
+    let pw = PackedLhs::pack(weight.data(), Trans::No, c_out, k);
+    let ep = if relu {
+        Epilogue::BiasRowsRelu(bias.data())
+    } else {
+        Epilogue::BiasRows(bias.data())
+    };
+
     let mut out = vec![0.0f32; n * sample_out];
     out.par_chunks_mut(sample_out)
         .zip(input.data().par_chunks(sample_in))
         .for_each(|(o, x)| {
-            let cols = im2col(x, c_in, h, w, kh, kw, stride, pad, oh, ow);
-            let prod = gemm(weight.data(), &cols, c_out, k, ospatial);
-            for co in 0..c_out {
-                let b = bias.data()[co];
-                for s in 0..ospatial {
-                    o[co * ospatial + s] = prod[co * ospatial + s] + b;
-                }
-            }
+            let mut cols = scratch::take(k * ospatial);
+            im2col_into(x, c_in, h, w, kh, kw, stride, pad, oh, ow, &mut cols);
+            gemm_packed(&pw, &cols, Trans::No, o, ospatial, ep);
+            scratch::release(cols);
         });
     Tensor::from_vec([n, c_out, oh, ow], out).expect("conv2d output size")
+}
+
+/// Convolution forward pass (bias fused into the GEMM write-back).
+pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, stride: usize, pad: usize) -> Tensor {
+    conv2d_fused(input, weight, bias, stride, pad, false)
+}
+
+/// [`conv2d`] with a fused `max(0, ·)` — the inference fast path for
+/// `Conv → ReLU`, producing the activation without a separate mask pass.
+///
+/// Note the fused clamp maps negative pre-activations to `+0.0` where the
+/// mask-based training path yields `-0.0`; downstream arithmetic and
+/// comparisons are unaffected.
+pub fn conv2d_relu(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    stride: usize,
+    pad: usize,
+) -> Tensor {
+    conv2d_fused(input, weight, bias, stride, pad, true)
 }
 
 /// Convolution backward pass: gradients w.r.t. input, weight and bias.
@@ -170,14 +214,10 @@ pub fn conv2d_backward(
     let sample_in = c_in * h * w;
     let sample_out = c_out * ospatial;
 
-    // W^T once, reused by every sample: [k, c_out].
-    let w_mat = weight.data();
-    let mut w_t = vec![0.0f32; k * c_out];
-    for co in 0..c_out {
-        for kk in 0..k {
-            w_t[kk * c_out + co] = w_mat[co * k + kk];
-        }
-    }
+    // Wᵀ [k, c_out] packed once straight from the weight's [c_out, k]
+    // storage — no transpose buffer — and shared by every sample's
+    // grad-input GEMM.
+    let pwt = PackedLhs::pack(weight.data(), Trans::Yes, k, c_out);
 
     struct PerSample {
         gx: Vec<f32>,
@@ -185,35 +225,32 @@ pub fn conv2d_backward(
         gb: Vec<f32>,
     }
 
-    let zero = || PerSample {
-        gx: Vec::new(),
-        gw: vec![0.0; c_out * k],
-        gb: vec![0.0; c_out],
-    };
-
     let results: Vec<(usize, PerSample)> = input
         .data()
         .par_chunks(sample_in)
         .zip(grad_out.data().par_chunks(sample_out))
         .enumerate()
         .map(|(i, (x, go))| {
-            let cols = im2col(x, c_in, h, w, kh, kw, stride, pad, oh, ow);
-            let mut acc = zero();
-            // grad_weight += go [c_out, os] · cols^T [os, k]
-            let mut cols_t = vec![0.0f32; ospatial * k];
-            for r in 0..k {
-                for s in 0..ospatial {
-                    cols_t[s * k + r] = cols[r * ospatial + s];
-                }
-            }
-            gemm_acc(go, &cols_t, &mut acc.gw, c_out, ospatial, k);
+            let mut cols = scratch::take(k * ospatial);
+            im2col_into(x, c_in, h, w, kh, kw, stride, pad, oh, ow, &mut cols);
+            let mut acc = PerSample {
+                gx: vec![0.0; sample_in],
+                gw: vec![0.0; c_out * k],
+                gb: vec![0.0; c_out],
+            };
+            // grad_weight += go [c_out, os] · colsᵀ — reads `cols` in its
+            // [k, os] storage directly via the transposed-B kernel.
+            gemm_bt_acc(go, &cols, &mut acc.gw, c_out, ospatial, k);
             // grad_bias += row sums of go
             for co in 0..c_out {
                 acc.gb[co] = go[co * ospatial..(co + 1) * ospatial].iter().sum();
             }
-            // grad_cols = W^T [k, c_out] · go [c_out, os]; scatter via col2im.
-            let gcols = gemm(&w_t, go, k, c_out, ospatial);
-            acc.gx = col2im(&gcols, c_in, h, w, kh, kw, stride, pad, oh, ow);
+            // grad_cols = Wᵀ [k, c_out] · go [c_out, os]; scatter via col2im.
+            let mut gcols = scratch::take(k * ospatial);
+            gemm_packed(&pwt, go, Trans::No, &mut gcols, ospatial, Epilogue::Store);
+            col2im_into(&gcols, c_in, h, w, kh, kw, stride, pad, oh, ow, &mut acc.gx);
+            scratch::release(gcols);
+            scratch::release(cols);
             (i, acc)
         })
         .collect();
@@ -308,6 +345,18 @@ mod tests {
         let b = Tensor::zeros([1]);
         let y = conv2d(&x, &w, &b, 1, 0);
         assert_eq!(y.data(), &[31., 42.]);
+    }
+
+    #[test]
+    fn relu_variant_clamps_negatives() {
+        let x = Tensor::from_vec([1, 1, 1, 2], vec![1.0, -3.0]).unwrap();
+        let w = Tensor::ones([1, 1, 1, 1]);
+        let b = Tensor::from_vec([1], vec![0.5]).unwrap();
+        let y = conv2d_relu(&x, &w, &b, 1, 0);
+        assert_eq!(y.data(), &[1.5, 0.0]);
+        // Positive region matches the unfused path bitwise.
+        let plain = conv2d(&x, &w, &b, 1, 0);
+        assert_eq!(y.data()[0].to_bits(), plain.data()[0].to_bits());
     }
 
     #[test]

@@ -1,31 +1,411 @@
-//! Blocked, rayon-parallel single-precision GEMM.
+//! Packed, register-blocked, rayon-parallel single-precision GEMM.
 //!
-//! This is the workhorse behind both the fully-connected layers and the
-//! im2col convolution. The kernel parallelizes over row blocks of `A` (each
-//! output row block is written by exactly one rayon task, so the loop is
-//! data-race free by construction) and tiles the `k` dimension for cache
-//! locality.
+//! This is the workhorse behind the fully-connected layers and the im2col
+//! convolution, organized BLIS-style:
+//!
+//! * `A` is packed into row-panels of `MR` rows and `B` into column-panels
+//!   of `NR` columns (k-major inside each panel), once per call — not per
+//!   k-tile — into thread-local [`crate::scratch`] buffers, so the inner
+//!   loop reads both operands with unit stride and steady-state calls make
+//!   no heap allocations.
+//! * An `MR×NR` register tile (6×16 for full-size problems — 12 ymm
+//!   accumulators under AVX2, narrowed for skinny ones) accumulates over
+//!   the whole `k` extent with one `mul_add` per element and no
+//!   data-dependent branches; LLVM autovectorizes the `NR`-wide inner loop
+//!   to FMA lanes (the workspace builds with `target-cpu=native`, see
+//!   `.cargo/config.toml`).
+//! * The write-back applies a fused [`Epilogue`] — overwrite, accumulate,
+//!   or bias (+ optional ReLU), broadcast over rows or columns — so callers
+//!   like the fully-connected forward pass no longer make a second sweep
+//!   over `C`.
+//! * Transposed variants ([`gemm_at`], [`gemm_bt`]) pack straight from the
+//!   transposed layout, so backward passes never materialize `Aᵀ`/`Bᵀ`.
+//!
+//! Skinny products (`m` at most [`THIN_M`] — e.g. batch-1 inference
+//! through a fully-connected layer — or at most [`THIN_M_BIG_RHS`] when
+//! `B` is too large for L2) skip the packing entirely: packing `B` costs
+//! `k·n` writes, more than the whole product is worth at `m = 1`. They run
+//! a `k`-blocked axpy kernel straight off the row-major `b` instead.
+//!
+//! Parallelism splits `C` into disjoint `MC`-row blocks (each block is
+//! written by exactly one rayon task), and every output element is a single
+//! fused-multiply-add chain over `p = 0..k` in ascending order regardless
+//! of the tile shape, code path, or thread count — which is what keeps
+//! parallel runs bit-identical to sequential ones and the thin path
+//! bit-identical to the tiled one. (The retained [`gemm_legacy`] baseline
+//! uses separate mul+add, so it agrees with the packed kernel only to
+//! rounding, not to the bit.)
 
+use crate::scratch;
 use crate::tensor::Tensor;
 use rayon::prelude::*;
 
-/// Cache-blocking tile along the shared `k` dimension.
-const KC: usize = 256;
-/// Row-block granularity handed to rayon.
-const MC: usize = 32;
+/// Rows per A micro-panel at full size. 6 rows × 16 columns is 12 ymm
+/// accumulators — with the B row (2) and the A broadcast (1) that is 15 of
+/// the 16 AVX2 registers, and 12 independent FMA chains comfortably covers
+/// the latency×throughput product of the FMA units.
+const MR_MAX: usize = 6;
+/// Columns per B micro-panel at full size (two 8-lane vectors).
+const NR_MAX: usize = 16;
+/// Rows of `C` per parallel task (a multiple of every selectable `MR`).
+const MC: usize = 60;
+/// `m` at or below which the packing overhead cannot amortize and the thin
+/// axpy path runs instead.
+const THIN_M: usize = 8;
+/// The thin path also wins up to this `m` when the right operand is too
+/// big for L2 — packing it then costs a full extra DRAM round trip.
+const THIN_M_BIG_RHS: usize = 32;
+/// `k·n` above which `B` is considered DRAM-resident (≥ 8 MB of f32).
+const BIG_RHS: usize = 1 << 21;
+/// `k`-chunk of the thin path: one chunk of `B` rows (≤ 1 MB) stays cached
+/// while every output row consumes it.
+const KC_THIN: usize = 256;
+/// `m·n·k` below which the block loop runs inline (scheduling would
+/// dominate). The parallel and sequential paths run identical code.
+const PAR_WORK: usize = 1 << 16;
 
-/// `C = A (m×k) · B (k×n)` into a freshly allocated row-major buffer.
+/// Whether an operand is stored transposed.
 ///
-/// Slices are raw row-major matrices; see [`matmul`] for the [`Tensor`]
-/// wrapper.
-pub fn gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
-    assert_eq!(
-        a.len(),
-        m * k,
-        "A buffer is {} but m*k = {}",
-        a.len(),
-        m * k
-    );
+/// `gemm`-family entry points take matrices in row-major storage; `Yes`
+/// means the buffer holds the transpose of the operand (so `op(A)[i][p]`
+/// reads `a[p*m + i]`), and the packing routines absorb the transpose —
+/// no intermediate buffer is ever materialized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trans {
+    /// Operand stored as written in the product.
+    No,
+    /// Buffer holds the operand's transpose.
+    Yes,
+}
+
+/// Fused write-back applied as each register tile leaves the accumulators.
+#[derive(Debug, Clone, Copy)]
+pub enum Epilogue<'a> {
+    /// `C = A·B`.
+    Store,
+    /// `C += A·B`.
+    Accumulate,
+    /// `C = A·B + bias[j]` — bias broadcast over rows (fully-connected
+    /// layers; `bias` has length `n`).
+    BiasCols(&'a [f32]),
+    /// [`Epilogue::BiasCols`] followed by `max(0, ·)`.
+    BiasColsRelu(&'a [f32]),
+    /// `C = A·B + bias[i]` — bias broadcast over columns (convolution
+    /// output channels; `bias` has length `m`).
+    BiasRows(&'a [f32]),
+    /// [`Epilogue::BiasRows`] followed by `max(0, ·)`.
+    BiasRowsRelu(&'a [f32]),
+}
+
+impl Epilogue<'_> {
+    fn check(&self, m: usize, n: usize) {
+        match self {
+            Epilogue::BiasCols(b) | Epilogue::BiasColsRelu(b) => {
+                assert_eq!(b.len(), n, "column bias length {} != n {n}", b.len());
+            }
+            Epilogue::BiasRows(b) | Epilogue::BiasRowsRelu(b) => {
+                assert_eq!(b.len(), m, "row bias length {} != m {m}", b.len());
+            }
+            Epilogue::Store | Epilogue::Accumulate => {}
+        }
+    }
+}
+
+/// Micro-panel height for an `m`-row problem: full 6 when there is enough
+/// work to fill the tile, narrowed so a skinny GEMM does not burn the FLOPs
+/// on padding.
+fn select_mr(m: usize) -> usize {
+    if m >= MR_MAX {
+        MR_MAX
+    } else if m >= 4 {
+        4
+    } else if m >= 2 {
+        2
+    } else {
+        1
+    }
+}
+
+/// Micro-panel width for an `n`-column problem (see [`select_mr`]).
+fn select_nr(n: usize) -> usize {
+    if n >= NR_MAX {
+        NR_MAX
+    } else if n >= 8 {
+        8
+    } else if n >= 2 {
+        4
+    } else {
+        1
+    }
+}
+
+// ----------------------------------------------------------------- packing
+
+/// Packs `op(A)` (`m×k` logical) into row-panels of `mr` rows, k-major
+/// within each panel: element `(p, ii)` of panel `pi` lands at
+/// `pi·mr·k + p·mr + ii`. `out` must be zeroed (ragged panels stay padded).
+fn pack_lhs(a: &[f32], ta: Trans, m: usize, k: usize, mr: usize, out: &mut [f32]) {
+    if k == 0 {
+        return; // zero-extent panels; the epilogue still runs on write-back
+    }
+    match ta {
+        Trans::No => {
+            for (pi, panel) in out.chunks_mut(mr * k).enumerate() {
+                let i0 = pi * mr;
+                let rows = mr.min(m - i0);
+                for ii in 0..rows {
+                    let src = &a[(i0 + ii) * k..(i0 + ii + 1) * k];
+                    for (p, &v) in src.iter().enumerate() {
+                        panel[p * mr + ii] = v;
+                    }
+                }
+            }
+        }
+        Trans::Yes => {
+            // `a` stores Aᵀ: `op(A)[i][p] = a[p*m + i]`, so each source row
+            // of `a` is contiguous in `ii` and copies as a slice.
+            for (pi, panel) in out.chunks_mut(mr * k).enumerate() {
+                let i0 = pi * mr;
+                let rows = mr.min(m - i0);
+                for p in 0..k {
+                    let src = &a[p * m + i0..p * m + i0 + rows];
+                    panel[p * mr..p * mr + rows].copy_from_slice(src);
+                }
+            }
+        }
+    }
+}
+
+/// Packs `op(B)` (`k×n` logical) into column-panels of `nr` columns,
+/// k-major within each panel: element `(p, jj)` of panel `pj` lands at
+/// `pj·nr·k + p·nr + jj`. `out` must be zeroed.
+fn pack_rhs(b: &[f32], tb: Trans, k: usize, n: usize, nr: usize, out: &mut [f32]) {
+    if k == 0 {
+        return;
+    }
+    match tb {
+        Trans::No => {
+            for (pj, panel) in out.chunks_mut(nr * k).enumerate() {
+                let j0 = pj * nr;
+                let cols = nr.min(n - j0);
+                for p in 0..k {
+                    let src = &b[p * n + j0..p * n + j0 + cols];
+                    panel[p * nr..p * nr + cols].copy_from_slice(src);
+                }
+            }
+        }
+        Trans::Yes => {
+            // `b` stores Bᵀ: `op(B)[p][j] = b[j*k + p]`.
+            for (pj, panel) in out.chunks_mut(nr * k).enumerate() {
+                let j0 = pj * nr;
+                let cols = nr.min(n - j0);
+                for jj in 0..cols {
+                    let src = &b[(j0 + jj) * k..(j0 + jj + 1) * k];
+                    for (p, &v) in src.iter().enumerate() {
+                        panel[p * nr + jj] = v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `A` pre-packed for reuse across many [`gemm_packed`] calls.
+///
+/// `conv2d` packs its weight matrix once per layer invocation and shares it
+/// (read-only) across every sample's im2col GEMM instead of re-packing per
+/// sample. The panel buffer is borrowed from the packing thread's scratch
+/// pool and returned on drop.
+pub struct PackedLhs {
+    buf: Vec<f32>,
+    m: usize,
+    k: usize,
+    mr: usize,
+}
+
+impl PackedLhs {
+    /// Packs `op(A)` with logical shape `m×k` (`a` holds `k×m` storage when
+    /// `ta` is [`Trans::Yes`]).
+    pub fn pack(a: &[f32], ta: Trans, m: usize, k: usize) -> PackedLhs {
+        assert_eq!(
+            a.len(),
+            m * k,
+            "A buffer is {} but m*k = {}",
+            a.len(),
+            m * k
+        );
+        let mr = select_mr(m.max(1));
+        let mut buf = scratch::take(m.div_ceil(mr) * mr * k);
+        pack_lhs(a, ta, m, k, mr, &mut buf);
+        PackedLhs { buf, m, k, mr }
+    }
+
+    /// Logical row count of the packed operand.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Shared (inner) dimension of the packed operand.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl Drop for PackedLhs {
+    fn drop(&mut self) {
+        scratch::release(std::mem::take(&mut self.buf));
+    }
+}
+
+// ------------------------------------------------------------ micro-kernel
+
+/// Computes one `MR×NR` register tile over the full `k` extent and writes
+/// it back through the epilogue, masking the ragged edge.
+///
+/// Each accumulator is one `mul_add` chain over `a[i][p]·b[p][j]` for `p`
+/// ascending — one fused chain per output element, independent of tile
+/// shape and thread count, which is the invariant behind the
+/// bit-determinism guarantee.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn micro_tile<const MR: usize, const NR: usize>(
+    apanel: &[f32],
+    bpanel: &[f32],
+    kdim: usize,
+    c_rows: &mut [f32],
+    row0: usize,
+    gi: usize,
+    j0: usize,
+    m_rem: usize,
+    n_rem: usize,
+    n: usize,
+    ep: Epilogue<'_>,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for p in 0..kdim {
+        let ar = &apanel[p * MR..p * MR + MR];
+        let br = &bpanel[p * NR..p * NR + NR];
+        for i in 0..MR {
+            let ai = ar[i];
+            for j in 0..NR {
+                acc[i][j] = ai.mul_add(br[j], acc[i][j]);
+            }
+        }
+    }
+    for (i, acc_row) in acc.iter().enumerate().take(m_rem) {
+        let crow = &mut c_rows[(row0 + i) * n + j0..(row0 + i) * n + j0 + n_rem];
+        match ep {
+            Epilogue::Store => {
+                crow.copy_from_slice(&acc_row[..n_rem]);
+            }
+            Epilogue::Accumulate => {
+                for (c, &v) in crow.iter_mut().zip(acc_row.iter()) {
+                    *c += v;
+                }
+            }
+            Epilogue::BiasCols(bias) => {
+                let brow = &bias[j0..j0 + n_rem];
+                for ((c, &v), &b) in crow.iter_mut().zip(acc_row.iter()).zip(brow.iter()) {
+                    *c = v + b;
+                }
+            }
+            Epilogue::BiasColsRelu(bias) => {
+                let brow = &bias[j0..j0 + n_rem];
+                for ((c, &v), &b) in crow.iter_mut().zip(acc_row.iter()).zip(brow.iter()) {
+                    let y = v + b;
+                    *c = if y > 0.0 { y } else { 0.0 };
+                }
+            }
+            Epilogue::BiasRows(bias) => {
+                let b = bias[gi + i];
+                for (c, &v) in crow.iter_mut().zip(acc_row.iter()) {
+                    *c = v + b;
+                }
+            }
+            Epilogue::BiasRowsRelu(bias) => {
+                let b = bias[gi + i];
+                for (c, &v) in crow.iter_mut().zip(acc_row.iter()) {
+                    let y = v + b;
+                    *c = if y > 0.0 { y } else { 0.0 };
+                }
+            }
+        }
+    }
+}
+
+/// Runs every micro-tile of one `MC`-row block of `C`.
+#[allow(clippy::too_many_arguments)]
+fn block<const MR: usize, const NR: usize>(
+    apack: &[f32],
+    bpack: &[f32],
+    c_rows: &mut [f32],
+    i0: usize,
+    i1: usize,
+    k: usize,
+    n: usize,
+    ep: Epilogue<'_>,
+) {
+    for ip in (i0..i1).step_by(MR) {
+        let apanel = &apack[(ip / MR) * MR * k..(ip / MR + 1) * MR * k];
+        let m_rem = MR.min(i1 - ip);
+        for jp in (0..n).step_by(NR) {
+            let bpanel = &bpack[(jp / NR) * NR * k..(jp / NR + 1) * NR * k];
+            let n_rem = NR.min(n - jp);
+            micro_tile::<MR, NR>(
+                apanel,
+                bpanel,
+                k,
+                c_rows,
+                ip - i0,
+                ip,
+                jp,
+                m_rem,
+                n_rem,
+                n,
+                ep,
+            );
+        }
+    }
+}
+
+/// [`block`] with the tile shape resolved at runtime.
+#[allow(clippy::too_many_arguments)]
+fn block_dyn(
+    (mr, nr): (usize, usize),
+    apack: &[f32],
+    bpack: &[f32],
+    c_rows: &mut [f32],
+    i0: usize,
+    i1: usize,
+    k: usize,
+    n: usize,
+    ep: Epilogue<'_>,
+) {
+    match (mr, nr) {
+        (6, 16) => block::<6, 16>(apack, bpack, c_rows, i0, i1, k, n, ep),
+        (6, 8) => block::<6, 8>(apack, bpack, c_rows, i0, i1, k, n, ep),
+        (6, 4) => block::<6, 4>(apack, bpack, c_rows, i0, i1, k, n, ep),
+        (6, 1) => block::<6, 1>(apack, bpack, c_rows, i0, i1, k, n, ep),
+        (4, 16) => block::<4, 16>(apack, bpack, c_rows, i0, i1, k, n, ep),
+        (4, 8) => block::<4, 8>(apack, bpack, c_rows, i0, i1, k, n, ep),
+        (4, 4) => block::<4, 4>(apack, bpack, c_rows, i0, i1, k, n, ep),
+        (4, 1) => block::<4, 1>(apack, bpack, c_rows, i0, i1, k, n, ep),
+        (2, 16) => block::<2, 16>(apack, bpack, c_rows, i0, i1, k, n, ep),
+        (2, 8) => block::<2, 8>(apack, bpack, c_rows, i0, i1, k, n, ep),
+        (2, 4) => block::<2, 4>(apack, bpack, c_rows, i0, i1, k, n, ep),
+        (2, 1) => block::<2, 1>(apack, bpack, c_rows, i0, i1, k, n, ep),
+        (1, 16) => block::<1, 16>(apack, bpack, c_rows, i0, i1, k, n, ep),
+        (1, 8) => block::<1, 8>(apack, bpack, c_rows, i0, i1, k, n, ep),
+        (1, 4) => block::<1, 4>(apack, bpack, c_rows, i0, i1, k, n, ep),
+        (1, 1) => block::<1, 1>(apack, bpack, c_rows, i0, i1, k, n, ep),
+        _ => unreachable!("unsupported tile {mr}x{nr}"),
+    }
+}
+
+/// `C[m×n] = op(A)·B'` against a pre-packed left operand, `B'` packed here
+/// from `b` (transposed when `tb` says so), with a fused epilogue.
+pub fn gemm_packed(pa: &PackedLhs, b: &[f32], tb: Trans, c: &mut [f32], n: usize, ep: Epilogue) {
+    let (m, k) = (pa.m, pa.k);
     assert_eq!(
         b.len(),
         k * n,
@@ -33,21 +413,6 @@ pub fn gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
         b.len(),
         k * n
     );
-    let mut c = vec![0.0f32; m * n];
-    gemm_into(a, b, &mut c, m, k, n);
-    c
-}
-
-/// `C += A·B` accumulated into an existing buffer.
-pub fn gemm_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    assert_eq!(a.len(), m * k);
-    assert_eq!(b.len(), k * n);
-    assert_eq!(c.len(), m * n);
-    inner_gemm(a, b, c, m, k, n);
-}
-
-/// `C = A·B` overwriting an existing buffer.
-pub fn gemm_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     assert_eq!(
         c.len(),
         m * n,
@@ -55,79 +420,280 @@ pub fn gemm_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usi
         c.len(),
         m * n
     );
-    c.iter_mut().for_each(|x| *x = 0.0);
-    inner_gemm(a, b, c, m, k, n);
-}
-
-fn inner_gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    if m == 0 || n == 0 || k == 0 {
+    ep.check(m, n);
+    if m == 0 || n == 0 {
         return;
     }
-    // Parallelize over disjoint row blocks of C; sequential fallback for
-    // small problems where rayon's scheduling would dominate.
-    let work = m * n * k;
-    if work < 1 << 16 {
-        for kb in (0..k).step_by(KC) {
-            let kend = (kb + KC).min(k);
-            block_rows(a, b, c, 0, m, kb, kend, k, n);
+    let nr = select_nr(n);
+    let mut bpack = scratch::take(n.div_ceil(nr) * nr * k);
+    pack_rhs(b, tb, k, n, nr, &mut bpack);
+    let tile = (pa.mr, nr);
+    if m * n * k < PAR_WORK {
+        for blk in 0..m.div_ceil(MC) {
+            let (i0, i1) = (blk * MC, (blk * MC + MC).min(m));
+            block_dyn(
+                tile,
+                &pa.buf,
+                &bpack,
+                &mut c[i0 * n..i1 * n],
+                i0,
+                i1,
+                k,
+                n,
+                ep,
+            );
         }
-        return;
+    } else {
+        let (apack, bpack_ref) = (&pa.buf, &bpack);
+        c.par_chunks_mut(MC * n)
+            .enumerate()
+            .for_each(|(blk, c_blk)| {
+                let (i0, i1) = (blk * MC, (blk * MC + MC).min(m));
+                block_dyn(tile, apack, bpack_ref, c_blk, i0, i1, k, n, ep);
+            });
     }
-    c.par_chunks_mut(MC * n)
-        .enumerate()
-        .for_each(|(blk, c_blk)| {
-            let i0 = blk * MC;
-            let i1 = (i0 + MC).min(m);
-            for kb in (0..k).step_by(KC) {
-                let kend = (kb + KC).min(k);
-                block_rows(a, b, c_blk, i0, i1, kb, kend, k, n);
-            }
-        });
+    scratch::release(bpack);
 }
 
-/// Multiplies rows `[i0, i1)` of A against the `[kb, kend)` slab of B,
-/// accumulating into `c_rows` (whose row 0 corresponds to global row `i0`).
-#[inline]
+/// Row-at-a-time axpy kernel for skinny products.
+///
+/// Packing `B` costs `k·n` writes; at `m = 1` (batch-1 inference through a
+/// fully-connected layer) that is more memory traffic than the entire
+/// product. This path reads the row-major `b` directly in `KC_THIN`-row
+/// chunks — each chunk stays cached while all `m` accumulator rows consume
+/// it — and applies the same fused epilogue. Every output element is still
+/// a single `mul_add` chain with `p` ascending, so the thin and tiled
+/// paths agree to the bit. Runs inline — thin problems are too small for
+/// task scheduling to pay off.
 #[allow(clippy::too_many_arguments)]
-fn block_rows(
+fn gemm_thin(
     a: &[f32],
+    ta: Trans,
     b: &[f32],
-    c_rows: &mut [f32],
-    i0: usize,
-    i1: usize,
-    kb: usize,
-    kend: usize,
+    c: &mut [f32],
+    m: usize,
     k: usize,
     n: usize,
+    ep: Epilogue<'_>,
 ) {
-    for i in i0..i1 {
-        let a_row = &a[i * k..(i + 1) * k];
-        let c_row = &mut c_rows[(i - i0) * n..(i - i0 + 1) * n];
-        for p in kb..kend {
-            let aval = a_row[p];
-            if aval == 0.0 {
-                continue;
-            }
-            let b_row = &b[p * n..(p + 1) * n];
-            // Simple axpy over the output row: autovectorizes well.
-            for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
-                *cv += aval * bv;
+    let mut accs = scratch::take(m * n);
+    for kb in (0..k).step_by(KC_THIN) {
+        let kend = (kb + KC_THIN).min(k);
+        for i in 0..m {
+            let acc = &mut accs[i * n..(i + 1) * n];
+            for p in kb..kend {
+                let ai = match ta {
+                    Trans::No => a[i * k + p],
+                    Trans::Yes => a[p * m + i],
+                };
+                let brow = &b[p * n..(p + 1) * n];
+                for (av, &bv) in acc.iter_mut().zip(brow.iter()) {
+                    *av = ai.mul_add(bv, *av);
+                }
             }
         }
     }
+    for (i, acc) in accs.chunks(n.max(1)).enumerate().take(m) {
+        let crow = &mut c[i * n..(i + 1) * n];
+        match ep {
+            Epilogue::Store => crow.copy_from_slice(acc),
+            Epilogue::Accumulate => {
+                for (cv, &v) in crow.iter_mut().zip(acc.iter()) {
+                    *cv += v;
+                }
+            }
+            Epilogue::BiasCols(bias) => {
+                for ((cv, &v), &bj) in crow.iter_mut().zip(acc.iter()).zip(bias.iter()) {
+                    *cv = v + bj;
+                }
+            }
+            Epilogue::BiasColsRelu(bias) => {
+                for ((cv, &v), &bj) in crow.iter_mut().zip(acc.iter()).zip(bias.iter()) {
+                    let y = v + bj;
+                    *cv = if y > 0.0 { y } else { 0.0 };
+                }
+            }
+            Epilogue::BiasRows(bias) => {
+                let bi = bias[i];
+                for (cv, &v) in crow.iter_mut().zip(acc.iter()) {
+                    *cv = v + bi;
+                }
+            }
+            Epilogue::BiasRowsRelu(bias) => {
+                let bi = bias[i];
+                for (cv, &v) in crow.iter_mut().zip(acc.iter()) {
+                    let y = v + bi;
+                    *cv = if y > 0.0 { y } else { 0.0 };
+                }
+            }
+        }
+    }
+    scratch::release(accs);
+}
+
+/// General packed GEMM: `C[m×n] ←(ep) op(A)·op(B)` where `a` stores `A`
+/// (`m×k`, or `k×m` when `ta` = [`Trans::Yes`]) and `b` stores `B` (`k×n`,
+/// or `n×k` when `tb` = [`Trans::Yes`]).
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_ep(
+    a: &[f32],
+    ta: Trans,
+    b: &[f32],
+    tb: Trans,
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    ep: Epilogue,
+) {
+    let thin = m <= THIN_M || (m <= THIN_M_BIG_RHS && k * n >= BIG_RHS);
+    if thin && tb == Trans::No {
+        assert_eq!(
+            a.len(),
+            m * k,
+            "A buffer is {} but m*k = {}",
+            a.len(),
+            m * k
+        );
+        assert_eq!(
+            b.len(),
+            k * n,
+            "B buffer is {} but k*n = {}",
+            b.len(),
+            k * n
+        );
+        assert_eq!(
+            c.len(),
+            m * n,
+            "C buffer is {} but m*n = {}",
+            c.len(),
+            m * n
+        );
+        ep.check(m, n);
+        gemm_thin(a, ta, b, c, m, k, n, ep);
+        return;
+    }
+    let pa = PackedLhs::pack(a, ta, m, k);
+    gemm_packed(&pa, b, tb, c, n, ep);
+}
+
+// ---------------------------------------------------------- entry points
+
+/// `C = A (m×k) · B (k×n)` into a freshly allocated row-major buffer.
+///
+/// Slices are raw row-major matrices; see [`matmul`] for the [`Tensor`]
+/// wrapper.
+pub fn gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut c = vec![0.0f32; m * n];
+    gemm_ep(a, Trans::No, b, Trans::No, &mut c, m, k, n, Epilogue::Store);
+    c
+}
+
+/// `C = A·B` overwriting an existing buffer (no zeroing pre-pass — the
+/// packed kernel stores every element exactly once).
+pub fn gemm_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    gemm_ep(a, Trans::No, b, Trans::No, c, m, k, n, Epilogue::Store);
+}
+
+/// `C += A·B` accumulated into an existing buffer.
+pub fn gemm_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    gemm_ep(a, Trans::No, b, Trans::No, c, m, k, n, Epilogue::Accumulate);
 }
 
 /// `C = A·B + bias` where `bias` (length `n`) is broadcast over rows — the
-/// fully-connected layer forward pass.
+/// fully-connected forward pass, bias fused into the tile write-back
+/// instead of a second sweep over `C`.
 pub fn gemm_bias(a: &[f32], b: &[f32], bias: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
-    assert_eq!(bias.len(), n, "bias length {} != n {}", bias.len(), n);
-    let mut c = gemm(a, b, m, k, n);
-    c.par_chunks_mut(n).for_each(|row| {
-        for (x, &bv) in row.iter_mut().zip(bias.iter()) {
-            *x += bv;
-        }
-    });
+    let mut c = vec![0.0f32; m * n];
+    gemm_ep(
+        a,
+        Trans::No,
+        b,
+        Trans::No,
+        &mut c,
+        m,
+        k,
+        n,
+        Epilogue::BiasCols(bias),
+    );
     c
+}
+
+/// [`gemm_bias`] with a fused `max(0, ·)` — the inference fast path for
+/// `Linear → ReLU`, skipping the separate mask pass entirely.
+pub fn gemm_bias_relu(
+    a: &[f32],
+    b: &[f32],
+    bias: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) -> Vec<f32> {
+    let mut c = vec![0.0f32; m * n];
+    gemm_ep(
+        a,
+        Trans::No,
+        b,
+        Trans::No,
+        &mut c,
+        m,
+        k,
+        n,
+        Epilogue::BiasColsRelu(bias),
+    );
+    c
+}
+
+/// `C[m×n] = Aᵀ·B` where `a` holds `A` in `k×m` storage — e.g. the
+/// fully-connected weight gradient `xᵀ·∂y` without materializing `xᵀ`.
+pub fn gemm_at(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut c = vec![0.0f32; m * n];
+    gemm_ep(
+        a,
+        Trans::Yes,
+        b,
+        Trans::No,
+        &mut c,
+        m,
+        k,
+        n,
+        Epilogue::Store,
+    );
+    c
+}
+
+/// `C[m×n] = A·Bᵀ` where `b` holds `B` in `n×k` storage — e.g. the
+/// fully-connected input gradient `∂y·Wᵀ` without materializing `Wᵀ`.
+pub fn gemm_bt(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut c = vec![0.0f32; m * n];
+    gemm_ep(
+        a,
+        Trans::No,
+        b,
+        Trans::Yes,
+        &mut c,
+        m,
+        k,
+        n,
+        Epilogue::Store,
+    );
+    c
+}
+
+/// `C += A·Bᵀ` (`b` in `n×k` storage) — the convolution weight-gradient
+/// accumulation `∂y·colsᵀ` without building the `colsᵀ` buffer.
+pub fn gemm_bt_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    gemm_ep(
+        a,
+        Trans::No,
+        b,
+        Trans::Yes,
+        c,
+        m,
+        k,
+        n,
+        Epilogue::Accumulate,
+    );
 }
 
 /// Rank-2 [`Tensor`] matrix product.
@@ -137,6 +703,50 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(k, k2, "matmul inner dims disagree: {k} vs {k2}");
     let c = gemm(a.data(), b.data(), m, k, n);
     Tensor::from_vec([m, n], c).expect("gemm output size")
+}
+
+// -------------------------------------------------------------- legacy
+
+/// The pre-packing scalar axpy kernel, kept as the benchmark baseline
+/// (`dcd-bench --bin gemm` reports packed-vs-legacy speedups) and as an
+/// independent oracle in tests. Not used by any layer.
+pub fn gemm_legacy(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), k * n);
+    let mut c = vec![0.0f32; m * n];
+    if m == 0 || n == 0 || k == 0 {
+        return c;
+    }
+    const KC: usize = 256;
+    let legacy_rows = |a: &[f32], c_rows: &mut [f32], i0: usize, i1: usize| {
+        for kb in (0..k).step_by(KC) {
+            let kend = (kb + KC).min(k);
+            for i in i0..i1 {
+                let a_row = &a[i * k..(i + 1) * k];
+                let c_row = &mut c_rows[(i - i0) * n..(i - i0 + 1) * n];
+                for p in kb..kend {
+                    let aval = a_row[p];
+                    if aval == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[p * n..(p + 1) * n];
+                    for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                        *cv += aval * bv;
+                    }
+                }
+            }
+        }
+    };
+    if m * n * k < PAR_WORK {
+        legacy_rows(a, &mut c, 0, m);
+    } else {
+        c.par_chunks_mut(32 * n)
+            .enumerate()
+            .for_each(|(blk, c_blk)| {
+                legacy_rows(a, c_blk, blk * 32, (blk * 32 + 32).min(m));
+            });
+    }
+    c
 }
 
 #[cfg(test)]
@@ -195,13 +805,47 @@ mod tests {
 
     #[test]
     fn matches_reference_parallel_path() {
-        // Large enough that inner_gemm takes the rayon branch and the KC
-        // blocking kicks in (k > KC).
+        // Large enough that the rayon branch engages and multiple row
+        // blocks and ragged edge panels are exercised (70 % 8 != 0).
         let (m, k, n) = (70, 300, 50);
         let mut rng = SeededRng::new(2);
         let a: Vec<f32> = (0..m * k).map(|_| rng.normal()).collect();
         let b: Vec<f32> = (0..k * n).map(|_| rng.normal()).collect();
         assert_close(&gemm(&a, &b, m, k, n), &gemm_ref(&a, &b, m, k, n), 1e-4);
+    }
+
+    #[test]
+    fn packed_matches_legacy_closely() {
+        // The packed kernel keeps the legacy summation order (single
+        // accumulator per element, p ascending) but fuses each multiply-add,
+        // so it agrees with the separate-mul-add legacy kernel to rounding.
+        let mut rng = SeededRng::new(12);
+        for &(m, k, n) in &[(1, 7, 5), (13, 31, 9), (70, 300, 50)] {
+            let a: Vec<f32> = (0..m * k).map(|_| rng.normal()).collect();
+            let b: Vec<f32> = (0..k * n).map(|_| rng.normal()).collect();
+            let packed = gemm(&a, &b, m, k, n);
+            let legacy = gemm_legacy(&a, &b, m, k, n);
+            assert_close(&packed, &legacy, 1e-5);
+        }
+    }
+
+    #[test]
+    fn thin_matches_tiled_bitwise() {
+        // m ≤ THIN_M routes through the axpy path; the tiled kernel run on
+        // the same inputs (via a pre-packed LHS, which always tiles) must
+        // agree to the bit — both are one fma chain per element.
+        let mut rng = SeededRng::new(14);
+        for &(m, k, n) in &[(1, 5376, 64), (4, 37, 21), (8, 100, 33)] {
+            let a: Vec<f32> = (0..m * k).map(|_| rng.normal()).collect();
+            let b: Vec<f32> = (0..k * n).map(|_| rng.normal()).collect();
+            let thin = gemm(&a, &b, m, k, n);
+            let pa = PackedLhs::pack(&a, Trans::No, m, k);
+            let mut tiled = vec![0.0f32; m * n];
+            gemm_packed(&pa, &b, Trans::No, &mut tiled, n, Epilogue::Store);
+            for (i, (t, g)) in thin.iter().zip(tiled.iter()).enumerate() {
+                assert_eq!(t.to_bits(), g.to_bits(), "element {i}: {t} vs {g}");
+            }
+        }
     }
 
     #[test]
@@ -219,6 +863,105 @@ mod tests {
         let b = vec![1., 2., 3., 4.];
         let c = gemm_bias(&a, &b, &[10., 20.], 2, 2, 2);
         assert_eq!(c, vec![11., 22., 13., 24.]);
+    }
+
+    #[test]
+    fn gemm_bias_relu_clamps_negatives() {
+        let a = vec![1., 0., 0., 1.];
+        let b = vec![1., -2., 3., -4.];
+        let c = gemm_bias_relu(&a, &b, &[0.5, 0.5], 2, 2, 2);
+        assert_eq!(c, vec![1.5, 0.0, 3.5, 0.0]);
+    }
+
+    #[test]
+    fn row_bias_broadcasts_columns() {
+        let a = vec![1., 0., 0., 1.];
+        let b = vec![1., 2., 3., 4.];
+        let mut c = vec![0.0; 4];
+        gemm_ep(
+            &a,
+            Trans::No,
+            &b,
+            Trans::No,
+            &mut c,
+            2,
+            2,
+            2,
+            Epilogue::BiasRows(&[10., 20.]),
+        );
+        assert_eq!(c, vec![11., 12., 23., 24.]);
+    }
+
+    #[test]
+    fn gemm_at_transposes_lhs() {
+        // A stored [k=3 × m=2]; op(A) = Aᵀ is [[1,3,5],[2,4,6]].
+        let a = vec![1., 2., 3., 4., 5., 6.];
+        let b = vec![7., 8., 9., 10., 11., 12.];
+        let c = gemm_at(&a, &b, 2, 3, 2);
+        assert_eq!(c, vec![89., 98., 116., 128.]);
+    }
+
+    #[test]
+    fn gemm_bt_transposes_rhs() {
+        // B stored [n=2 × k=3]; op(B) = Bᵀ.
+        let a = vec![1., 2., 3., 4., 5., 6.];
+        let b = vec![7., 8., 9., 10., 11., 12.];
+        let c = gemm_bt(&a, &b, 2, 3, 2);
+        assert_eq!(c, vec![50., 68., 122., 167.]);
+    }
+
+    #[test]
+    fn gemm_bt_acc_accumulates() {
+        let a = vec![1., 0., 0., 1.];
+        let b = vec![2., 3., 4., 5.]; // B stored [n=2 × k=2]
+        let mut c = vec![1.0; 4];
+        gemm_bt_acc(&a, &b, &mut c, 2, 2, 2);
+        // A·Bᵀ = [[2,4],[3,5]] + 1
+        assert_eq!(c, vec![3., 5., 4., 6.]);
+    }
+
+    #[test]
+    fn packed_lhs_reused_across_calls() {
+        let mut rng = SeededRng::new(3);
+        let (m, k, n) = (11, 23, 17);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.normal()).collect();
+        let pa = PackedLhs::pack(&a, Trans::No, m, k);
+        for seed in 0..4 {
+            let mut r2 = SeededRng::new(seed);
+            let b: Vec<f32> = (0..k * n).map(|_| r2.normal()).collect();
+            let mut c = vec![0.0; m * n];
+            gemm_packed(&pa, &b, Trans::No, &mut c, n, Epilogue::Store);
+            assert_close(&c, &gemm_ref(&a, &b, m, k, n), 1e-5);
+        }
+    }
+
+    #[test]
+    fn zero_k_applies_epilogue_only() {
+        let mut c = vec![7.0; 4];
+        gemm_ep(
+            &[],
+            Trans::No,
+            &[],
+            Trans::No,
+            &mut c,
+            2,
+            0,
+            2,
+            Epilogue::BiasCols(&[1.0, 2.0]),
+        );
+        assert_eq!(c, vec![1., 2., 1., 2.]);
+        gemm_ep(
+            &[],
+            Trans::No,
+            &[],
+            Trans::No,
+            &mut c,
+            2,
+            0,
+            2,
+            Epilogue::Accumulate,
+        );
+        assert_eq!(c, vec![1., 2., 1., 2.]);
     }
 
     #[test]

@@ -20,14 +20,19 @@ pub mod gemm;
 pub mod grad_check;
 pub mod pool;
 pub mod rng;
+pub mod scratch;
 pub mod shape;
 pub mod tensor;
 
-pub use conv::{conv2d, conv2d_backward, Conv2dGrads};
-pub use gemm::{gemm, gemm_bias, matmul};
+pub use conv::{conv2d, conv2d_backward, conv2d_relu, Conv2dGrads};
+pub use gemm::{
+    gemm, gemm_acc, gemm_at, gemm_bias, gemm_bias_relu, gemm_bt, gemm_bt_acc, gemm_ep, gemm_into,
+    gemm_legacy, gemm_packed, matmul, Epilogue, PackedLhs, Trans,
+};
 pub use pool::{
     adaptive_avg_pool2d, adaptive_avg_pool2d_backward, adaptive_max_pool2d,
-    adaptive_max_pool2d_backward, max_pool2d, max_pool2d_backward, AdaptiveMaxIndices, MaxIndices,
+    adaptive_max_pool2d_backward, adaptive_max_pool2d_values, max_pool2d, max_pool2d_backward,
+    max_pool2d_values, AdaptiveMaxIndices, MaxIndices,
 };
 pub use rng::SeededRng;
 pub use shape::{Shape, ShapeError};

@@ -71,6 +71,45 @@ pub fn max_pool2d(input: &Tensor, kernel: usize, stride: usize) -> (Tensor, MaxI
     )
 }
 
+/// [`max_pool2d`] without the argmax bookkeeping — the inference path,
+/// which never backprops, skips the index buffer allocation entirely.
+/// Values are bit-identical to [`max_pool2d`]'s.
+pub fn max_pool2d_values(input: &Tensor, kernel: usize, stride: usize) -> Tensor {
+    let (n, c, h, w) = input.shape().nchw();
+    let oh = out_dim(h, kernel, stride, 0);
+    let ow = out_dim(w, kernel, stride, 0);
+    let in_spatial = h * w;
+    let out_spatial = oh * ow;
+    let sample_in = c * in_spatial;
+    let sample_out = c * out_spatial;
+
+    let mut out = vec![0.0f32; n * sample_out];
+    out.par_chunks_mut(sample_out)
+        .enumerate()
+        .for_each(|(s, o)| {
+            let x = &input.data()[s * sample_in..(s + 1) * sample_in];
+            for ci in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        for ky in 0..kernel {
+                            let iy = oy * stride + ky;
+                            for kx in 0..kernel {
+                                let ixp = ox * stride + kx;
+                                let v = x[ci * in_spatial + iy * w + ixp];
+                                if v > best {
+                                    best = v;
+                                }
+                            }
+                        }
+                        o[ci * out_spatial + oy * ow + ox] = best;
+                    }
+                }
+            }
+        });
+    Tensor::from_vec([n, c, oh, ow], out).expect("pool output size")
+}
+
 /// Backward pass of [`max_pool2d`]: routes each output gradient to the input
 /// element that won the max.
 pub fn max_pool2d_backward(grad_out: &Tensor, saved: &MaxIndices) -> Tensor {
@@ -154,6 +193,47 @@ pub fn adaptive_max_pool2d(input: &Tensor, out_size: usize) -> (Tensor, Adaptive
             output_dims: [n, c, out_size, out_size],
         },
     )
+}
+
+/// [`adaptive_max_pool2d`] without the argmax bookkeeping (see
+/// [`max_pool2d_values`]). Values are bit-identical to the tracked variant.
+pub fn adaptive_max_pool2d_values(input: &Tensor, out_size: usize) -> Tensor {
+    assert!(out_size > 0, "adaptive pool output must be positive");
+    let (n, c, h, w) = input.shape().nchw();
+    assert!(
+        h >= 1 && w >= 1,
+        "adaptive pool needs non-empty spatial dims"
+    );
+    let out_spatial = out_size * out_size;
+    let in_spatial = h * w;
+    let sample_in = c * in_spatial;
+    let sample_out = c * out_spatial;
+
+    let mut out = vec![0.0f32; n * sample_out];
+    out.par_chunks_mut(sample_out)
+        .enumerate()
+        .for_each(|(s, o)| {
+            let x = &input.data()[s * sample_in..(s + 1) * sample_in];
+            for ci in 0..c {
+                for oy in 0..out_size {
+                    let (y0, y1) = adaptive_bin(oy, h, out_size);
+                    for ox in 0..out_size {
+                        let (x0, x1) = adaptive_bin(ox, w, out_size);
+                        let mut best = f32::NEG_INFINITY;
+                        for iy in y0..y1 {
+                            for ixp in x0..x1 {
+                                let v = x[ci * in_spatial + iy * w + ixp];
+                                if v > best {
+                                    best = v;
+                                }
+                            }
+                        }
+                        o[ci * out_spatial + oy * out_size + ox] = best;
+                    }
+                }
+            }
+        });
+    Tensor::from_vec([n, c, out_size, out_size], out).expect("adaptive pool output")
 }
 
 /// Backward pass of [`adaptive_max_pool2d`].
@@ -290,6 +370,24 @@ mod tests {
         let gx = max_pool2d_backward(&go, &ix);
         let num = numeric_grad(&x, 1e-3, |xp| max_pool2d(xp, 2, 2).0.sum());
         assert!(gx.max_abs_diff(&num) < 1e-2);
+    }
+
+    #[test]
+    fn values_variants_match_tracked_bitwise() {
+        let mut rng = SeededRng::new(12);
+        let x = Tensor::randn([2, 3, 9, 11], 0.0, 1.0, &mut rng);
+        let (y, _) = max_pool2d(&x, 2, 2);
+        let yv = max_pool2d_values(&x, 2, 2);
+        assert_eq!(y.dims(), yv.dims());
+        for (a, b) in y.data().iter().zip(yv.data().iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let (z, _) = adaptive_max_pool2d(&x, 4);
+        let zv = adaptive_max_pool2d_values(&x, 4);
+        assert_eq!(z.dims(), zv.dims());
+        for (a, b) in z.data().iter().zip(zv.data().iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

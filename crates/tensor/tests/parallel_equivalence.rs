@@ -11,7 +11,8 @@
 
 use dcd_tensor::gemm::gemm_bias;
 use dcd_tensor::{
-    conv2d, conv2d_backward, gemm, max_pool2d, max_pool2d_backward, SeededRng, Tensor,
+    conv2d, conv2d_backward, conv2d_relu, gemm, gemm_at, gemm_bias_relu, gemm_bt, max_pool2d,
+    max_pool2d_backward, SeededRng, Tensor,
 };
 
 fn pin_threads() {
@@ -33,7 +34,7 @@ fn assert_bits_eq(par: &[f32], seq: &[f32], what: &str) {
 fn gemm_parallel_matches_sequential_bitwise() {
     pin_threads();
     // Sized so work = m*k*n = 70*300*50 > 2^16 takes the parallel branch,
-    // and m = 70 > MC = 32 splits into multiple row panels.
+    // and m = 70 > MC = 60 splits into multiple row blocks.
     let (m, k, n) = (70, 300, 50);
     let mut rng = SeededRng::new(17);
     let a = Tensor::randn([m, k], 0.0, 1.0, &mut rng);
@@ -57,6 +58,46 @@ fn gemm_bias_parallel_matches_sequential_bitwise() {
 }
 
 #[test]
+fn gemm_at_parallel_matches_sequential_bitwise() {
+    pin_threads();
+    // Transposed-LHS variant: a stored [k, m]; sized past the parallel
+    // threshold with a ragged row edge (m = 70).
+    let (m, k, n) = (70, 300, 50);
+    let mut rng = SeededRng::new(47);
+    let at = Tensor::randn([k, m], 0.0, 1.0, &mut rng);
+    let b = Tensor::randn([k, n], 0.0, 1.0, &mut rng);
+    let par = gemm_at(at.data(), b.data(), m, k, n);
+    let seq = rayon::force_sequential(|| gemm_at(at.data(), b.data(), m, k, n));
+    assert_bits_eq(&par, &seq, "gemm_at 70x300x50");
+}
+
+#[test]
+fn gemm_bt_parallel_matches_sequential_bitwise() {
+    pin_threads();
+    // Transposed-RHS variant: b stored [n, k].
+    let (m, k, n) = (70, 300, 50);
+    let mut rng = SeededRng::new(53);
+    let a = Tensor::randn([m, k], 0.0, 1.0, &mut rng);
+    let bt = Tensor::randn([n, k], 0.0, 1.0, &mut rng);
+    let par = gemm_bt(a.data(), bt.data(), m, k, n);
+    let seq = rayon::force_sequential(|| gemm_bt(a.data(), bt.data(), m, k, n));
+    assert_bits_eq(&par, &seq, "gemm_bt 70x300x50");
+}
+
+#[test]
+fn gemm_bias_relu_parallel_matches_sequential_bitwise() {
+    pin_threads();
+    let (m, k, n) = (70, 300, 50);
+    let mut rng = SeededRng::new(59);
+    let a = Tensor::randn([m, k], 0.0, 1.0, &mut rng);
+    let b = Tensor::randn([k, n], 0.0, 1.0, &mut rng);
+    let bias = Tensor::randn([n], 0.0, 0.5, &mut rng);
+    let par = gemm_bias_relu(a.data(), b.data(), bias.data(), m, k, n);
+    let seq = rayon::force_sequential(|| gemm_bias_relu(a.data(), b.data(), bias.data(), m, k, n));
+    assert_bits_eq(&par, &seq, "gemm_bias_relu 70x300x50");
+}
+
+#[test]
 fn conv2d_forward_parallel_matches_sequential_bitwise() {
     pin_threads();
     // Batch > 1 so the per-sample par_chunks split actually splits.
@@ -68,6 +109,20 @@ fn conv2d_forward_parallel_matches_sequential_bitwise() {
     let seq = rayon::force_sequential(|| conv2d(&x, &w, &b, 1, 1));
     assert_eq!(par.dims(), seq.dims());
     assert_bits_eq(par.data(), seq.data(), "conv2d forward");
+}
+
+#[test]
+fn conv2d_relu_parallel_matches_sequential_bitwise() {
+    pin_threads();
+    // Fused conv+ReLU epilogue over the per-sample parallel split.
+    let mut rng = SeededRng::new(61);
+    let x = Tensor::randn([6, 4, 24, 24], 0.0, 1.0, &mut rng);
+    let w = Tensor::randn([8, 4, 3, 3], 0.0, 0.2, &mut rng);
+    let b = Tensor::randn([8], 0.0, 0.1, &mut rng);
+    let par = conv2d_relu(&x, &w, &b, 1, 1);
+    let seq = rayon::force_sequential(|| conv2d_relu(&x, &w, &b, 1, 1));
+    assert_eq!(par.dims(), seq.dims());
+    assert_bits_eq(par.data(), seq.data(), "conv2d_relu forward");
 }
 
 #[test]

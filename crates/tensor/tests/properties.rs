@@ -1,8 +1,8 @@
 //! Property-based tests for the tensor kernels.
 
 use dcd_tensor::{
-    adaptive_avg_pool2d, adaptive_max_pool2d, conv2d, conv2d_backward, gemm, max_pool2d, SeededRng,
-    Tensor,
+    adaptive_avg_pool2d, adaptive_max_pool2d, conv2d, conv2d_backward, gemm, gemm_at, gemm_bias,
+    gemm_bias_relu, gemm_bt, max_pool2d, SeededRng, Tensor,
 };
 use proptest::prelude::*;
 
@@ -23,6 +23,17 @@ fn small_f32() -> impl Strategy<Value = f32> {
     (-100i32..=100).prop_map(|x| x as f32 / 10.0)
 }
 
+/// Dimension sizes that stress the packed kernel's edge handling: every
+/// residue mod the 8/4/1 tile sizes, plus 31 (odd, just under a panel
+/// multiple) and 64 (whole panels, exercises the MC row-block split).
+const TILE_EDGE_SIZES: [usize; 19] = [
+    1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 31, 64,
+];
+
+fn tile_edge_dim() -> impl Strategy<Value = usize> {
+    (0usize..TILE_EDGE_SIZES.len()).prop_map(|i| TILE_EDGE_SIZES[i])
+}
+
 proptest! {
     #[test]
     fn gemm_matches_naive_oracle(
@@ -35,6 +46,85 @@ proptest! {
         let want = gemm_ref(&a, &b, m, k, n);
         for (g, w) in got.iter().zip(want.iter()) {
             prop_assert!((g - w).abs() < 1e-4 * (1.0 + w.abs()));
+        }
+    }
+
+    #[test]
+    fn gemm_matches_oracle_at_tile_edges(
+        m in tile_edge_dim(), k in tile_edge_dim(), n in tile_edge_dim(), seed in 0u64..1000,
+    ) {
+        // Non-multiple-of-tile shapes: ragged last row-panel, ragged last
+        // column-panel, and every MR/NR selection path.
+        let mut rng = SeededRng::new(seed);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.normal()).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.normal()).collect();
+        let got = gemm(&a, &b, m, k, n);
+        let want = gemm_ref(&a, &b, m, k, n);
+        for (g, w) in got.iter().zip(want.iter()) {
+            prop_assert!((g - w).abs() < 1e-4 * (1.0 + w.abs()));
+        }
+    }
+
+    #[test]
+    fn gemm_at_matches_transposed_oracle(
+        m in tile_edge_dim(), k in tile_edge_dim(), n in tile_edge_dim(), seed in 0u64..1000,
+    ) {
+        // a holds Aᵀ in [k, m] storage; result must equal gemm on the
+        // explicitly transposed matrix.
+        let mut rng = SeededRng::new(seed);
+        let at: Vec<f32> = (0..k * m).map(|_| rng.normal()).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.normal()).collect();
+        let mut a = vec![0.0f32; m * k];
+        for p in 0..k {
+            for i in 0..m {
+                a[i * k + p] = at[p * m + i];
+            }
+        }
+        let got = gemm_at(&at, &b, m, k, n);
+        let want = gemm_ref(&a, &b, m, k, n);
+        for (g, w) in got.iter().zip(want.iter()) {
+            prop_assert!((g - w).abs() < 1e-4 * (1.0 + w.abs()));
+        }
+    }
+
+    #[test]
+    fn gemm_bt_matches_transposed_oracle(
+        m in tile_edge_dim(), k in tile_edge_dim(), n in tile_edge_dim(), seed in 0u64..1000,
+    ) {
+        // b holds Bᵀ in [n, k] storage.
+        let mut rng = SeededRng::new(seed);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.normal()).collect();
+        let bt: Vec<f32> = (0..n * k).map(|_| rng.normal()).collect();
+        let mut b = vec![0.0f32; k * n];
+        for j in 0..n {
+            for p in 0..k {
+                b[p * n + j] = bt[j * k + p];
+            }
+        }
+        let got = gemm_bt(&a, &bt, m, k, n);
+        let want = gemm_ref(&a, &b, m, k, n);
+        for (g, w) in got.iter().zip(want.iter()) {
+            prop_assert!((g - w).abs() < 1e-4 * (1.0 + w.abs()));
+        }
+    }
+
+    #[test]
+    fn fused_bias_epilogues_match_unfused(
+        m in tile_edge_dim(), k in tile_edge_dim(), n in tile_edge_dim(), seed in 0u64..1000,
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.normal()).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.normal()).collect();
+        let bias: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+        let plain = gemm(&a, &b, m, k, n);
+        let biased = gemm_bias(&a, &b, &bias, m, k, n);
+        let relu = gemm_bias_relu(&a, &b, &bias, m, k, n);
+        for i in 0..m * n {
+            let want = plain[i] + bias[i % n];
+            // Fused bias adds in the same order → bitwise equal.
+            prop_assert_eq!(biased[i].to_bits(), want.to_bits());
+            let want_relu = if want > 0.0 { want } else { 0.0 };
+            prop_assert_eq!(relu[i].to_bits(), want_relu.to_bits());
         }
     }
 
