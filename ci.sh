@@ -7,8 +7,10 @@ cd "$(dirname "$0")"
 echo "== cargo fmt --check =="
 cargo fmt --check
 
-echo "== cargo clippy --workspace -D warnings =="
-cargo clippy --workspace --all-targets -- -D warnings
+echo "== cargo clippy --workspace -D warnings -D deprecated =="
+# -D deprecated keeps in-repo code off the legacy dcd-profiler free
+# functions: everything must go through ProfileReport.
+cargo clippy --workspace --all-targets -- -D warnings -D deprecated
 
 echo "== tier-1: cargo build --release && cargo test -q =="
 cargo build --release
@@ -31,5 +33,8 @@ cargo run --release -q -p dcd-bench --bin parallel
 
 echo "== packed-vs-legacy GEMM microbenchmark -> BENCH_gemm.json =="
 cargo run --release -q -p dcd-bench --bin gemm
+
+echo "== observability overhead microbenchmark -> BENCH_obs.json =="
+cargo run --release -q -p dcd-bench --bin obs
 
 echo "CI OK"

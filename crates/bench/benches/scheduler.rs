@@ -44,10 +44,9 @@ fn bench_dp_pruning(c: &mut Criterion) {
                     ios_schedule(
                         &graph,
                         &mut cost,
-                        IosOptions {
-                            max_groups: mg,
-                            max_group_len: mgl,
-                        },
+                        IosOptions::new()
+                            .with_max_groups(mg)
+                            .with_max_group_len(mgl),
                     )
                 })
             },

@@ -59,10 +59,9 @@ fn main() {
     let mut rows2 = Vec::new();
     for (mg, mgl) in [(1, 1), (1, 6), (2, 2), (4, 2), (4, 6), (4, 12)] {
         let mut cost = StageCostModel::new(&graph, device.clone(), 1);
-        let opts = IosOptions {
-            max_groups: mg,
-            max_group_len: mgl,
-        };
+        let opts = IosOptions::new()
+            .with_max_groups(mg)
+            .with_max_group_len(mgl);
         let s = ios_schedule(&graph, &mut cost, opts);
         let t = measure_latency(&graph, &s, 1, &device, 2, 5);
         rows2.push(vec![
@@ -84,7 +83,7 @@ fn main() {
     // Part 3: what the schedules do to the device timeline (occupancy and
     // kernel concurrency), via the profiler's timeline view.
     use dcd_ios::Executor;
-    use dcd_profiler::timeline;
+    use dcd_profiler::ProfileReport;
     let mut rows3 = Vec::new();
     for (label, schedule) in [
         ("sequential", sequential_schedule(&graph)),
@@ -97,7 +96,8 @@ fn main() {
         let mut exec = Executor::new(&graph, schedule, 8, device.clone());
         exec.run_inference();
         let trace = exec.into_trace();
-        let t = timeline(&trace).expect("kernels ran");
+        let report = ProfileReport::from_trace(&trace);
+        let t = report.timeline().expect("kernels ran");
         rows3.push(vec![
             label.to_string(),
             format!("{:.1}%", 100.0 * t.occupancy),

@@ -15,6 +15,11 @@ use dcd_nn::SppNetConfig;
 use serde::{Deserialize, Serialize};
 
 /// Pipeline parameters.
+///
+/// Non-exhaustive: construct with [`PipelineConfig::new`] (or `default()`)
+/// and refine with the `with_*` methods, so new knobs (like the `obs`
+/// toggle) stop being breaking changes.
+#[non_exhaustive]
 #[derive(Debug, Clone)]
 pub struct PipelineConfig {
     /// Accuracy constraint `A`: candidates must score strictly above this.
@@ -38,10 +43,16 @@ pub struct PipelineConfig {
     pub fault_plan: Option<FaultPlan>,
     /// Retry policy used when `fault_plan` is set.
     pub retry: RetryPolicy,
+    /// Enable host observability (`dcd-obs` spans/metrics) for the run.
+    /// One-way: running with `obs = true` turns recording on process-wide
+    /// and leaves it on for the caller to drain.
+    pub obs: bool,
 }
 
-impl Default for PipelineConfig {
-    fn default() -> Self {
+impl PipelineConfig {
+    /// The paper's defaults: `A = 0.95`, 16 trials, 100×100 input on a
+    /// healthy RTX A5500, power-of-two batch sweep up to 64.
+    pub fn new() -> Self {
         PipelineConfig {
             accuracy_threshold: 0.95,
             max_trials: 16,
@@ -53,7 +64,80 @@ impl Default for PipelineConfig {
             iterations: 5,
             fault_plan: None,
             retry: RetryPolicy::default(),
+            obs: false,
         }
+    }
+
+    /// Sets the accuracy constraint `A`.
+    pub fn with_accuracy_threshold(mut self, accuracy_threshold: f64) -> Self {
+        self.accuracy_threshold = accuracy_threshold;
+        self
+    }
+
+    /// Sets the NAS trial budget.
+    pub fn with_max_trials(mut self, max_trials: usize) -> Self {
+        self.max_trials = max_trials;
+        self
+    }
+
+    /// Sets the inference input size.
+    pub fn with_input_hw(mut self, input_hw: (usize, usize)) -> Self {
+        self.input_hw = input_hw;
+        self
+    }
+
+    /// Sets the target device.
+    pub fn with_device(mut self, device: DeviceSpec) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// Sets the IOS pruning options.
+    pub fn with_ios(mut self, ios: IosOptions) -> Self {
+        self.ios = ios;
+        self
+    }
+
+    /// Sets the batch sizes swept in step 4.
+    pub fn with_batch_sizes(mut self, batch_sizes: Vec<usize>) -> Self {
+        self.batch_sizes = batch_sizes;
+        self
+    }
+
+    /// Sets warmup iterations per measurement.
+    pub fn with_warmup(mut self, warmup: usize) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Sets measured iterations per measurement.
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        self.iterations = iterations;
+        self
+    }
+
+    /// Sets the fault plan injected into simulated measurements.
+    pub fn with_fault_plan(mut self, fault_plan: Option<FaultPlan>) -> Self {
+        self.fault_plan = fault_plan;
+        self
+    }
+
+    /// Sets the retry policy used when a fault plan is set.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Enables host observability for the run.
+    pub fn with_obs(mut self, obs: bool) -> Self {
+        self.obs = obs;
+        self
+    }
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig::new()
     }
 }
 
@@ -143,6 +227,7 @@ impl Pipeline {
     /// [`Pipeline::benchmark`] plus the [`RunHealth`] of the measurements —
     /// non-trivial only when the pipeline carries a fault plan.
     pub fn benchmark_with_health(&self, config: &SppNetConfig) -> (f64, f64, Schedule, RunHealth) {
+        let _span = dcd_obs::span("pipeline.benchmark", dcd_obs::Category::Pipeline);
         let graph = lower_sppnet(config, self.config.input_hw);
         let seq = sequential_schedule(&graph);
         let mut cost = StageCostModel::new(&graph, self.config.device.clone(), 1);
@@ -197,6 +282,7 @@ impl Pipeline {
     /// Sweeps batch sizes for one configuration, re-optimizing the schedule
     /// per batch size like the paper does (§6.4).
     pub fn batch_sweep(&self, config: &SppNetConfig) -> Vec<BatchPoint> {
+        let _span = dcd_obs::span("pipeline.batch_sweep", dcd_obs::Category::Pipeline);
         let graph = lower_sppnet(config, self.config.input_hw);
         let seq = sequential_schedule(&graph);
         self.config
@@ -258,6 +344,10 @@ impl Pipeline {
         strategy: &mut dyn ExplorationStrategy,
         evaluator: &dyn Evaluator,
     ) -> PipelineResult {
+        if self.config.obs {
+            dcd_obs::set_enabled(true);
+        }
+        let _span = dcd_obs::span("pipeline.run", dcd_obs::Category::Pipeline);
         let experiment = Experiment::run(strategy, evaluator, self.config.max_trials);
         let survivors = experiment.candidates_above(self.config.accuracy_threshold);
         assert!(
@@ -305,13 +395,11 @@ mod tests {
     use dcd_nas::{FunctionalEvaluator, RandomSearch, SppNetSearchSpace};
 
     fn quick_config() -> PipelineConfig {
-        PipelineConfig {
-            max_trials: 6,
-            batch_sizes: vec![1, 2, 4],
-            warmup: 1,
-            iterations: 2,
-            ..Default::default()
-        }
+        PipelineConfig::new()
+            .with_max_trials(6)
+            .with_batch_sizes(vec![1, 2, 4])
+            .with_warmup(1)
+            .with_iterations(2)
     }
 
     /// Accuracy proxy shaped like the paper's Table 1: bigger FC and SPP

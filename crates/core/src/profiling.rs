@@ -4,7 +4,7 @@
 use dcd_gpusim::{ApiKind, DeviceSpec, KernelClass, Trace};
 use dcd_ios::{ios_schedule, lower_sppnet, Executor, IosOptions, StageCostModel};
 use dcd_nn::SppNetConfig;
-use dcd_profiler::{api_report, kernel_report, memop_report};
+use dcd_profiler::ProfileReport;
 use serde::{Deserialize, Serialize};
 
 /// Profiling aggregates for one batch size.
@@ -30,26 +30,11 @@ pub struct BatchProfile {
     pub latency_ns: f64,
 }
 
-fn pct_of_api(trace: &Trace, kind: ApiKind) -> f64 {
-    api_report(trace)
-        .into_iter()
-        .find(|r| r.name == kind.label())
-        .map(|r| r.pct)
-        .unwrap_or(0.0)
-}
-
-fn pct_of_kernel(trace: &Trace, class: KernelClass) -> f64 {
-    kernel_report(trace)
-        .into_iter()
-        .find(|r| r.class == class.label())
-        .map(|r| r.pct)
-        .unwrap_or(0.0)
-}
-
 /// Profiles one batch size: builds the IOS schedule for that batch, runs
 /// `iterations` inferences under the trace, and aggregates.
 ///
-/// Returns the aggregates and the full raw trace (for `render_stats`).
+/// Returns the aggregates and the full raw trace (for
+/// `ProfileReport::render` or a merged timeline export).
 pub fn profile_run(
     config: &SppNetConfig,
     input_hw: (usize, usize),
@@ -67,16 +52,17 @@ pub fn profile_run(
         total_latency += exec.run_inference();
     }
     let trace = exec.into_trace();
-    let memops = memop_report(&trace);
+    let report = ProfileReport::from_trace(&trace);
     let profile = BatchProfile {
         batch,
-        memops_per_image_ns: memops.per_image_ns(batch, iterations),
+        memops_per_image_ns: report.memops().per_image_ns(batch, iterations),
         mem_used_bytes,
-        lib_load_pct: pct_of_api(&trace, ApiKind::LibraryLoadData),
-        sync_pct: pct_of_api(&trace, ApiKind::DeviceSynchronize),
-        gemm_pct: pct_of_kernel(&trace, KernelClass::Gemm),
-        pool_pct: pct_of_kernel(&trace, KernelClass::Pool),
-        conv_pct: pct_of_kernel(&trace, KernelClass::Conv),
+        // Typed lookups — no string-label matching against rendered rows.
+        lib_load_pct: report.api_pct(ApiKind::LibraryLoadData),
+        sync_pct: report.api_pct(ApiKind::DeviceSynchronize),
+        gemm_pct: report.kernel_pct(KernelClass::Gemm),
+        pool_pct: report.kernel_pct(KernelClass::Pool),
+        conv_pct: report.kernel_pct(KernelClass::Conv),
         latency_ns: total_latency as f64 / iterations.max(1) as f64,
     };
     (profile, trace)
@@ -193,7 +179,7 @@ mod tests {
             2,
             3,
         );
-        let text = dcd_profiler::render_stats(&trace);
+        let text = ProfileReport::from_trace(&trace).render();
         assert!(text.contains("cudaLaunchKernel"));
     }
 }

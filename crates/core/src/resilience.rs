@@ -89,6 +89,7 @@ impl RunHealth {
 
     /// Tallies a GPU error into the matching fault counter.
     pub fn record_error(&mut self, e: &GpuError) {
+        dcd_obs::counter!("resilience.faults").inc();
         match e {
             GpuError::LaunchFailed { .. } => self.launch_failures += 1,
             GpuError::MemcpyFailed { .. } => self.memcpy_failures += 1,
@@ -131,6 +132,7 @@ pub fn retry_inference(
                     return Err(e);
                 }
                 health.retries += 1;
+                dcd_obs::counter!("resilience.retries").inc();
                 exec.gpu_mut().host_busy(policy.backoff_ns(retry));
                 retry += 1;
             }
@@ -232,6 +234,7 @@ impl<'g> ResilientRunner<'g> {
                 }
                 self.fell_back = true;
                 self.health.fallbacks += 1;
+                dcd_obs::counter!("resilience.fallbacks").inc();
                 self.exec
                     .set_schedule(self.fallback.clone())
                     .expect("fallback schedule validated at construction");

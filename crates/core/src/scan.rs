@@ -49,6 +49,11 @@ impl SceneDetection {
 }
 
 /// Scan parameters.
+///
+/// Non-exhaustive: construct with [`ScanConfig::for_patch`] and refine with
+/// the `with_*` methods, so new fields (like the `obs` toggle) stop being
+/// breaking changes.
+#[non_exhaustive]
 #[derive(Debug, Clone, Copy)]
 pub struct ScanConfig {
     /// Patch side length fed to the detector (must match training).
@@ -70,11 +75,15 @@ pub struct ScanConfig {
     /// Input normalization applied to each clipped patch (the dataset
     /// normalizes reflectance to `[-1, 1]`; scanning must match).
     pub normalize: bool,
+    /// Enable host observability (`dcd-obs` spans/metrics) for the scan.
+    /// One-way: scanning with `obs = true` turns recording on process-wide
+    /// and leaves it on for the caller to drain.
+    pub obs: bool,
 }
 
 impl ScanConfig {
     /// Defaults for a given patch size: eighth-patch stride, batch 32 (the
-    /// paper's optimal), NMS at IoU 0.3.
+    /// paper's optimal), NMS at IoU 0.3, observability off.
     pub fn for_patch(patch_size: usize) -> Self {
         ScanConfig {
             patch_size,
@@ -83,7 +92,44 @@ impl ScanConfig {
             nms_iou: 0.3,
             nms_radius: (patch_size / 6).max(2),
             normalize: true,
+            obs: false,
         }
+    }
+
+    /// Sets the tiling stride.
+    pub fn with_stride(mut self, stride: usize) -> Self {
+        self.stride = stride;
+        self
+    }
+
+    /// Sets the inference batch size.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Sets the NMS IoU threshold.
+    pub fn with_nms_iou(mut self, nms_iou: f32) -> Self {
+        self.nms_iou = nms_iou;
+        self
+    }
+
+    /// Sets the point-suppression radius.
+    pub fn with_nms_radius(mut self, nms_radius: usize) -> Self {
+        self.nms_radius = nms_radius;
+        self
+    }
+
+    /// Sets patch normalization.
+    pub fn with_normalize(mut self, normalize: bool) -> Self {
+        self.normalize = normalize;
+        self
+    }
+
+    /// Enables host observability for the scan.
+    pub fn with_obs(mut self, obs: bool) -> Self {
+        self.obs = obs;
+        self
     }
 }
 
@@ -172,6 +218,8 @@ fn detect_chunk(
     if chunk.is_empty() {
         return;
     }
+    let _span = dcd_obs::span("scan.chunk", dcd_obs::Category::Scan);
+    dcd_obs::counter!("scan.patches").add(chunk.len() as u64);
     let nb = bands.dims()[0];
     let sample = nb * config.patch_size * config.patch_size;
     batch_buf.resize(chunk.len() * sample, 0.0);
@@ -223,6 +271,10 @@ pub fn scan_scene(
     bands: &Tensor,
     config: &ScanConfig,
 ) -> Vec<SceneDetection> {
+    if config.obs {
+        dcd_obs::set_enabled(true);
+    }
+    let _span = dcd_obs::span("scan.scene", dcd_obs::Category::Scan);
     let (h, w) = scene_dims(bands, config);
     let centers = tile_centers(w, h, config);
     let mut raw: Vec<SceneDetection> = Vec::new();
@@ -243,6 +295,10 @@ pub fn scan_scene(
 }
 
 /// Simulated-deployment parameters for [`scan_scene_resilient`].
+///
+/// Non-exhaustive: construct with [`SimScanConfig::new`] (or `default()`) and
+/// refine with the `with_*` methods.
+#[non_exhaustive]
 #[derive(Debug, Clone)]
 pub struct SimScanConfig {
     /// The simulated device the scan deploys to.
@@ -256,14 +312,45 @@ pub struct SimScanConfig {
     pub ios: IosOptions,
 }
 
-impl Default for SimScanConfig {
-    fn default() -> Self {
+impl SimScanConfig {
+    /// Healthy RTX A5500 deployment with default retry and IOS options.
+    pub fn new() -> Self {
         SimScanConfig {
             device: DeviceSpec::rtx_a5500(),
             fault_plan: FaultPlan::none(),
             retry: RetryPolicy::default(),
             ios: IosOptions::default(),
         }
+    }
+
+    /// Sets the simulated device.
+    pub fn with_device(mut self, device: DeviceSpec) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// Sets the injected fault plan.
+    pub fn with_fault_plan(mut self, fault_plan: FaultPlan) -> Self {
+        self.fault_plan = fault_plan;
+        self
+    }
+
+    /// Sets the retry/backoff/watchdog policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Sets the IOS pruning options.
+    pub fn with_ios(mut self, ios: IosOptions) -> Self {
+        self.ios = ios;
+        self
+    }
+}
+
+impl Default for SimScanConfig {
+    fn default() -> Self {
+        SimScanConfig::new()
     }
 }
 
@@ -329,6 +416,10 @@ pub fn scan_scene_resilient(
     config: &ScanConfig,
     sim: &SimScanConfig,
 ) -> Result<ResilientScanReport, ScanError> {
+    if config.obs {
+        dcd_obs::set_enabled(true);
+    }
+    let _span = dcd_obs::span("scan.scene", dcd_obs::Category::Scan);
     let (h, w) = scene_dims(bands, config);
     let centers = tile_centers(w, h, config);
 
@@ -529,11 +620,7 @@ mod tests {
         let cfg = small_config();
         let ds = PatchDataset::generate(&cfg, 11);
         let bands = render_bands(&ds.scene, 0.03, &mut SeededRng::new(9));
-        let scan = ScanConfig {
-            batch_size: 8,
-            stride: 24,
-            ..ScanConfig::for_patch(48)
-        };
+        let scan = ScanConfig::for_patch(48).with_batch_size(8).with_stride(24);
         let dets = scan_scene(&mut detector, &bands, &scan);
         assert!(dets.iter().all(|d| d.score.is_finite()));
     }
@@ -583,11 +670,7 @@ mod tests {
         let cfg = small_config();
         let ds = PatchDataset::generate(&cfg, 21);
         let bands = render_bands(&ds.scene, 0.03, &mut SeededRng::new(9));
-        let scan = ScanConfig {
-            batch_size: 8,
-            stride: 24,
-            ..ScanConfig::for_patch(48)
-        };
+        let scan = ScanConfig::for_patch(48).with_batch_size(8).with_stride(24);
         let par = scan_scene(&mut detector, &bands, &scan);
         let seq = rayon::force_sequential(|| scan_scene(&mut detector, &bands, &scan));
         assert!(
@@ -617,22 +700,16 @@ mod tests {
         let cfg = small_config();
         let ds = PatchDataset::generate(&cfg, 21);
         let bands = render_bands(&ds.scene, 0.03, &mut SeededRng::new(9));
-        let scan = ScanConfig {
-            batch_size: 8,
-            stride: 24,
-            ..ScanConfig::for_patch(48)
-        };
+        let scan = ScanConfig::for_patch(48).with_batch_size(8).with_stride(24);
         let plain = scan_scene(&mut detector, &bands, &scan);
-        let sim = SimScanConfig {
-            device: DeviceSpec::test_gpu(),
-            fault_plan: FaultPlan {
+        let sim = SimScanConfig::new()
+            .with_device(DeviceSpec::test_gpu())
+            .with_fault_plan(FaultPlan {
                 seed: 77,
                 launch_failure_rate: 0.02,
                 memcpy_failure_rate: 0.01,
                 ..FaultPlan::none()
-            },
-            ..SimScanConfig::default()
-        };
+            });
         let report = scan_scene_resilient(&mut detector, &bands, &scan, &sim)
             .expect("transient faults are absorbed");
         assert_eq!(
@@ -669,10 +746,7 @@ mod tests {
         );
         detector.threshold = 0.6;
         let bands = render_bands(&ds.scene, 0.03, &mut SeededRng::new(9));
-        let scan = ScanConfig {
-            batch_size: 16,
-            ..ScanConfig::for_patch(64)
-        };
+        let scan = ScanConfig::for_patch(64).with_batch_size(16);
         let dets = scan_scene(&mut detector, &bands, &scan);
         assert!(!dets.is_empty(), "scan found nothing");
         // Only interior crossings can sit at a tile centre (edge crossings

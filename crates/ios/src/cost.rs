@@ -5,10 +5,71 @@
 //! `dcd-gpusim`; a stage is costed by actually simulating it — launch each
 //! group on its own stream, barrier, read the host clock — and memoizing the
 //! result.
+//!
+//! Attaching a [`SpanCalibration`] switches the model to throughput rates
+//! *measured* from `dcd-obs` spans (host GEMM/conv flop rates) where
+//! available, mirroring how the real IOS feeds measured per-operator timing
+//! back into its dynamic program.
 
 use crate::graph::{Graph, OpId};
-use dcd_gpusim::{DeviceSpec, Gpu};
+use dcd_gpusim::{DeviceSpec, Gpu, KernelClass};
+use dcd_obs::{Category, MetricsSnapshot, SpanRecord};
 use std::collections::HashMap;
+
+/// Measured per-class throughput (flops per ns) distilled from host spans
+/// and the metrics registry. Classes without a measurement fall back to the
+/// simulator's analytic roofline.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpanCalibration {
+    rates: HashMap<KernelClass, f64>,
+}
+
+impl SpanCalibration {
+    /// An empty calibration (every class analytic).
+    pub fn new() -> Self {
+        SpanCalibration::default()
+    }
+
+    /// Derives rates from recorded host spans plus the metrics snapshot:
+    /// the GEMM rate is the `gemm.flops` counter divided by the summed
+    /// duration of `Category::Gemm` spans, and likewise `conv.flops` over
+    /// `Category::Conv`. Classes with no spans or a zero counter stay
+    /// uncalibrated.
+    pub fn from_observations(spans: &[SpanRecord], metrics: &MetricsSnapshot) -> Self {
+        let mut cal = SpanCalibration::new();
+        for (class, cat, counter) in [
+            (KernelClass::Gemm, Category::Gemm, "gemm.flops"),
+            (KernelClass::Conv, Category::Conv, "conv.flops"),
+        ] {
+            let ns: u64 = spans
+                .iter()
+                .filter(|s| s.cat == cat)
+                .map(|s| s.dur_ns)
+                .sum();
+            let flops = metrics.counter(counter).unwrap_or(0);
+            if ns > 0 && flops > 0 {
+                cal.rates.insert(class, flops as f64 / ns as f64);
+            }
+        }
+        cal
+    }
+
+    /// Pins the rate of one class, flops per ns.
+    pub fn set_rate(&mut self, class: KernelClass, flops_per_ns: f64) {
+        assert!(flops_per_ns > 0.0, "rate must be positive");
+        self.rates.insert(class, flops_per_ns);
+    }
+
+    /// The measured rate for a class, if one was derived.
+    pub fn rate(&self, class: KernelClass) -> Option<f64> {
+        self.rates.get(&class).copied()
+    }
+
+    /// True when no class has a measured rate.
+    pub fn is_empty(&self) -> bool {
+        self.rates.is_empty()
+    }
+}
 
 /// Memoizing stage profiler.
 pub struct StageCostModel<'g> {
@@ -16,6 +77,7 @@ pub struct StageCostModel<'g> {
     device: DeviceSpec,
     batch: usize,
     memo: HashMap<Vec<Vec<OpId>>, f64>,
+    calibration: Option<SpanCalibration>,
 }
 
 impl<'g> StageCostModel<'g> {
@@ -27,7 +89,26 @@ impl<'g> StageCostModel<'g> {
             device,
             batch,
             memo: HashMap::new(),
+            calibration: None,
         }
+    }
+
+    /// Builder form of [`StageCostModel::set_calibration`].
+    pub fn with_calibration(mut self, calibration: SpanCalibration) -> Self {
+        self.set_calibration(Some(calibration));
+        self
+    }
+
+    /// Attaches (or clears, with `None`) measured calibration. Invalidates
+    /// the memo: costs under the two models are not comparable.
+    pub fn set_calibration(&mut self, calibration: Option<SpanCalibration>) {
+        self.memo.clear();
+        self.calibration = calibration.filter(|c| !c.is_empty());
+    }
+
+    /// The active calibration, if any.
+    pub fn calibration(&self) -> Option<&SpanCalibration> {
+        self.calibration.as_ref()
     }
 
     /// The batch size this model profiles at.
@@ -37,8 +118,15 @@ impl<'g> StageCostModel<'g> {
 
     /// Latency of one stage in ns: concurrent groups on separate streams,
     /// sequential ops within a group, one device barrier at the end.
+    /// With a calibration attached, per-op costs use measured flop rates
+    /// where available instead of the pure simulation.
     pub fn stage_latency(&mut self, groups: &[Vec<OpId>]) -> f64 {
         if let Some(&t) = self.memo.get(groups) {
+            return t;
+        }
+        if self.calibration.is_some() {
+            let t = self.calibrated_stage_latency(groups);
+            self.memo.insert(groups.to_vec(), t);
             return t;
         }
         // Profile on a pristine context with free module loading (module
@@ -66,6 +154,31 @@ impl<'g> StageCostModel<'g> {
         let latency = (gpu.host_ns() - t0) as f64;
         self.memo.insert(groups.to_vec(), latency);
         latency
+    }
+
+    /// Analytic/measured hybrid: each op costs `flops / measured_rate` when
+    /// its class is calibrated, the simulator's roofline otherwise; a stage
+    /// is the slowest group (groups run concurrently) plus per-launch and
+    /// barrier overheads.
+    fn calibrated_stage_latency(&self, groups: &[Vec<OpId>]) -> f64 {
+        let cal = self.calibration.as_ref().expect("calibration attached");
+        let mut slowest = 0.0f64;
+        let mut launches = 0u64;
+        for group in groups {
+            let mut t = 0.0f64;
+            for &op in group {
+                let desc = self.graph.kernel_for(op, self.batch);
+                launches += 1;
+                t += match cal.rate(desc.class) {
+                    Some(rate) if desc.flops > 0.0 => desc.flops / rate,
+                    _ => desc.isolated_ns(&self.device),
+                };
+            }
+            slowest = slowest.max(t);
+        }
+        slowest
+            + launches as f64 * self.device.api_launch_ns as f64
+            + self.device.api_sync_ns as f64
     }
 
     /// Total latency of a full schedule under this model: the sum of its
@@ -161,5 +274,85 @@ mod tests {
         let mut m1 = StageCostModel::new(&g, DeviceSpec::test_gpu(), 1);
         let mut m64 = StageCostModel::new(&g, DeviceSpec::test_gpu(), 64);
         assert!(m64.stage_latency(&[vec![1]]) > m1.stage_latency(&[vec![1]]));
+    }
+
+    #[test]
+    fn calibration_from_observations_derives_rates() {
+        let spans = vec![
+            SpanRecord {
+                name: "gemm",
+                cat: Category::Gemm,
+                tid: 0,
+                depth: 0,
+                start_ns: 0,
+                dur_ns: 1_000,
+            },
+            SpanRecord {
+                name: "gemm",
+                cat: Category::Gemm,
+                tid: 0,
+                depth: 0,
+                start_ns: 2_000,
+                dur_ns: 1_000,
+            },
+        ];
+        let metrics = MetricsSnapshot {
+            counters: vec![dcd_obs::CounterSnapshot {
+                name: "gemm.flops".to_string(),
+                value: 40_000,
+            }],
+            histograms: Vec::new(),
+        };
+        let cal = SpanCalibration::from_observations(&spans, &metrics);
+        // 40 kflop over 2 µs of gemm spans = 20 flops/ns.
+        assert!((cal.rate(KernelClass::Gemm).unwrap() - 20.0).abs() < 1e-9);
+        assert!(cal.rate(KernelClass::Conv).is_none());
+        assert!(!cal.is_empty());
+        // No spans / no counter → empty calibration.
+        assert!(SpanCalibration::from_observations(&[], &MetricsSnapshot::default()).is_empty());
+    }
+
+    #[test]
+    fn calibrated_model_uses_measured_rate_and_clears_memo() {
+        let g = diamond();
+        let mut m = StageCostModel::new(&g, DeviceSpec::test_gpu(), 1);
+        let simulated = m.stage_latency(&[vec![1]]);
+        assert_eq!(m.profiled_stages(), 1);
+        // A pool op has flops > 0; pin its class to an absurdly fast rate so
+        // the calibrated path is observably different from the simulation.
+        let mut cal = SpanCalibration::new();
+        cal.set_rate(KernelClass::Pool, 1e12);
+        m.set_calibration(Some(cal));
+        assert_eq!(m.profiled_stages(), 0, "memo must clear on recalibration");
+        let calibrated = m.stage_latency(&[vec![2]]);
+        assert!(calibrated > 0.0);
+        let analytic_relu = m.stage_latency(&[vec![1]]);
+        assert!(
+            analytic_relu > 0.0,
+            "uncalibrated classes fall back to the roofline"
+        );
+        assert!(simulated > 0.0);
+    }
+
+    #[test]
+    fn calibrated_parallel_stage_still_cheaper_than_serial() {
+        // The DP's core invariant must hold under measured costs too.
+        let g = diamond();
+        let mut cal = SpanCalibration::new();
+        cal.set_rate(KernelClass::Pool, 5.0);
+        let mut m = StageCostModel::new(&g, DeviceSpec::test_gpu(), 1).with_calibration(cal);
+        let parallel = m.stage_latency(&[vec![2], vec![3]]);
+        let serial = m.stage_latency(&[vec![2]]) + m.stage_latency(&[vec![3]]);
+        assert!(parallel < serial, "parallel {parallel} vs serial {serial}");
+    }
+
+    #[test]
+    fn empty_calibration_keeps_simulated_costs() {
+        let g = diamond();
+        let mut m = StageCostModel::new(&g, DeviceSpec::test_gpu(), 1);
+        let simulated = m.stage_latency(&[vec![1]]);
+        m.set_calibration(Some(SpanCalibration::new()));
+        assert!(m.calibration().is_none(), "empty calibration is dropped");
+        assert_eq!(m.stage_latency(&[vec![1]]), simulated);
     }
 }

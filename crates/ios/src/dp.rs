@@ -8,6 +8,11 @@ use std::collections::{HashMap, HashSet};
 
 /// Pruning options for the IOS dynamic program (the paper's IOS exposes the
 /// same two knobs as "max number of groups / max stage size").
+///
+/// Non-exhaustive: construct with [`IosOptions::new`] (or `default()`) and
+/// refine with the `with_*` methods, so new knobs can be added without
+/// breaking callers. Defaults: `max_groups = 4`, `max_group_len = 6`.
+#[non_exhaustive]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IosOptions {
     /// Maximum concurrent groups in one stage.
@@ -16,12 +21,31 @@ pub struct IosOptions {
     pub max_group_len: usize,
 }
 
-impl Default for IosOptions {
-    fn default() -> Self {
+impl IosOptions {
+    /// The default pruning bounds (groups ≤ 4, group length ≤ 6).
+    pub fn new() -> Self {
         IosOptions {
             max_groups: 4,
             max_group_len: 6,
         }
+    }
+
+    /// Caps the number of concurrent groups per stage.
+    pub fn with_max_groups(mut self, max_groups: usize) -> Self {
+        self.max_groups = max_groups;
+        self
+    }
+
+    /// Caps the chain length of one group.
+    pub fn with_max_group_len(mut self, max_group_len: usize) -> Self {
+        self.max_group_len = max_group_len;
+        self
+    }
+}
+
+impl Default for IosOptions {
+    fn default() -> Self {
+        IosOptions::new()
     }
 }
 
@@ -362,10 +386,7 @@ mod tests {
         let s = ios_schedule(
             &g,
             &mut cost,
-            IosOptions {
-                max_groups: 2,
-                max_group_len: 2,
-            },
+            IosOptions::new().with_max_groups(2).with_max_group_len(2),
         );
         assert_eq!(s.validate(&g), Ok(()));
         assert!(s

@@ -200,6 +200,8 @@ impl<'g> Executor<'g> {
 
     /// Runs one inference, returning its latency in ns.
     pub fn run_inference(&mut self) -> u64 {
+        let _span = dcd_obs::span("ios.infer", dcd_obs::Category::Ios);
+        dcd_obs::counter!("ios.stages").add(self.schedule.stages.len() as u64);
         let t0 = self.gpu.host_ns();
         self.gpu.memcpy_async(0, CopyDir::H2D, self.input_bytes);
         self.gpu.device_synchronize();
@@ -229,6 +231,8 @@ impl<'g> Executor<'g> {
     /// drains the already-enqueued work — so the caller can retry, degrade
     /// the batch, or fall back to another schedule on the same executor.
     pub fn try_run_inference(&mut self, watchdog_ns: u64) -> Result<u64, GpuError> {
+        let _span = dcd_obs::span("ios.infer", dcd_obs::Category::Ios);
+        dcd_obs::counter!("ios.stages").add(self.schedule.stages.len() as u64);
         let t0 = self.gpu.host_ns();
         let r = self.try_run_inference_inner(watchdog_ns);
         match r {
@@ -287,6 +291,8 @@ impl<'g> Executor<'g> {
     /// drains between stages, so barrier bubbles disappear — at the price
     /// of event-record/wait API calls.
     pub fn run_inference_events(&mut self) -> u64 {
+        let _span = dcd_obs::span("ios.infer", dcd_obs::Category::Ios);
+        dcd_obs::counter!("ios.stages").add(self.schedule.stages.len() as u64);
         let t0 = self.gpu.host_ns();
         self.gpu.memcpy_async(0, CopyDir::H2D, self.input_bytes);
         let mut prev_events = vec![self.gpu.record_event(0)];

@@ -32,7 +32,7 @@ pub mod lower;
 pub mod schedule;
 
 pub use cluster::{measure_cluster, split_batch, ClusterConfig, ClusterStats};
-pub use cost::StageCostModel;
+pub use cost::{SpanCalibration, StageCostModel};
 pub use dp::{greedy_schedule, ios_schedule, sequential_schedule, IosOptions};
 pub use executor::{measure_latency, ExecError, Executor, RunStats};
 pub use graph::{Graph, Op, OpId, OpKind};

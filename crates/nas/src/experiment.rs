@@ -104,6 +104,8 @@ impl Experiment {
             let Some(config) = strategy.next(&history) else {
                 break;
             };
+            let _trial_span = dcd_obs::span("nas.trial", dcd_obs::Category::Nas);
+            dcd_obs::counter!("nas.trials").inc();
             let start = Instant::now();
             let (score, attempts) = supervisor.evaluate(evaluator, &config);
             let duration_s = start.elapsed().as_secs_f64();
@@ -146,6 +148,8 @@ impl Experiment {
         let scored: Vec<(SppNetConfig, f64, u32, f64)> = proposals
             .into_par_iter()
             .map(|config| {
+                let _trial_span = dcd_obs::span("nas.trial", dcd_obs::Category::Nas);
+                dcd_obs::counter!("nas.trials").inc();
                 let start = Instant::now();
                 let (score, attempts) = supervisor.evaluate(evaluator, &config);
                 (config, score, attempts, start.elapsed().as_secs_f64())

@@ -214,6 +214,7 @@ impl SppNet {
 
     /// Forward pass producing objectness logits and box regressions.
     pub fn forward(&mut self, x: &Tensor) -> DetectionOutput {
+        let _span = dcd_obs::span("sppnet.forward", dcd_obs::Category::Nn);
         let n = x.dims()[0];
         let mut cur = self.conv1.forward(x);
         cur = self.relu1.forward(&cur);
@@ -292,6 +293,7 @@ impl SppNet {
     /// fused ReLU yields `+0.0` where the mask path yields `-0.0`, which no
     /// downstream comparison, sum or sigmoid can distinguish.
     pub fn forward_inference(&self, x: &Tensor) -> DetectionOutput {
+        let _span = dcd_obs::span("sppnet.forward_inference", dcd_obs::Category::Nn);
         let n = x.dims()[0];
         let conv = |layer: &Conv2d, x: &Tensor| {
             conv2d_relu(

@@ -134,6 +134,8 @@ impl Trainer {
         samples: &[&Sample],
         sgd: Sgd,
     ) -> (f32, f32, f32) {
+        let _span = dcd_obs::span("train.batch", dcd_obs::Category::Train);
+        dcd_obs::counter!("train.batches").inc();
         let (x, obj_t, box_t, mask) = Self::batch_tensors(samples);
         let out = model.forward(&x);
         let (obj_loss, grad_obj) = bce_with_logits(&out.obj_logits, &obj_t);
@@ -165,6 +167,7 @@ impl Trainer {
         let mut best_ap = f32::NEG_INFINITY;
         let mut best_weights: Option<Vec<Tensor>> = None;
         for epoch in 0..self.config.epochs {
+            let _epoch_span = dcd_obs::span("train.epoch", dcd_obs::Category::Train);
             rng.shuffle(&mut order);
             let sgd = self.epoch_sgd(epoch);
             let mut sums = (0.0f32, 0.0f32, 0.0f32);
@@ -205,6 +208,7 @@ impl Trainer {
         let mut rng = SeededRng::new(self.config.shuffle_seed);
         let mut history = Vec::with_capacity(self.config.epochs);
         for epoch in 0..self.config.epochs {
+            let _epoch_span = dcd_obs::span("train.epoch", dcd_obs::Category::Train);
             rng.shuffle(&mut order);
             let sgd = self.epoch_sgd(epoch);
             let mut sums = (0.0f32, 0.0f32, 0.0f32);

@@ -1,0 +1,38 @@
+//! The host monotonic clock shared by every span.
+//!
+//! All span timestamps are nanoseconds since the process's first
+//! observation (lazily anchored `Instant`). A single epoch — rather than
+//! per-thread clocks — is what lets records from rayon workers, the main
+//! thread and the profiler's merge step land on one consistent timeline.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds since the clock epoch (first call in the process).
+///
+/// Monotonic and shared across threads; the first call anchors the epoch,
+/// so timelines start near 0 rather than at an arbitrary boot offset.
+pub fn now_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotone() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn clock_advances() {
+        let a = now_ns();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(now_ns() > a + 1_000_000);
+    }
+}

@@ -1,0 +1,37 @@
+//! # dcd-obs
+//!
+//! Zero-dependency host-side observability for the workspace: structured
+//! tracing **spans** and a **metrics registry** (counters + fixed-bucket
+//! histograms). The design mirrors the paper's profiling methodology (§7,
+//! nsys) for the *host* half of the system: where `dcd-gpusim` traces the
+//! simulated device, this crate traces the Rust hot paths driving it —
+//! packed GEMM, conv/im2col, scan batch assembly, trainer steps, NAS trials
+//! and IOS stage dispatch — so `dcd-profiler` can interleave both onto one
+//! Perfetto timeline.
+//!
+//! Cost discipline (the scratch-arena rules from `dcd_tensor::scratch`):
+//!
+//! * **Disabled** (the default), [`span`] and [`metrics::Counter::add`] are a
+//!   single relaxed atomic load — no clock read, no lock, no allocation.
+//! * **Enabled**, spans append into per-thread buffers whose capacity is
+//!   reserved once at thread registration; steady state never touches the
+//!   allocator (enforced by the [`span::grow_events`] counter, test-style
+//!   identical to `tests/scratch_reuse.rs`). A full buffer drops new spans
+//!   (counted by [`span::dropped_spans`]) instead of growing.
+//!
+//! Host spans use one monotonic clock ([`clock::now_ns`], ns since the first
+//! observation in the process), so records from different threads interleave
+//! correctly on a shared timeline.
+
+pub mod clock;
+pub mod metrics;
+pub mod span;
+
+pub use metrics::{
+    counter, histogram, reset_metrics, snapshot, Counter, CounterSnapshot, Histogram,
+    HistogramSnapshot, MetricsSnapshot,
+};
+pub use span::{
+    drain_spans, dropped_spans, enabled, grow_events, set_enabled, set_thread_capacity, span,
+    Category, Span, SpanRecord,
+};

@@ -1,0 +1,375 @@
+//! Process-wide metrics registry: named counters and fixed-bucket
+//! histograms.
+//!
+//! Handles are `&'static` (registered once via [`counter`]/[`histogram`],
+//! leaked intentionally) so hot paths cache them in a `OnceLock` and update
+//! with a single atomic op. Updates are gated on the global observability
+//! switch ([`crate::span::enabled`]) so a disabled build pays one relaxed
+//! load per update site.
+
+use crate::span::enabled;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Number of power-of-two buckets in a [`Histogram`]. Bucket `i` holds
+/// values `v` with `v < 2^(i+1)` (last bucket catches the rest); at 40
+/// buckets the top bucket starts near 2^40 ns ≈ 18 minutes.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// Monotonically increasing named counter.
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n` when observability is enabled; no-op (one relaxed atomic
+    /// load) otherwise.
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Increments by one (same gating as [`Counter::add`]).
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// Fixed-bucket (power-of-two) histogram with running sum and count.
+pub struct Histogram {
+    name: &'static str,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// Records one observation when observability is enabled.
+    pub fn record(&self, value: u64) {
+        if !enabled() {
+            return;
+        }
+        let idx = (64 - u64::leading_zeros(value | 1) as usize - 1).min(HISTOGRAM_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded observations (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+}
+
+struct Registry {
+    counters: Vec<&'static Counter>,
+    histograms: Vec<&'static Histogram>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        Mutex::new(Registry {
+            counters: Vec::new(),
+            histograms: Vec::new(),
+        })
+    })
+}
+
+/// Returns the counter registered under `name`, creating it on first use.
+/// Idempotent: repeated calls with the same name return the same handle.
+pub fn counter(name: &'static str) -> &'static Counter {
+    let mut reg = registry().lock().expect("metrics registry");
+    if let Some(c) = reg.counters.iter().find(|c| c.name == name) {
+        return c;
+    }
+    let c: &'static Counter = Box::leak(Box::new(Counter {
+        name,
+        value: AtomicU64::new(0),
+    }));
+    reg.counters.push(c);
+    c
+}
+
+/// Returns the histogram registered under `name`, creating it on first use.
+pub fn histogram(name: &'static str) -> &'static Histogram {
+    let mut reg = registry().lock().expect("metrics registry");
+    if let Some(h) = reg.histograms.iter().find(|h| h.name == name) {
+        return h;
+    }
+    let h: &'static Histogram = Box::leak(Box::new(Histogram {
+        name,
+        buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        sum: AtomicU64::new(0),
+        count: AtomicU64::new(0),
+    }));
+    reg.histograms.push(h);
+    h
+}
+
+/// Caches a [`Counter`] handle in a local static so the hot path skips the
+/// registry lock: `counter!("gemm.flops").add(n)`.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::metrics::Counter> =
+            ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::metrics::counter($name))
+    }};
+}
+
+/// Caches a [`Histogram`] handle in a local static, like [`counter!`].
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::metrics::Histogram> =
+            ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::metrics::histogram($name))
+    }};
+}
+
+/// Point-in-time value of one counter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterSnapshot {
+    /// Registered name.
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: u64,
+}
+
+/// Point-in-time summary of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Registered name.
+    pub name: String,
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Mean observation (0.0 when empty).
+    pub mean: f64,
+    /// Upper edge (exclusive, `2^(i+1)`) and count of each non-empty bucket.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// Everything the registry holds, sorted by name for stable output.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// All registered counters.
+    pub counters: Vec<CounterSnapshot>,
+    /// All registered histograms.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Value of the named counter, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Summary of the named histogram, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Plain-text table of all non-zero metrics.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("** Host Metrics Summary:\n\n");
+        let live: Vec<_> = self.counters.iter().filter(|c| c.value > 0).collect();
+        if live.is_empty() && self.histograms.iter().all(|h| h.count == 0) {
+            out.push_str("  (no metrics recorded)\n");
+            return out;
+        }
+        if !live.is_empty() {
+            out.push_str(&format!("  {:<28} {:>16}\n", "Counter", "Value"));
+            for c in &live {
+                out.push_str(&format!("  {:<28} {:>16}\n", c.name, c.value));
+            }
+        }
+        let live_h: Vec<_> = self.histograms.iter().filter(|h| h.count > 0).collect();
+        if !live_h.is_empty() {
+            out.push_str(&format!(
+                "\n  {:<28} {:>10} {:>16} {:>14}\n",
+                "Histogram", "Count", "Sum", "Mean"
+            ));
+            for h in &live_h {
+                out.push_str(&format!(
+                    "  {:<28} {:>10} {:>16} {:>14.1}\n",
+                    h.name, h.count, h.sum, h.mean
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Snapshots every registered metric, sorted by name.
+pub fn snapshot() -> MetricsSnapshot {
+    let reg = registry().lock().expect("metrics registry");
+    let mut counters: Vec<CounterSnapshot> = reg
+        .counters
+        .iter()
+        .map(|c| CounterSnapshot {
+            name: c.name.to_string(),
+            value: c.get(),
+        })
+        .collect();
+    counters.sort_by(|a, b| a.name.cmp(&b.name));
+    let mut histograms: Vec<HistogramSnapshot> = reg
+        .histograms
+        .iter()
+        .map(|h| HistogramSnapshot {
+            name: h.name.to_string(),
+            count: h.count(),
+            sum: h.sum(),
+            mean: h.mean(),
+            buckets: h
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| {
+                    let n = b.load(Ordering::Relaxed);
+                    (n > 0).then(|| (1u64 << (i + 1).min(63), n))
+                })
+                .collect(),
+        })
+        .collect();
+    histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    MetricsSnapshot {
+        counters,
+        histograms,
+    }
+}
+
+/// Zeroes every registered metric (handles stay valid).
+pub fn reset_metrics() {
+    let reg = registry().lock().expect("metrics registry");
+    for c in &reg.counters {
+        c.value.store(0, Ordering::Relaxed);
+    }
+    for h in &reg.histograms {
+        for b in &h.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        h.sum.store(0, Ordering::Relaxed);
+        h.count.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::set_enabled;
+    use std::sync::Mutex as StdMutex;
+
+    static TEST_LOCK: StdMutex<()> = StdMutex::new(());
+
+    #[test]
+    fn counter_is_idempotent_by_name_and_gated() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        let a = counter("test.metrics.alpha");
+        let b = counter("test.metrics.alpha");
+        assert!(std::ptr::eq(a, b));
+        set_enabled(false);
+        a.add(5);
+        assert_eq!(a.get(), 0, "disabled counter must not move");
+        set_enabled(true);
+        a.add(5);
+        a.inc();
+        set_enabled(false);
+        assert_eq!(b.get(), 6);
+        reset_metrics();
+        assert_eq!(a.get(), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_by_power_of_two() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        let h = histogram("test.metrics.lat");
+        set_enabled(true);
+        h.record(0);
+        h.record(1);
+        h.record(3);
+        h.record(1024);
+        set_enabled(false);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1028);
+        assert!((h.mean() - 257.0).abs() < 1e-9);
+        let snap = snapshot();
+        let hs = snap.histogram("test.metrics.lat").unwrap();
+        // 0 and 1 share bucket 0 (<2); 3 lands in bucket 1 (<4);
+        // 1024 in bucket 10 (<2048).
+        assert!(hs.buckets.contains(&(2, 2)));
+        assert!(hs.buckets.contains(&(4, 1)));
+        assert!(hs.buckets.contains(&(2048, 1)));
+        reset_metrics();
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn snapshot_sorts_and_renders() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        set_enabled(true);
+        counter("test.render.zz").add(2);
+        counter("test.render.aa").add(1);
+        set_enabled(false);
+        let snap = snapshot();
+        let names: Vec<_> = snap.counters.iter().map(|c| c.name.as_str()).collect();
+        let zz = names.iter().position(|n| *n == "test.render.zz").unwrap();
+        let aa = names.iter().position(|n| *n == "test.render.aa").unwrap();
+        assert!(aa < zz);
+        let text = snap.render();
+        assert!(text.contains("Host Metrics Summary"));
+        assert!(text.contains("test.render.aa"));
+        reset_metrics();
+    }
+
+    #[test]
+    fn macro_caches_handle() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        set_enabled(true);
+        counter!("test.macro.count").add(3);
+        counter!("test.macro.count").inc();
+        histogram!("test.macro.hist").record(7);
+        set_enabled(false);
+        assert_eq!(counter("test.macro.count").get(), 4);
+        assert_eq!(histogram("test.macro.hist").count(), 1);
+        reset_metrics();
+    }
+}

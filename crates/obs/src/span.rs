@@ -1,0 +1,328 @@
+//! Structured tracing spans: thread-local scope guards with a shared clock.
+//!
+//! A span is opened with [`span`] and recorded when the returned guard
+//! drops. Records go into per-thread buffers (registered globally so
+//! [`drain_spans`] can collect from rayon workers), each reserved to a fixed
+//! capacity at thread registration — steady-state recording never allocates,
+//! and a full buffer drops (and counts) rather than grows.
+
+use crate::clock;
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Which subsystem a span belongs to (one Perfetto "category" per value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Packed GEMM / fully-connected products (`dcd-tensor`).
+    Gemm,
+    /// Convolution forward/backward (`dcd-tensor`).
+    Conv,
+    /// Network forward passes (`dcd-nn`).
+    Nn,
+    /// Whole-scene scanning (`dcd-core`).
+    Scan,
+    /// Training steps (`dcd-nn`).
+    Train,
+    /// NAS trial lifecycle (`dcd-nas`).
+    Nas,
+    /// IOS schedule execution / cost profiling (`dcd-ios`).
+    Ios,
+    /// Pipeline orchestration (`dcd-core`).
+    Pipeline,
+    /// Fault recovery (`dcd-core`).
+    Resilience,
+    /// Anything else.
+    Other,
+}
+
+impl Category {
+    /// Stable label used in reports and the Chrome-trace `cat` field.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Category::Gemm => "gemm",
+            Category::Conv => "conv",
+            Category::Nn => "nn",
+            Category::Scan => "scan",
+            Category::Train => "train",
+            Category::Nas => "nas",
+            Category::Ios => "ios",
+            Category::Pipeline => "pipeline",
+            Category::Resilience => "resilience",
+            Category::Other => "other",
+        }
+    }
+}
+
+/// One completed span. `Copy` so draining is a memcpy, never a clone chain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpanRecord {
+    /// Static span name (no per-span string allocation).
+    pub name: &'static str,
+    /// Subsystem category.
+    pub cat: Category,
+    /// Observability thread id (dense, assigned at first span per thread).
+    pub tid: u32,
+    /// Nesting depth at open time (0 = top-level on its thread).
+    pub depth: u16,
+    /// Start, ns on the [`clock::now_ns`] timeline.
+    pub start_ns: u64,
+    /// Duration, ns.
+    pub dur_ns: u64,
+}
+
+impl SpanRecord {
+    /// End of the span, ns.
+    pub fn end_ns(&self) -> u64 {
+        self.start_ns + self.dur_ns
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_TID: AtomicU32 = AtomicU32::new(0);
+/// Buffer allocations since process start (one per thread registration in
+/// steady state — the no-alloc-after-warmup tests snapshot this).
+static GROW_EVENTS: AtomicU64 = AtomicU64::new(0);
+/// Per-thread span capacity applied to future thread registrations.
+static CAPACITY: AtomicUsize = AtomicUsize::new(1 << 14);
+
+struct ThreadBuf {
+    tid: u32,
+    spans: Mutex<Vec<SpanRecord>>,
+    dropped: AtomicU64,
+}
+
+fn registry() -> &'static Mutex<Vec<Arc<ThreadBuf>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<ThreadBuf>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static LOCAL: RefCell<Option<Arc<ThreadBuf>>> = const { RefCell::new(None) };
+    static DEPTH: Cell<u16> = const { Cell::new(0) };
+}
+
+/// Turns span recording (and metric updates) on or off, process-wide.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Release);
+}
+
+/// Whether observability is currently recording.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Sets the per-thread span buffer capacity for threads that have not yet
+/// recorded a span (existing buffers keep their reservation).
+pub fn set_thread_capacity(cap: usize) {
+    CAPACITY.store(cap.max(1), Ordering::Relaxed);
+}
+
+/// How many span-buffer allocations have happened, process-wide. In steady
+/// state this moves only when a *new thread* records its first span.
+pub fn grow_events() -> u64 {
+    GROW_EVENTS.load(Ordering::Relaxed)
+}
+
+/// Spans discarded because a thread's buffer was full when they completed.
+pub fn dropped_spans() -> u64 {
+    registry()
+        .lock()
+        .expect("span registry")
+        .iter()
+        .map(|b| b.dropped.load(Ordering::Relaxed))
+        .sum()
+}
+
+fn with_local<R>(f: impl FnOnce(&ThreadBuf) -> R) -> R {
+    LOCAL.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        if slot.is_none() {
+            let cap = CAPACITY.load(Ordering::Relaxed);
+            GROW_EVENTS.fetch_add(1, Ordering::Relaxed);
+            let buf = Arc::new(ThreadBuf {
+                tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+                spans: Mutex::new(Vec::with_capacity(cap)),
+                dropped: AtomicU64::new(0),
+            });
+            registry().lock().expect("span registry").push(buf.clone());
+            *slot = Some(buf);
+        }
+        f(slot.as_ref().expect("just initialized"))
+    })
+}
+
+/// Scope guard for one span: records on drop. Create with [`span`].
+#[must_use = "a span records when its guard drops; binding to _ discards it immediately"]
+pub struct Span {
+    name: &'static str,
+    cat: Category,
+    start_ns: u64,
+    depth: u16,
+    active: bool,
+}
+
+/// Opens a span. When observability is disabled this is one relaxed atomic
+/// load and the guard's drop is a no-op.
+pub fn span(name: &'static str, cat: Category) -> Span {
+    if !enabled() {
+        return Span {
+            name,
+            cat,
+            start_ns: 0,
+            depth: 0,
+            active: false,
+        };
+    }
+    let depth = DEPTH.with(|d| {
+        let v = d.get();
+        d.set(v.saturating_add(1));
+        v
+    });
+    Span {
+        name,
+        cat,
+        start_ns: clock::now_ns(),
+        depth,
+        active: true,
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let dur_ns = clock::now_ns().saturating_sub(self.start_ns);
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        with_local(|buf| {
+            let mut spans = buf.spans.lock().expect("span buffer");
+            // `len < capacity` keeps the push allocation-free by
+            // construction; beyond the reservation we drop, never grow.
+            if spans.len() < spans.capacity() {
+                spans.push(SpanRecord {
+                    name: self.name,
+                    cat: self.cat,
+                    tid: buf.tid,
+                    depth: self.depth,
+                    start_ns: self.start_ns,
+                    dur_ns,
+                });
+            } else {
+                buf.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+    }
+}
+
+/// Collects (and clears) every thread's recorded spans, sorted by start
+/// time. Buffers keep their capacity, so draining does not disturb the
+/// steady-state no-allocation property.
+pub fn drain_spans() -> Vec<SpanRecord> {
+    let mut out = Vec::new();
+    for buf in registry().lock().expect("span registry").iter() {
+        let mut spans = buf.spans.lock().expect("span buffer");
+        out.extend_from_slice(&spans);
+        spans.clear();
+        buf.dropped.store(0, Ordering::Relaxed);
+    }
+    // Outer-before-inner at equal starts, so parents precede children.
+    out.sort_by_key(|s| (s.start_ns, s.tid, s.depth));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as StdMutex;
+
+    /// `ENABLED` and the registry are process-global; serialize the tests
+    /// in this binary so one test's drain cannot race another's recording.
+    static TEST_LOCK: StdMutex<()> = StdMutex::new(());
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        set_enabled(false);
+        drain_spans();
+        {
+            let _s = span("quiet", Category::Other);
+        }
+        assert!(drain_spans().is_empty());
+    }
+
+    #[test]
+    fn nested_spans_record_depth_and_containment() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        set_enabled(true);
+        drain_spans();
+        {
+            let _outer = span("outer", Category::Scan);
+            {
+                let _inner = span("inner", Category::Conv);
+            }
+        }
+        set_enabled(false);
+        let spans = drain_spans();
+        assert_eq!(spans.len(), 2);
+        let outer = spans.iter().find(|s| s.name == "outer").unwrap();
+        let inner = spans.iter().find(|s| s.name == "inner").unwrap();
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.depth, 1);
+        assert_eq!(outer.tid, inner.tid);
+        assert!(inner.start_ns >= outer.start_ns);
+        assert!(inner.end_ns() <= outer.end_ns());
+    }
+
+    #[test]
+    fn drain_orders_by_start_time() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        set_enabled(true);
+        drain_spans();
+        for _ in 0..5 {
+            let _s = span("tick", Category::Other);
+        }
+        set_enabled(false);
+        let spans = drain_spans();
+        assert_eq!(spans.len(), 5);
+        for w in spans.windows(2) {
+            assert!(w[0].start_ns <= w[1].start_ns);
+        }
+    }
+
+    #[test]
+    fn steady_state_does_not_allocate() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        set_enabled(true);
+        // Warm-up: registers this thread's buffer (the one allowed growth).
+        {
+            let _s = span("warmup", Category::Other);
+        }
+        let before = grow_events();
+        for _ in 0..1000 {
+            let _s = span("steady", Category::Gemm);
+        }
+        assert_eq!(grow_events(), before, "enabled tracing allocated");
+        set_enabled(false);
+        drain_spans();
+    }
+
+    #[test]
+    fn full_buffer_drops_instead_of_growing() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        set_enabled(true);
+        drain_spans();
+        // Fill this thread's buffer to its reservation, then overflow.
+        let cap = with_local(|b| b.spans.lock().unwrap().capacity());
+        let grow_before = grow_events();
+        for _ in 0..cap + 10 {
+            let _s = span("flood", Category::Other);
+        }
+        set_enabled(false);
+        assert!(dropped_spans() >= 10);
+        assert_eq!(grow_events(), grow_before, "overflow grew the buffer");
+        let spans = drain_spans();
+        assert_eq!(spans.iter().filter(|s| s.name == "flood").count(), cap);
+        assert_eq!(dropped_spans(), 0, "drain resets the dropped counter");
+    }
+}

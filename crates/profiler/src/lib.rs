@@ -1,23 +1,40 @@
 //! # dcd-profiler
 //!
-//! nsys-style analysis over `dcd-gpusim` traces. Three views reproduce the
-//! paper's §7:
+//! nsys-style analysis over `dcd-gpusim` traces, reached through one value
+//! type: [`ProfileReport::from_trace`]. The report reproduces the paper's
+//! §7 views with typed accessors:
 //!
-//! * [`api_report`] — per-CUDA-API call counts, total time and share of the
-//!   API timeline (Fig 8: `cuLibraryLoadData` vs `cudaDeviceSynchronize`);
-//! * [`memop_report`] — DMA transfer statistics and the per-image memop
-//!   timing the paper plots against batch size (Fig 7);
-//! * [`kernel_report`] — device time share per operator class (Table 3:
-//!   Matrix Multiplication / Pooling / Conv).
+//! * [`ProfileReport::api`] / [`ProfileReport::api_pct`] — per-CUDA-API call
+//!   counts, total time and share of the API timeline (Fig 8:
+//!   `cuLibraryLoadData` vs `cudaDeviceSynchronize`);
+//! * [`ProfileReport::memops`] — DMA transfer statistics and the per-image
+//!   memop timing the paper plots against batch size (Fig 7);
+//! * [`ProfileReport::kernels`] / [`ProfileReport::kernel_pct`] — device time
+//!   share per operator class (Table 3);
+//! * [`ProfileReport::timeline`] — busy spans, occupancy and concurrency;
+//! * [`ProfileReport::render`] — all of the above as a text report shaped
+//!   like `nsys profile --stats=true` output.
 //!
-//! [`render_stats`] renders all three as a text report shaped like
-//! `nsys profile --stats=true` output.
+//! Attaching host spans ([`ProfileReport::with_host_spans`], recorded by
+//! `dcd-obs`) adds a host section to the text report and unlocks
+//! [`ProfileReport::chrome_trace`]: a merged host+device timeline in
+//! Chrome-trace JSON that loads directly in [Perfetto](https://ui.perfetto.dev).
+//!
+//! The original free functions (`api_report`, `render_stats`, …) remain as
+//! `#[deprecated]` wrappers for one release cycle.
 
+pub mod merge;
 pub mod report;
 pub mod timeline;
 
-pub use report::{
-    api_report, fault_report, kernel_report, memop_report, render_stats, ApiUsage, FaultCount,
-    KernelShare, MemopStats,
+pub use merge::{
+    ChromeArgs, ChromeEvent, ChromeTrace, API_TID, DEVICE_PID, DMA_TID, FAULT_TID, HOST_PID,
 };
-pub use timeline::{timeline, TimelineStats};
+#[allow(deprecated)]
+pub use report::{
+    api_pct, api_report, fault_report, kernel_pct, kernel_report, memop_report, render_stats,
+};
+pub use report::{ApiUsage, FaultCount, HostOpStats, KernelShare, MemopStats, ProfileReport};
+#[allow(deprecated)]
+pub use timeline::timeline;
+pub use timeline::TimelineStats;

@@ -1,0 +1,407 @@
+//! Merged host+device timeline export in Chrome-trace (Perfetto) JSON.
+//!
+//! Host spans (from `dcd-obs`, wall-clock ns) and simulated device records
+//! (from `dcd-gpusim`, simulated ns) live in different clock domains. The
+//! exporter normalizes each domain so its earliest event sits at t = 0 and
+//! lays them out as two Perfetto processes: pid 1 = host (one track per
+//! recording thread), pid 2 = simulated device (one track per stream, plus
+//! API, DMA and fault tracks). Absolute alignment between the domains is
+//! not meaningful — the device clock is simulated — but relative structure
+//! within each is, which is what the paper's nsys figures read off too.
+
+use crate::report::ProfileReport;
+use dcd_gpusim::TraceRecord;
+use serde::{Deserialize, Serialize};
+
+/// Process id of host (span) tracks in the exported timeline.
+pub const HOST_PID: u32 = 1;
+/// Process id of simulated-device tracks in the exported timeline.
+pub const DEVICE_PID: u32 = 2;
+/// Track id for simulated CUDA API call intervals.
+pub const API_TID: u32 = 800;
+/// Track id for simulated DMA transfers.
+pub const DMA_TID: u32 = 900;
+/// Track id for injected fault markers.
+pub const FAULT_TID: u32 = 950;
+
+/// Optional per-event payload (Perfetto shows it in the detail pane).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ChromeArgs {
+    /// Metadata payload (thread/process name) for `ph: "M"` events.
+    pub name: Option<String>,
+    /// Bytes moved, for DMA events.
+    pub bytes: Option<u64>,
+}
+
+/// One event in Chrome trace-event format. Field names follow the format
+/// spec, not Rust convention, because they are the JSON keys.
+#[allow(non_snake_case)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChromeEvent {
+    /// Event name (span name, kernel name, API label, …).
+    pub name: String,
+    /// Comma-free category tag (`gemm`, `kernel`, `memop`, …).
+    pub cat: String,
+    /// Phase: `"X"` complete event, `"M"` metadata.
+    pub ph: String,
+    /// Start, microseconds from the track's domain origin.
+    pub ts: f64,
+    /// Duration, microseconds (0 for instant/metadata events).
+    pub dur: f64,
+    /// Process id: [`HOST_PID`] or [`DEVICE_PID`].
+    pub pid: u32,
+    /// Track id within the process.
+    pub tid: u32,
+    /// Extra payload.
+    pub args: ChromeArgs,
+}
+
+/// A complete Chrome-trace document: load at <https://ui.perfetto.dev>.
+#[allow(non_snake_case)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ChromeTrace {
+    /// All events, metadata first, then complete events sorted per track.
+    pub traceEvents: Vec<ChromeEvent>,
+}
+
+impl ChromeTrace {
+    /// Serializes to compact JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("chrome trace serializes")
+    }
+
+    /// Serializes to indented JSON.
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("chrome trace serializes")
+    }
+
+    /// Parses a document produced by [`ChromeTrace::to_json`].
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| format!("{e:?}"))
+    }
+
+    /// Events on one `(pid, tid)` track, metadata excluded.
+    pub fn track(&self, pid: u32, tid: u32) -> Vec<&ChromeEvent> {
+        self.traceEvents
+            .iter()
+            .filter(|e| e.pid == pid && e.tid == tid && e.ph == "X")
+            .collect()
+    }
+}
+
+fn meta(pid: u32, tid: u32, key: &str, value: &str) -> ChromeEvent {
+    ChromeEvent {
+        name: key.to_string(),
+        cat: "__metadata".to_string(),
+        ph: "M".to_string(),
+        ts: 0.0,
+        dur: 0.0,
+        pid,
+        tid,
+        args: ChromeArgs {
+            name: Some(value.to_string()),
+            bytes: None,
+        },
+    }
+}
+
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1000.0
+}
+
+impl ProfileReport {
+    /// Builds the merged host+device Chrome-trace timeline. Host spans only
+    /// appear if attached via [`ProfileReport::with_host_spans`]; a report
+    /// without them still exports the full device view.
+    pub fn chrome_trace(&self) -> ChromeTrace {
+        let mut events: Vec<ChromeEvent> = Vec::new();
+        let mut metadata: Vec<ChromeEvent> = Vec::new();
+
+        // --- host process ---
+        let spans = self.host_spans();
+        if !spans.is_empty() {
+            metadata.push(meta(HOST_PID, 0, "process_name", "host"));
+            let t0 = spans.iter().map(|s| s.start_ns).min().unwrap_or(0);
+            let mut tids: Vec<u32> = spans.iter().map(|s| s.tid).collect();
+            tids.sort_unstable();
+            tids.dedup();
+            for tid in tids {
+                metadata.push(meta(
+                    HOST_PID,
+                    tid,
+                    "thread_name",
+                    &format!("host thread {tid}"),
+                ));
+            }
+            for s in spans {
+                events.push(ChromeEvent {
+                    name: s.name.to_string(),
+                    cat: s.cat.label().to_string(),
+                    ph: "X".to_string(),
+                    ts: us(s.start_ns - t0),
+                    dur: us(s.dur_ns),
+                    pid: HOST_PID,
+                    tid: s.tid,
+                    args: ChromeArgs::default(),
+                });
+            }
+        }
+
+        // --- simulated device process ---
+        let records = &self.device_trace().records;
+        if !records.is_empty() {
+            metadata.push(meta(DEVICE_PID, 0, "process_name", "device (gpusim)"));
+            let t0 = records
+                .iter()
+                .map(|r| match r {
+                    TraceRecord::Api { start_ns, .. }
+                    | TraceRecord::Kernel { start_ns, .. }
+                    | TraceRecord::Memop { start_ns, .. }
+                    | TraceRecord::Fault { start_ns, .. } => *start_ns,
+                })
+                .min()
+                .unwrap_or(0);
+            let mut streams: Vec<usize> = Vec::new();
+            let mut seen = (false, false, false); // (api, dma, fault)
+            for r in records {
+                match r {
+                    TraceRecord::Api {
+                        kind,
+                        start_ns,
+                        dur_ns,
+                    } => {
+                        seen.0 = true;
+                        events.push(ChromeEvent {
+                            name: kind.label().to_string(),
+                            cat: "cuda_api".to_string(),
+                            ph: "X".to_string(),
+                            ts: us(start_ns - t0),
+                            dur: us(*dur_ns),
+                            pid: DEVICE_PID,
+                            tid: API_TID,
+                            args: ChromeArgs::default(),
+                        });
+                    }
+                    TraceRecord::Kernel {
+                        name,
+                        class,
+                        stream,
+                        start_ns,
+                        dur_ns,
+                    } => {
+                        if !streams.contains(stream) {
+                            streams.push(*stream);
+                        }
+                        events.push(ChromeEvent {
+                            name: name.clone(),
+                            cat: format!("kernel.{}", class.label()),
+                            ph: "X".to_string(),
+                            ts: us(start_ns - t0),
+                            dur: us(*dur_ns),
+                            pid: DEVICE_PID,
+                            tid: *stream as u32,
+                            args: ChromeArgs::default(),
+                        });
+                    }
+                    TraceRecord::Memop {
+                        dir,
+                        bytes,
+                        start_ns,
+                        dur_ns,
+                    } => {
+                        seen.1 = true;
+                        events.push(ChromeEvent {
+                            name: dir.label().to_string(),
+                            cat: "memop".to_string(),
+                            ph: "X".to_string(),
+                            ts: us(start_ns - t0),
+                            dur: us(*dur_ns),
+                            pid: DEVICE_PID,
+                            tid: DMA_TID,
+                            args: ChromeArgs {
+                                name: None,
+                                bytes: Some(*bytes),
+                            },
+                        });
+                    }
+                    TraceRecord::Fault {
+                        kind,
+                        stream,
+                        start_ns,
+                    } => {
+                        seen.2 = true;
+                        events.push(ChromeEvent {
+                            name: kind.label().to_string(),
+                            cat: "fault".to_string(),
+                            ph: "X".to_string(),
+                            ts: us(start_ns - t0),
+                            dur: 0.0,
+                            pid: DEVICE_PID,
+                            tid: FAULT_TID,
+                            args: ChromeArgs {
+                                name: stream.map(|s| format!("stream {s}")),
+                                bytes: None,
+                            },
+                        });
+                    }
+                }
+            }
+            streams.sort_unstable();
+            for s in streams {
+                metadata.push(meta(
+                    DEVICE_PID,
+                    s as u32,
+                    "thread_name",
+                    &format!("stream {s}"),
+                ));
+            }
+            if seen.0 {
+                metadata.push(meta(DEVICE_PID, API_TID, "thread_name", "CUDA API"));
+            }
+            if seen.1 {
+                metadata.push(meta(DEVICE_PID, DMA_TID, "thread_name", "DMA"));
+            }
+            if seen.2 {
+                metadata.push(meta(DEVICE_PID, FAULT_TID, "thread_name", "faults"));
+            }
+        }
+
+        // Stable, per-track-monotone layout: metadata first, then complete
+        // events ordered by track and start time.
+        events.sort_by(|a, b| {
+            (a.pid, a.tid)
+                .cmp(&(b.pid, b.tid))
+                .then(a.ts.total_cmp(&b.ts))
+        });
+        metadata.extend(events);
+        ChromeTrace {
+            traceEvents: metadata,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcd_gpusim::{ApiKind, CopyDir, KernelClass, Trace};
+    use dcd_obs::{Category, SpanRecord};
+
+    fn device_trace() -> Trace {
+        let mut t = Trace::new();
+        t.push(TraceRecord::Api {
+            kind: ApiKind::LaunchKernel,
+            start_ns: 1000,
+            dur_ns: 100,
+        });
+        t.push(TraceRecord::Memop {
+            dir: CopyDir::H2D,
+            bytes: 2048,
+            start_ns: 1100,
+            dur_ns: 50,
+        });
+        t.push(TraceRecord::Kernel {
+            name: "conv1".into(),
+            class: KernelClass::Conv,
+            stream: 3,
+            start_ns: 1200,
+            dur_ns: 400,
+        });
+        t
+    }
+
+    fn host_spans() -> Vec<SpanRecord> {
+        vec![
+            SpanRecord {
+                name: "scan.chunk",
+                cat: Category::Scan,
+                tid: 0,
+                depth: 0,
+                start_ns: 5_000,
+                dur_ns: 9_000,
+            },
+            SpanRecord {
+                name: "gemm",
+                cat: Category::Gemm,
+                tid: 0,
+                depth: 1,
+                start_ns: 6_000,
+                dur_ns: 2_000,
+            },
+        ]
+    }
+
+    #[test]
+    fn merged_timeline_has_both_processes() {
+        let ct = ProfileReport::from_trace(&device_trace())
+            .with_host_spans(host_spans())
+            .chrome_trace();
+        assert!(ct.traceEvents.iter().any(|e| e.pid == HOST_PID));
+        assert!(ct.traceEvents.iter().any(|e| e.pid == DEVICE_PID));
+        // Kernel lands on its stream's track; memop on the DMA track.
+        assert_eq!(ct.track(DEVICE_PID, 3).len(), 1);
+        assert_eq!(ct.track(DEVICE_PID, DMA_TID)[0].args.bytes, Some(2048));
+        assert_eq!(ct.track(HOST_PID, 0).len(), 2);
+    }
+
+    #[test]
+    fn each_domain_is_normalized_to_zero() {
+        let ct = ProfileReport::from_trace(&device_trace())
+            .with_host_spans(host_spans())
+            .chrome_trace();
+        let host_min = ct
+            .track(HOST_PID, 0)
+            .iter()
+            .map(|e| e.ts)
+            .fold(f64::INFINITY, f64::min);
+        let device_min = ct
+            .traceEvents
+            .iter()
+            .filter(|e| e.pid == DEVICE_PID && e.ph == "X")
+            .map(|e| e.ts)
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(host_min, 0.0);
+        assert_eq!(device_min, 0.0);
+    }
+
+    #[test]
+    fn device_only_report_still_exports() {
+        let ct = ProfileReport::from_trace(&device_trace()).chrome_trace();
+        assert!(!ct.traceEvents.iter().any(|e| e.pid == HOST_PID));
+        assert!(ct
+            .traceEvents
+            .iter()
+            .any(|e| e.ph == "M" && e.args.name.as_deref() == Some("device (gpusim)")));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let ct = ProfileReport::from_trace(&device_trace())
+            .with_host_spans(host_spans())
+            .chrome_trace();
+        let json = ct.to_json();
+        assert!(json.contains("\"traceEvents\""));
+        let back = ChromeTrace::from_json(&json).unwrap();
+        assert_eq!(back, ct);
+    }
+
+    #[test]
+    fn tracks_are_monotone_and_metadata_first() {
+        let ct = ProfileReport::from_trace(&device_trace())
+            .with_host_spans(host_spans())
+            .chrome_trace();
+        let first_x = ct.traceEvents.iter().position(|e| e.ph == "X").unwrap();
+        assert!(ct.traceEvents[..first_x].iter().all(|e| e.ph == "M"));
+        for e in &ct.traceEvents[first_x..] {
+            assert_eq!(e.ph, "X");
+        }
+        let mut prev: Option<(u32, u32, f64)> = None;
+        for e in &ct.traceEvents[first_x..] {
+            if let Some((pid, tid, ts)) = prev {
+                if (pid, tid) == (e.pid, e.tid) {
+                    assert!(e.ts >= ts, "track ({pid},{tid}) not monotone");
+                }
+            }
+            prev = Some((e.pid, e.tid, e.ts));
+        }
+    }
+}

@@ -1,6 +1,8 @@
-//! Trace aggregation and text rendering.
+//! Trace aggregation and text rendering behind [`ProfileReport`].
 
+use crate::timeline::TimelineStats;
 use dcd_gpusim::{ApiKind, CopyDir, FaultKind, KernelClass, Trace, TraceRecord};
+use dcd_obs::SpanRecord;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -8,7 +10,9 @@ use std::fmt::Write as _;
 /// Aggregated host-side usage of one CUDA API.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ApiUsage {
-    /// API function name (`cuLibraryLoadData`, …).
+    /// Typed API kind — use this (not `name`) to look rows up.
+    pub kind: ApiKind,
+    /// API function name (`cuLibraryLoadData`, …), for display.
     pub name: String,
     /// Number of calls.
     pub calls: usize,
@@ -16,43 +20,6 @@ pub struct ApiUsage {
     pub total_ns: u64,
     /// Share of the total API time, in percent.
     pub pct: f64,
-}
-
-/// Computes per-API usage, sorted by descending total time (Fig 8).
-pub fn api_report(trace: &Trace) -> Vec<ApiUsage> {
-    let mut by_api: HashMap<ApiKind, (usize, u64)> = HashMap::new();
-    for r in &trace.records {
-        if let TraceRecord::Api { kind, dur_ns, .. } = r {
-            let e = by_api.entry(*kind).or_insert((0, 0));
-            e.0 += 1;
-            e.1 += dur_ns;
-        }
-    }
-    let total: u64 = by_api.values().map(|(_, t)| t).sum();
-    let mut rows: Vec<ApiUsage> = by_api
-        .into_iter()
-        .map(|(kind, (calls, total_ns))| ApiUsage {
-            name: kind.label().to_string(),
-            calls,
-            total_ns,
-            pct: if total == 0 {
-                0.0
-            } else {
-                100.0 * total_ns as f64 / total as f64
-            },
-        })
-        .collect();
-    rows.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
-    rows
-}
-
-/// Share of a named API in the trace's API timeline, in percent.
-pub fn api_pct(trace: &Trace, kind: ApiKind) -> f64 {
-    api_report(trace)
-        .into_iter()
-        .find(|r| r.name == kind.label())
-        .map(|r| r.pct)
-        .unwrap_or(0.0)
 }
 
 /// Aggregated DMA transfer statistics.
@@ -72,8 +39,84 @@ pub struct MemopStats {
     pub d2h_ns: u64,
 }
 
-/// Computes DMA statistics over a trace.
-pub fn memop_report(trace: &Trace) -> MemopStats {
+impl MemopStats {
+    /// The paper's Fig 7 metric: GPU memops timing normalized per image —
+    /// total DMA time divided by the number of images moved through the
+    /// profile (`batch × iterations`). Fixed per-transfer overheads amortize
+    /// as batch grows, so the curve falls and then stabilizes at the pure
+    /// bandwidth cost.
+    pub fn per_image_ns(&self, batch: usize, iterations: usize) -> f64 {
+        let images = (batch * iterations).max(1);
+        self.total_ns as f64 / images as f64
+    }
+}
+
+/// Device-time share of one kernel class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelShare {
+    /// Typed kernel class — use this (not `class`) to look rows up.
+    pub kind: KernelClass,
+    /// Class label (`gemm`, `pool`, `conv`, …), for display.
+    pub class: String,
+    /// Total device time, ns.
+    pub total_ns: u64,
+    /// Share of all kernel time, percent.
+    pub pct: f64,
+}
+
+/// Occurrence count of one injected-fault category.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultCount {
+    /// Fault category label (`kernel launch failure`, …).
+    pub kind: String,
+    /// Number of injections recorded in the trace.
+    pub count: usize,
+    /// Time of the first injection, ns.
+    pub first_ns: u64,
+}
+
+/// Host time aggregated over spans with the same name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HostOpStats {
+    /// Span name (`gemm`, `scan.chunk`, …).
+    pub name: String,
+    /// Span category label.
+    pub cat: String,
+    /// Number of spans recorded under this name.
+    pub calls: usize,
+    /// Summed span duration, ns (nested spans count toward their own row).
+    pub total_ns: u64,
+}
+
+fn compute_api(trace: &Trace) -> Vec<ApiUsage> {
+    let mut by_api: HashMap<ApiKind, (usize, u64)> = HashMap::new();
+    for r in &trace.records {
+        if let TraceRecord::Api { kind, dur_ns, .. } = r {
+            let e = by_api.entry(*kind).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += dur_ns;
+        }
+    }
+    let total: u64 = by_api.values().map(|(_, t)| t).sum();
+    let mut rows: Vec<ApiUsage> = by_api
+        .into_iter()
+        .map(|(kind, (calls, total_ns))| ApiUsage {
+            kind,
+            name: kind.label().to_string(),
+            calls,
+            total_ns,
+            pct: if total == 0 {
+                0.0
+            } else {
+                100.0 * total_ns as f64 / total as f64
+            },
+        })
+        .collect();
+    rows.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
+    rows
+}
+
+fn compute_memops(trace: &Trace) -> MemopStats {
     let mut stats = MemopStats {
         count: 0,
         total_ns: 0,
@@ -97,31 +140,7 @@ pub fn memop_report(trace: &Trace) -> MemopStats {
     stats
 }
 
-impl MemopStats {
-    /// The paper's Fig 7 metric: GPU memops timing normalized per image —
-    /// total DMA time divided by the number of images moved through the
-    /// profile (`batch × iterations`). Fixed per-transfer overheads amortize
-    /// as batch grows, so the curve falls and then stabilizes at the pure
-    /// bandwidth cost.
-    pub fn per_image_ns(&self, batch: usize, iterations: usize) -> f64 {
-        let images = (batch * iterations).max(1);
-        self.total_ns as f64 / images as f64
-    }
-}
-
-/// Device-time share of one kernel class.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct KernelShare {
-    /// Class label (`gemm`, `pool`, `conv`, …).
-    pub class: String,
-    /// Total device time, ns.
-    pub total_ns: u64,
-    /// Share of all kernel time, percent.
-    pub pct: f64,
-}
-
-/// Computes kernel-class shares (Table 3), sorted by descending time.
-pub fn kernel_report(trace: &Trace) -> Vec<KernelShare> {
+fn compute_kernels(trace: &Trace) -> Vec<KernelShare> {
     let mut by_class: HashMap<KernelClass, u64> = HashMap::new();
     for r in &trace.records {
         if let TraceRecord::Kernel { class, dur_ns, .. } = r {
@@ -131,8 +150,9 @@ pub fn kernel_report(trace: &Trace) -> Vec<KernelShare> {
     let total: u64 = by_class.values().sum();
     let mut rows: Vec<KernelShare> = by_class
         .into_iter()
-        .map(|(class, total_ns)| KernelShare {
-            class: class.label().to_string(),
+        .map(|(kind, total_ns)| KernelShare {
+            kind,
+            class: kind.label().to_string(),
             total_ns,
             pct: if total == 0 {
                 0.0
@@ -145,29 +165,7 @@ pub fn kernel_report(trace: &Trace) -> Vec<KernelShare> {
     rows
 }
 
-/// Share of one kernel class, in percent of total kernel time.
-pub fn kernel_pct(trace: &Trace, class: KernelClass) -> f64 {
-    kernel_report(trace)
-        .into_iter()
-        .find(|r| r.class == class.label())
-        .map(|r| r.pct)
-        .unwrap_or(0.0)
-}
-
-/// Occurrence count of one injected-fault category.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct FaultCount {
-    /// Fault category label (`kernel launch failure`, …).
-    pub kind: String,
-    /// Number of injections recorded in the trace.
-    pub count: usize,
-    /// Time of the first injection, ns.
-    pub first_ns: u64,
-}
-
-/// Aggregates injected-fault records by category, sorted by descending
-/// count. Empty for a healthy (or fault-free) run.
-pub fn fault_report(trace: &Trace) -> Vec<FaultCount> {
+fn compute_faults(trace: &Trace) -> Vec<FaultCount> {
     let mut by_kind: HashMap<FaultKind, (usize, u64)> = HashMap::new();
     for (kind, _stream, at_ns) in trace.faults() {
         let e = by_kind.entry(kind).or_insert((0, u64::MAX));
@@ -186,75 +184,287 @@ pub fn fault_report(trace: &Trace) -> Vec<FaultCount> {
     rows
 }
 
-/// Renders the three views as a text report shaped like
-/// `nsys profile --stats=true`.
-pub fn render_stats(trace: &Trace) -> String {
-    let mut out = String::new();
-    writeln!(out, "** CUDA API Summary:").unwrap();
-    writeln!(
-        out,
-        "{:>8}  {:>14}  {:>7}  Name",
-        "Calls", "Total (ns)", "Time %"
-    )
-    .unwrap();
-    for row in api_report(trace) {
-        writeln!(
-            out,
-            "{:>8}  {:>14}  {:>6.1}%  {}",
-            row.calls, row.total_ns, row.pct, row.name
-        )
-        .unwrap();
+fn compute_host_ops(spans: &[SpanRecord]) -> Vec<HostOpStats> {
+    let mut by_name: HashMap<&'static str, (&'static str, usize, u64)> = HashMap::new();
+    for s in spans {
+        let e = by_name.entry(s.name).or_insert((s.cat.label(), 0, 0));
+        e.1 += 1;
+        e.2 += s.dur_ns;
     }
-    let m = memop_report(trace);
-    writeln!(out, "\n** CUDA GPU MemOps Summary:").unwrap();
-    writeln!(
-        out,
-        "{:>8}  {:>14}  {:>14}  {:>12}",
-        "Count", "Total (ns)", "Bytes", "Mean (ns)"
-    )
-    .unwrap();
-    writeln!(
-        out,
-        "{:>8}  {:>14}  {:>14}  {:>12.1}",
-        m.count, m.total_ns, m.bytes, m.mean_ns
-    )
-    .unwrap();
-    writeln!(out, "\n** CUDA Kernel Summary (by operator class):").unwrap();
-    writeln!(out, "{:>14}  {:>7}  Class", "Total (ns)", "Time %").unwrap();
-    for row in kernel_report(trace) {
-        writeln!(
-            out,
-            "{:>14}  {:>6.1}%  {}",
-            row.total_ns, row.pct, row.class
-        )
-        .unwrap();
-    }
-    if let Some(t) = crate::timeline::timeline(trace) {
-        writeln!(out, "\n** Device Timeline Summary:").unwrap();
-        writeln!(
-            out,
-            "span {} ns | occupancy {:.1}% | mean concurrency {:.2} | streams {}",
-            t.span_end_ns - t.span_start_ns,
-            100.0 * t.occupancy,
-            t.parallelism,
-            t.per_stream_ns.len()
-        )
-        .unwrap();
-    }
-    let faults = fault_report(trace);
-    if !faults.is_empty() {
-        writeln!(out, "\n** Injected Fault Summary:").unwrap();
-        writeln!(out, "{:>8}  {:>14}  Kind", "Count", "First (ns)").unwrap();
-        for row in &faults {
-            writeln!(out, "{:>8}  {:>14}  {}", row.count, row.first_ns, row.kind).unwrap();
+    let mut rows: Vec<HostOpStats> = by_name
+        .into_iter()
+        .map(|(name, (cat, calls, total_ns))| HostOpStats {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            calls,
+            total_ns,
+        })
+        .collect();
+    rows.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
+    rows
+}
+
+/// All of the paper's §7 profiling views over one device trace — and,
+/// optionally, the host spans recorded alongside it — behind typed
+/// accessors. This is the single entry point for profile analysis; the
+/// module-level free functions it replaced survive only as `#[deprecated]`
+/// wrappers.
+#[derive(Debug, Clone)]
+pub struct ProfileReport {
+    device: Trace,
+    api: Vec<ApiUsage>,
+    memops: MemopStats,
+    kernels: Vec<KernelShare>,
+    faults: Vec<FaultCount>,
+    timeline: Option<TimelineStats>,
+    host_spans: Vec<SpanRecord>,
+    host_ops: Vec<HostOpStats>,
+}
+
+impl ProfileReport {
+    /// Aggregates every view over a device trace (clones the records so the
+    /// report can later re-walk them for the merged timeline export).
+    pub fn from_trace(trace: &Trace) -> Self {
+        ProfileReport {
+            device: trace.clone(),
+            api: compute_api(trace),
+            memops: compute_memops(trace),
+            kernels: compute_kernels(trace),
+            faults: compute_faults(trace),
+            timeline: crate::timeline::compute(trace),
+            host_spans: Vec::new(),
+            host_ops: Vec::new(),
         }
     }
-    out
+
+    /// Attaches host spans (from [`dcd_obs::drain_spans`]) so the rendered
+    /// report gains a host section and [`ProfileReport::chrome_trace`] emits
+    /// host tracks next to the device ones.
+    pub fn with_host_spans(mut self, spans: Vec<SpanRecord>) -> Self {
+        self.host_ops = compute_host_ops(&spans);
+        self.host_spans = spans;
+        self
+    }
+
+    /// The device trace this report was built from.
+    pub fn device_trace(&self) -> &Trace {
+        &self.device
+    }
+
+    /// Per-API usage rows, sorted by descending total time (Fig 8).
+    pub fn api(&self) -> &[ApiUsage] {
+        &self.api
+    }
+
+    /// Usage row for one API kind, if it appears in the trace.
+    pub fn api_usage(&self, kind: ApiKind) -> Option<&ApiUsage> {
+        self.api.iter().find(|r| r.kind == kind)
+    }
+
+    /// Share of one API in the trace's API timeline, percent (0.0 when the
+    /// kind never appears). Keyed on [`ApiKind`], not on the display label.
+    pub fn api_pct(&self, kind: ApiKind) -> f64 {
+        self.api_usage(kind).map(|r| r.pct).unwrap_or(0.0)
+    }
+
+    /// DMA transfer statistics (Fig 7 input).
+    pub fn memops(&self) -> &MemopStats {
+        &self.memops
+    }
+
+    /// Kernel-class shares, sorted by descending time (Table 3).
+    pub fn kernels(&self) -> &[KernelShare] {
+        &self.kernels
+    }
+
+    /// Share row for one kernel class, if it appears in the trace.
+    pub fn kernel_share(&self, class: KernelClass) -> Option<&KernelShare> {
+        self.kernels.iter().find(|r| r.kind == class)
+    }
+
+    /// Share of one kernel class in total kernel time, percent.
+    pub fn kernel_pct(&self, class: KernelClass) -> f64 {
+        self.kernel_share(class).map(|r| r.pct).unwrap_or(0.0)
+    }
+
+    /// Injected-fault counts by category; empty for a healthy run.
+    pub fn faults(&self) -> &[FaultCount] {
+        &self.faults
+    }
+
+    /// Device kernel-timeline statistics; `None` without kernel records.
+    pub fn timeline(&self) -> Option<&TimelineStats> {
+        self.timeline.as_ref()
+    }
+
+    /// Host spans attached via [`ProfileReport::with_host_spans`].
+    pub fn host_spans(&self) -> &[SpanRecord] {
+        &self.host_spans
+    }
+
+    /// Host time aggregated per span name, sorted by descending total.
+    pub fn host_ops(&self) -> &[HostOpStats] {
+        &self.host_ops
+    }
+
+    /// Renders every view as a text report shaped like
+    /// `nsys profile --stats=true` (plus a host section when spans are
+    /// attached).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        writeln!(out, "** CUDA API Summary:").unwrap();
+        writeln!(
+            out,
+            "{:>8}  {:>14}  {:>7}  Name",
+            "Calls", "Total (ns)", "Time %"
+        )
+        .unwrap();
+        for row in &self.api {
+            writeln!(
+                out,
+                "{:>8}  {:>14}  {:>6.1}%  {}",
+                row.calls, row.total_ns, row.pct, row.name
+            )
+            .unwrap();
+        }
+        let m = &self.memops;
+        writeln!(out, "\n** CUDA GPU MemOps Summary:").unwrap();
+        writeln!(
+            out,
+            "{:>8}  {:>14}  {:>14}  {:>12}",
+            "Count", "Total (ns)", "Bytes", "Mean (ns)"
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "{:>8}  {:>14}  {:>14}  {:>12.1}",
+            m.count, m.total_ns, m.bytes, m.mean_ns
+        )
+        .unwrap();
+        writeln!(out, "\n** CUDA Kernel Summary (by operator class):").unwrap();
+        writeln!(out, "{:>14}  {:>7}  Class", "Total (ns)", "Time %").unwrap();
+        for row in &self.kernels {
+            writeln!(
+                out,
+                "{:>14}  {:>6.1}%  {}",
+                row.total_ns, row.pct, row.class
+            )
+            .unwrap();
+        }
+        if let Some(t) = &self.timeline {
+            writeln!(out, "\n** Device Timeline Summary:").unwrap();
+            writeln!(
+                out,
+                "span {} ns | occupancy {:.1}% | mean concurrency {:.2} | streams {}",
+                t.span_end_ns - t.span_start_ns,
+                100.0 * t.occupancy,
+                t.parallelism,
+                t.per_stream_ns.len()
+            )
+            .unwrap();
+        }
+        if !self.faults.is_empty() {
+            writeln!(out, "\n** Injected Fault Summary:").unwrap();
+            writeln!(out, "{:>8}  {:>14}  Kind", "Count", "First (ns)").unwrap();
+            for row in &self.faults {
+                writeln!(out, "{:>8}  {:>14}  {}", row.count, row.first_ns, row.kind).unwrap();
+            }
+        }
+        if !self.host_ops.is_empty() {
+            writeln!(out, "\n** Host Span Summary:").unwrap();
+            writeln!(
+                out,
+                "{:>8}  {:>14}  {:<12}  Name",
+                "Calls", "Total (ns)", "Category"
+            )
+            .unwrap();
+            for row in &self.host_ops {
+                writeln!(
+                    out,
+                    "{:>8}  {:>14}  {:<12}  {}",
+                    row.calls, row.total_ns, row.cat, row.name
+                )
+                .unwrap();
+            }
+        }
+        out
+    }
+}
+
+/// Computes per-API usage, sorted by descending total time (Fig 8).
+#[deprecated(since = "0.1.0", note = "use ProfileReport::from_trace(trace).api()")]
+pub fn api_report(trace: &Trace) -> Vec<ApiUsage> {
+    compute_api(trace)
+}
+
+/// Share of a named API in the trace's API timeline, in percent.
+#[deprecated(
+    since = "0.1.0",
+    note = "use ProfileReport::from_trace(trace).api_pct(kind)"
+)]
+pub fn api_pct(trace: &Trace, kind: ApiKind) -> f64 {
+    compute_api(trace)
+        .into_iter()
+        .find(|r| r.kind == kind)
+        .map(|r| r.pct)
+        .unwrap_or(0.0)
+}
+
+/// Computes DMA statistics over a trace.
+#[deprecated(
+    since = "0.1.0",
+    note = "use ProfileReport::from_trace(trace).memops()"
+)]
+pub fn memop_report(trace: &Trace) -> MemopStats {
+    compute_memops(trace)
+}
+
+/// Computes kernel-class shares (Table 3), sorted by descending time.
+#[deprecated(
+    since = "0.1.0",
+    note = "use ProfileReport::from_trace(trace).kernels()"
+)]
+pub fn kernel_report(trace: &Trace) -> Vec<KernelShare> {
+    compute_kernels(trace)
+}
+
+/// Share of one kernel class, in percent of total kernel time.
+#[deprecated(
+    since = "0.1.0",
+    note = "use ProfileReport::from_trace(trace).kernel_pct(class)"
+)]
+pub fn kernel_pct(trace: &Trace, class: KernelClass) -> f64 {
+    compute_kernels(trace)
+        .into_iter()
+        .find(|r| r.kind == class)
+        .map(|r| r.pct)
+        .unwrap_or(0.0)
+}
+
+/// Aggregates injected-fault records by category, sorted by descending
+/// count. Empty for a healthy (or fault-free) run.
+#[deprecated(
+    since = "0.1.0",
+    note = "use ProfileReport::from_trace(trace).faults()"
+)]
+pub fn fault_report(trace: &Trace) -> Vec<FaultCount> {
+    compute_faults(trace)
+}
+
+/// Renders the three views as a text report shaped like
+/// `nsys profile --stats=true`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use ProfileReport::from_trace(trace).render()"
+)]
+pub fn render_stats(trace: &Trace) -> String {
+    ProfileReport::from_trace(trace).render()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dcd_obs::Category;
 
     fn sample_trace() -> Trace {
         let mut t = Trace::new();
@@ -308,33 +518,36 @@ mod tests {
     }
 
     #[test]
-    fn api_report_shares_sum_to_100() {
-        let rows = api_report(&sample_trace());
-        let total_pct: f64 = rows.iter().map(|r| r.pct).sum();
+    fn api_rows_share_sum_to_100() {
+        let report = ProfileReport::from_trace(&sample_trace());
+        let total_pct: f64 = report.api().iter().map(|r| r.pct).sum();
         assert!((total_pct - 100.0).abs() < 1e-9);
         // Library load dominates this tiny trace: 800 / 1000 = 80%.
-        assert_eq!(rows[0].name, "cuLibraryLoadData");
-        assert!((rows[0].pct - 80.0).abs() < 1e-9);
+        assert_eq!(report.api()[0].kind, ApiKind::LibraryLoadData);
+        assert_eq!(report.api()[0].name, "cuLibraryLoadData");
+        assert!((report.api()[0].pct - 80.0).abs() < 1e-9);
     }
 
     #[test]
-    fn api_report_counts_calls() {
-        let rows = api_report(&sample_trace());
-        let launch = rows.iter().find(|r| r.name == "cudaLaunchKernel").unwrap();
+    fn api_rows_count_calls() {
+        let report = ProfileReport::from_trace(&sample_trace());
+        let launch = report.api_usage(ApiKind::LaunchKernel).unwrap();
         assert_eq!(launch.calls, 2);
         assert_eq!(launch.total_ns, 160);
     }
 
     #[test]
-    fn api_pct_finds_kind() {
-        let t = sample_trace();
-        assert!((api_pct(&t, ApiKind::DeviceSynchronize) - 4.0).abs() < 1e-9);
-        assert_eq!(api_pct(&t, ApiKind::Malloc), 0.0);
+    fn api_pct_keys_on_kind() {
+        let report = ProfileReport::from_trace(&sample_trace());
+        assert!((report.api_pct(ApiKind::DeviceSynchronize) - 4.0).abs() < 1e-9);
+        assert_eq!(report.api_pct(ApiKind::Malloc), 0.0);
+        assert!(report.api_usage(ApiKind::Malloc).is_none());
     }
 
     #[test]
-    fn memop_report_aggregates_directions() {
-        let m = memop_report(&sample_trace());
+    fn memop_stats_aggregate_directions() {
+        let report = ProfileReport::from_trace(&sample_trace());
+        let m = report.memops();
         assert_eq!(m.count, 2);
         assert_eq!(m.total_ns, 30);
         assert_eq!(m.bytes, 4160);
@@ -345,37 +558,41 @@ mod tests {
 
     #[test]
     fn per_image_normalization() {
-        let m = memop_report(&sample_trace());
-        assert!((m.per_image_ns(2, 1) - 15.0).abs() < 1e-9);
-        assert!((m.per_image_ns(1, 1) - 30.0).abs() < 1e-9);
+        let report = ProfileReport::from_trace(&sample_trace());
+        assert!((report.memops().per_image_ns(2, 1) - 15.0).abs() < 1e-9);
+        assert!((report.memops().per_image_ns(1, 1) - 30.0).abs() < 1e-9);
     }
 
     #[test]
-    fn kernel_report_buckets_and_orders() {
-        let rows = kernel_report(&sample_trace());
-        assert_eq!(rows[0].class, "gemm");
+    fn kernel_rows_bucket_and_order() {
+        let report = ProfileReport::from_trace(&sample_trace());
+        let rows = report.kernels();
+        assert_eq!(rows[0].kind, KernelClass::Gemm);
         assert!((rows[0].pct - 70.0).abs() < 1e-9);
-        assert_eq!(rows[1].class, "conv");
+        assert_eq!(rows[1].kind, KernelClass::Conv);
         assert!((rows[1].pct - 30.0).abs() < 1e-9);
     }
 
     #[test]
     fn kernel_pct_missing_class_is_zero() {
-        assert_eq!(kernel_pct(&sample_trace(), KernelClass::Pool), 0.0);
+        let report = ProfileReport::from_trace(&sample_trace());
+        assert_eq!(report.kernel_pct(KernelClass::Pool), 0.0);
+        assert!(report.kernel_share(KernelClass::Pool).is_none());
     }
 
     #[test]
     fn empty_trace_is_all_zeroes() {
-        let t = Trace::new();
-        assert!(api_report(&t).is_empty());
-        assert_eq!(memop_report(&t).count, 0);
-        assert_eq!(memop_report(&t).mean_ns, 0.0);
-        assert!(kernel_report(&t).is_empty());
+        let report = ProfileReport::from_trace(&Trace::new());
+        assert!(report.api().is_empty());
+        assert_eq!(report.memops().count, 0);
+        assert_eq!(report.memops().mean_ns, 0.0);
+        assert!(report.kernels().is_empty());
+        assert!(report.timeline().is_none());
     }
 
     #[test]
     fn render_contains_all_sections() {
-        let s = render_stats(&sample_trace());
+        let s = ProfileReport::from_trace(&sample_trace()).render();
         assert!(s.contains("CUDA API Summary"));
         assert!(s.contains("MemOps Summary"));
         assert!(s.contains("Kernel Summary"));
@@ -385,7 +602,7 @@ mod tests {
 
     #[test]
     fn render_includes_timeline_when_kernels_present() {
-        let s = render_stats(&sample_trace());
+        let s = ProfileReport::from_trace(&sample_trace()).render();
         assert!(s.contains("Device Timeline Summary"));
         assert!(s.contains("occupancy"));
     }
@@ -398,12 +615,12 @@ mod tests {
             start_ns: 0,
             dur_ns: 10,
         });
-        let s = render_stats(&t);
+        let s = ProfileReport::from_trace(&t).render();
         assert!(!s.contains("Device Timeline Summary"));
     }
 
     #[test]
-    fn fault_report_counts_by_kind() {
+    fn fault_rows_count_by_kind() {
         let mut t = sample_trace();
         t.push(TraceRecord::Fault {
             kind: FaultKind::LaunchFailure,
@@ -420,33 +637,105 @@ mod tests {
             stream: None,
             start_ns: 950,
         });
-        let rows = fault_report(&t);
+        let report = ProfileReport::from_trace(&t);
+        let rows = report.faults();
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].kind, FaultKind::LaunchFailure.label());
         assert_eq!(rows[0].count, 2);
         assert_eq!(rows[0].first_ns, 820);
         assert_eq!(rows[1].count, 1);
-        let s = render_stats(&t);
+        let s = report.render();
         assert!(s.contains("Injected Fault Summary"));
         assert!(s.contains(FaultKind::DeviceHang.label()));
     }
 
     #[test]
     fn healthy_trace_omits_fault_section() {
-        assert!(fault_report(&sample_trace()).is_empty());
-        assert!(!render_stats(&sample_trace()).contains("Injected Fault Summary"));
+        let report = ProfileReport::from_trace(&sample_trace());
+        assert!(report.faults().is_empty());
+        assert!(!report.render().contains("Injected Fault Summary"));
     }
 
     #[test]
-    fn api_report_is_deterministic_order() {
+    fn render_is_deterministic() {
         // Ties and ordering: same trace renders identically twice.
-        let a = render_stats(&sample_trace());
-        let b = render_stats(&sample_trace());
+        let a = ProfileReport::from_trace(&sample_trace()).render();
+        let b = ProfileReport::from_trace(&sample_trace()).render();
         assert_eq!(a, b);
     }
 
     #[test]
-    fn kernel_report_full_pipeline_trace() {
+    fn host_spans_aggregate_and_render() {
+        let spans = vec![
+            SpanRecord {
+                name: "gemm",
+                cat: Category::Gemm,
+                tid: 0,
+                depth: 1,
+                start_ns: 10,
+                dur_ns: 100,
+            },
+            SpanRecord {
+                name: "gemm",
+                cat: Category::Gemm,
+                tid: 1,
+                depth: 1,
+                start_ns: 30,
+                dur_ns: 50,
+            },
+            SpanRecord {
+                name: "scan.chunk",
+                cat: Category::Scan,
+                tid: 0,
+                depth: 0,
+                start_ns: 0,
+                dur_ns: 400,
+            },
+        ];
+        let report = ProfileReport::from_trace(&sample_trace()).with_host_spans(spans);
+        assert_eq!(report.host_spans().len(), 3);
+        let ops = report.host_ops();
+        assert_eq!(ops[0].name, "scan.chunk");
+        assert_eq!(ops[0].total_ns, 400);
+        let gemm = ops.iter().find(|o| o.name == "gemm").unwrap();
+        assert_eq!(gemm.calls, 2);
+        assert_eq!(gemm.total_ns, 150);
+        assert_eq!(gemm.cat, "gemm");
+        let s = report.render();
+        assert!(s.contains("Host Span Summary"));
+        assert!(s.contains("scan.chunk"));
+    }
+
+    #[test]
+    fn without_host_spans_render_omits_host_section() {
+        let s = ProfileReport::from_trace(&sample_trace()).render();
+        assert!(!s.contains("Host Span Summary"));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_report() {
+        // The legacy free functions must stay bit-identical to the new
+        // accessors until they are removed.
+        let t = sample_trace();
+        let report = ProfileReport::from_trace(&t);
+        assert_eq!(api_report(&t), report.api());
+        assert_eq!(&memop_report(&t), report.memops());
+        assert_eq!(kernel_report(&t), report.kernels());
+        assert_eq!(fault_report(&t), report.faults());
+        assert_eq!(render_stats(&t), report.render());
+        assert_eq!(
+            api_pct(&t, ApiKind::LaunchKernel),
+            report.api_pct(ApiKind::LaunchKernel)
+        );
+        assert_eq!(
+            kernel_pct(&t, KernelClass::Gemm),
+            report.kernel_pct(KernelClass::Gemm)
+        );
+    }
+
+    #[test]
+    fn kernel_rows_full_pipeline_trace() {
         // End-to-end: a real executor trace aggregates cleanly.
         use dcd_gpusim::DeviceSpec;
         let graph = dcd_ios::lower_sppnet(&dcd_nn::SppNetConfig::original(), (100, 100));
@@ -454,11 +743,11 @@ mod tests {
         let mut exec = dcd_ios::Executor::new(&graph, schedule, 2, DeviceSpec::rtx_a5500());
         exec.run_inference();
         let trace = exec.into_trace();
-        let rows = kernel_report(&trace);
-        let total: f64 = rows.iter().map(|r| r.pct).sum();
+        let report = ProfileReport::from_trace(&trace);
+        let total: f64 = report.kernels().iter().map(|r| r.pct).sum();
         assert!((total - 100.0).abs() < 1e-6);
-        assert!(rows.iter().any(|r| r.class == "conv"));
-        assert!(rows.iter().any(|r| r.class == "gemm"));
-        assert!(rows.iter().any(|r| r.class == "pool"));
+        assert!(report.kernel_share(KernelClass::Conv).is_some());
+        assert!(report.kernel_share(KernelClass::Gemm).is_some());
+        assert!(report.kernel_share(KernelClass::Pool).is_some());
     }
 }

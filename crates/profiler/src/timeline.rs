@@ -34,7 +34,15 @@ pub struct TimelineStats {
 /// Computes the kernel-timeline statistics of a trace.
 ///
 /// Returns `None` if the trace contains no kernel records.
+#[deprecated(
+    since = "0.1.0",
+    note = "use ProfileReport::from_trace(trace).timeline()"
+)]
 pub fn timeline(trace: &Trace) -> Option<TimelineStats> {
+    compute(trace)
+}
+
+pub(crate) fn compute(trace: &Trace) -> Option<TimelineStats> {
     let mut events: Vec<(u64, i64)> = Vec::new(); // (time, +1/-1)
     let mut per_stream: HashMap<usize, u64> = HashMap::new();
     let mut busy_sum = 0u64;
@@ -109,7 +117,7 @@ mod tests {
 
     #[test]
     fn empty_trace_is_none() {
-        assert!(timeline(&Trace::new()).is_none());
+        assert!(compute(&Trace::new()).is_none());
     }
 
     #[test]
@@ -117,7 +125,7 @@ mod tests {
         let mut t = Trace::new();
         t.push(kernel(0, 0, 100));
         t.push(kernel(0, 100, 50));
-        let s = timeline(&t).unwrap();
+        let s = compute(&t).unwrap();
         assert_eq!(s.busy_sum_ns, 150);
         assert_eq!(s.busy_union_ns, 150);
         assert!((s.parallelism - 1.0).abs() < 1e-9);
@@ -129,7 +137,7 @@ mod tests {
         let mut t = Trace::new();
         t.push(kernel(0, 0, 100));
         t.push(kernel(1, 0, 100));
-        let s = timeline(&t).unwrap();
+        let s = compute(&t).unwrap();
         assert_eq!(s.busy_sum_ns, 200);
         assert_eq!(s.busy_union_ns, 100);
         assert!((s.parallelism - 2.0).abs() < 1e-9);
@@ -141,7 +149,7 @@ mod tests {
         let mut t = Trace::new();
         t.push(kernel(0, 0, 50));
         t.push(kernel(0, 100, 50)); // 50 ns gap
-        let s = timeline(&t).unwrap();
+        let s = compute(&t).unwrap();
         assert!((s.occupancy - 100.0 / 150.0).abs() < 1e-9);
         assert_eq!(s.at_level[0], 50);
         assert_eq!(s.at_level[1], 100);
@@ -153,7 +161,7 @@ mod tests {
         t.push(kernel(0, 0, 30));
         t.push(kernel(1, 0, 70));
         t.push(kernel(0, 30, 20));
-        let s = timeline(&t).unwrap();
+        let s = compute(&t).unwrap();
         assert_eq!(s.per_stream_ns[&0], 50);
         assert_eq!(s.per_stream_ns[&1], 70);
     }
@@ -164,7 +172,7 @@ mod tests {
         let mut t = Trace::new();
         t.push(kernel(0, 0, 100));
         t.push(kernel(1, 50, 100));
-        let s = timeline(&t).unwrap();
+        let s = compute(&t).unwrap();
         assert_eq!(s.at_level[1], 100);
         assert_eq!(s.at_level[2], 50);
         assert_eq!(s.busy_union_ns, 150);

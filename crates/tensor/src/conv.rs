@@ -154,6 +154,8 @@ fn conv2d_fused(
     let ospatial = oh * ow;
     let sample_in = c_in * h * w;
     let sample_out = c_out * ospatial;
+    let _span = dcd_obs::span("conv2d", dcd_obs::Category::Conv);
+    dcd_obs::counter!("conv.flops").add(2 * (n * c_out * k * ospatial) as u64);
 
     // Pack the weight matrix once; every sample's GEMM reads it in place.
     let pw = PackedLhs::pack(weight.data(), Trans::No, c_out, k);
@@ -213,6 +215,9 @@ pub fn conv2d_backward(
     let ospatial = oh * ow;
     let sample_in = c_in * h * w;
     let sample_out = c_out * ospatial;
+    let _span = dcd_obs::span("conv2d.backward", dcd_obs::Category::Conv);
+    // Three per-sample GEMMs (grad-input, grad-weight, forward-shaped cols).
+    dcd_obs::counter!("conv.flops").add(6 * (n * c_out * k * ospatial) as u64);
 
     // Wᵀ [k, c_out] packed once straight from the weight's [c_out, k]
     // storage — no transpose buffer — and shared by every sample's

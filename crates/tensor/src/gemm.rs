@@ -546,6 +546,8 @@ pub fn gemm_ep(
     n: usize,
     ep: Epilogue,
 ) {
+    let _span = dcd_obs::span("gemm", dcd_obs::Category::Gemm);
+    dcd_obs::counter!("gemm.flops").add(2 * (m * k * n) as u64);
     let thin = m <= THIN_M || (m <= THIN_M_BIG_RHS && k * n >= BIG_RHS);
     if thin && tb == Trans::No {
         assert_eq!(

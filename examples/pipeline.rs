@@ -44,11 +44,12 @@ fn main() {
 
     // Accuracy-constrained efficiency optimization (§5.4):
     //   maximize e(n) subject to a(n) > A.
-    let pipeline = Pipeline::new(PipelineConfig {
-        accuracy_threshold: 0.5, // synthetic-data regime; the paper uses 0.95
-        max_trials: 6,
-        ..Default::default()
-    });
+    let pipeline = Pipeline::new(
+        PipelineConfig::new()
+            // Synthetic-data regime; the paper uses A = 0.95.
+            .with_accuracy_threshold(0.5)
+            .with_max_trials(6),
+    );
     let result = pipeline.run(&mut strategy, &evaluator);
 
     println!("\nNAS journal ({} trials):", result.experiment.trials.len());

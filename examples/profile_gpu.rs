@@ -9,7 +9,7 @@
 use dcd_core::profile_run;
 use dcd_gpusim::DeviceSpec;
 use dcd_nn::SppNetConfig;
-use dcd_profiler::render_stats;
+use dcd_profiler::ProfileReport;
 
 fn main() {
     let device = DeviceSpec::rtx_a5500();
@@ -20,7 +20,7 @@ fn main() {
     for batch in [1usize, 32] {
         let (profile, trace) = profile_run(&model, (100, 100), &device, batch, 20);
         println!("================ batch size {batch} ================");
-        println!("{}", render_stats(&trace));
+        println!("{}", ProfileReport::from_trace(&trace).render());
         println!(
             "summary: latency {:.3} ms | memops/image {:.0} ns | \
              lib-load {:.1}% vs sync {:.1}% | kernel mix gemm/pool/conv = \

@@ -24,25 +24,19 @@ fn main() {
     detector.threshold = 0.0;
     let ds = dcd_geodata::PatchDataset::generate(&dcd_geodata::dataset::small_config(), 21);
     let bands = dcd_geodata::render::render_bands(&ds.scene, 0.03, &mut SeededRng::new(9));
-    let scan = ScanConfig {
-        batch_size: 8,
-        stride: 24,
-        ..ScanConfig::for_patch(48)
-    };
+    let scan = ScanConfig::for_patch(48).with_batch_size(8).with_stride(24);
 
     let baseline = scan_scene(&mut detector, &bands, &scan);
     println!("fault-free scan: {} detections", baseline.len());
 
     // 1. Transient launch failures → absorbed by retries.
-    let sim = SimScanConfig {
-        device: DeviceSpec::test_gpu(),
-        fault_plan: FaultPlan {
+    let sim = SimScanConfig::new()
+        .with_device(DeviceSpec::test_gpu())
+        .with_fault_plan(FaultPlan {
             seed: 1234,
             launch_failure_rate: 0.03,
             ..FaultPlan::none()
-        },
-        ..SimScanConfig::default()
-    };
+        });
     let r = scan_scene_resilient(&mut detector, &bands, &scan, &sim).expect("retries absorb");
     println!(
         "\n[transient faults]   {} detections (identical: {}), health: {:?}",
@@ -54,19 +48,14 @@ fn main() {
     // 2. VRAM pressure → the batch degrades by halving until it fits.
     let graph = dcd_ios::lower_sppnet(detector.config(), (scan.patch_size, scan.patch_size));
     let spec = DeviceSpec::test_gpu();
-    let scan64 = ScanConfig {
-        batch_size: 64,
-        ..scan
-    };
-    let sim = SimScanConfig {
-        device: spec.clone(),
-        fault_plan: FaultPlan {
+    let scan64 = scan.with_batch_size(64);
+    let sim = SimScanConfig::new()
+        .with_device(spec.clone())
+        .with_fault_plan(FaultPlan {
             vram_pressure_bytes: spec.mem_capacity
                 - (graph.weight_bytes() + graph.activation_bytes(20)),
             ..FaultPlan::none()
-        },
-        ..SimScanConfig::default()
-    };
+        });
     let r =
         scan_scene_resilient(&mut detector, &bands, &scan64, &sim).expect("degrades and completes");
     println!(
@@ -78,18 +67,14 @@ fn main() {
     );
 
     // 3. Persistently wedged streams → fall back to the sequential schedule.
-    let sim = SimScanConfig {
-        device: DeviceSpec::test_gpu(),
-        fault_plan: FaultPlan {
+    let sim = SimScanConfig::new()
+        .with_device(DeviceSpec::test_gpu())
+        .with_fault_plan(FaultPlan {
             persistent_launch_failure_streams: (1..16).collect(),
             ..FaultPlan::none()
-        },
-        ios: dcd_ios::IosOptions {
-            max_groups: 4,
-            max_group_len: 3,
-        },
-        retry: RetryPolicy::default(),
-    };
+        })
+        .with_ios(dcd_ios::IosOptions::new().with_max_group_len(3))
+        .with_retry(RetryPolicy::default());
     let r = scan_scene_resilient(&mut detector, &bands, &scan, &sim).expect("fallback completes");
     println!(
         "[wedged streams]     fell back: {}, identical: {}, health: {:?}",

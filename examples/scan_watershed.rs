@@ -47,10 +47,8 @@ fn main() {
     //    this is why the paper optimizes throughput and batch size).
     let scene = &dataset.scene;
     let bands = render_bands(scene, 0.03, &mut SeededRng::new(9));
-    let scan = ScanConfig {
-        batch_size: 32, // the paper's optimal batch
-        ..ScanConfig::for_patch(64)
-    };
+    // Batch 32 is the paper's optimal.
+    let scan = ScanConfig::for_patch(64).with_batch_size(32);
     let t0 = std::time::Instant::now();
     let detections = scan_scene(&mut detector, &bands, &scan);
     let dt = t0.elapsed();

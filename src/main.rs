@@ -3,13 +3,15 @@
 //! ```text
 //! drainage-repro train   [--epochs N] [--seed S] [--out model.json]
 //! drainage-repro scan    [--model model.json] [--seed S] [--threshold T]
-//! drainage-repro profile [--batch B]
+//! drainage-repro profile [--batch B] [--timeline out.json]
 //! drainage-repro sweep
 //! ```
 //!
 //! `train` fits a compact SPP-Net on a synthetic watershed and writes a
 //! JSON checkpoint; `scan` loads it and scans a fresh scene; `profile`
-//! prints the nsys-style report for the paper's final model; `sweep` prints
+//! prints the nsys-style report for the paper's final model (and with
+//! `--timeline out.json` also records a small host workload and writes a
+//! merged host+device Chrome-trace timeline for Perfetto); `sweep` prints
 //! the Fig 6 batch-size sweep.
 
 use dcd_core::scan::{match_detections, scan_scene, ScanConfig};
@@ -19,6 +21,7 @@ use dcd_geodata::render::render_bands;
 use dcd_geodata::PatchDataset;
 use dcd_gpusim::DeviceSpec;
 use dcd_nn::{Checkpoint, Sgd, SppNet, SppNetConfig, TrainConfig, Trainer};
+use dcd_profiler::ProfileReport;
 use dcd_tensor::SeededRng;
 
 /// Looks up `--name value` in the argument list.
@@ -45,7 +48,7 @@ fn main() {
             eprintln!("usage: drainage-repro <train|scan|profile|sweep> [flags]");
             eprintln!("  train   [--epochs N] [--seed S] [--out model.json]");
             eprintln!("  scan    [--model model.json] [--seed S] [--threshold T]");
-            eprintln!("  profile [--batch B]");
+            eprintln!("  profile [--batch B] [--timeline out.json]");
             eprintln!("  sweep");
             std::process::exit(2);
         }
@@ -105,10 +108,7 @@ fn cmd_scan(args: &[String]) {
 
     let ds = dataset(seed);
     let bands = render_bands(&ds.scene, 0.03, &mut SeededRng::new(seed ^ 0xABCD));
-    let scan = ScanConfig {
-        batch_size: 32,
-        ..ScanConfig::for_patch(64)
-    };
+    let scan = ScanConfig::for_patch(64).with_batch_size(32);
     let dets = scan_scene(&mut detector, &bands, &scan);
     println!("x,y,score");
     for d in &dets {
@@ -122,8 +122,38 @@ fn cmd_scan(args: &[String]) {
     );
 }
 
+/// A small real workload on the host implementation — a one-epoch training
+/// run plus a scene scan — so the merged timeline has gemm/conv/scan/trainer
+/// spans to interleave with the simulated device trace.
+fn host_workload() {
+    let mut cfg = small_config();
+    cfg.center_jitter = 2;
+    let ds = PatchDataset::generate(&cfg, 11);
+    let mut rng = SeededRng::new(7);
+    let mut arch = SppNetConfig::tiny();
+    arch.in_channels = ds.train[0].image.dims()[0];
+    let mut model = SppNet::new(arch, &mut rng);
+    let subset = &ds.train[..ds.train.len().min(16)];
+    Trainer::new(TrainConfig {
+        epochs: 1,
+        batch_size: 8,
+        ..Default::default()
+    })
+    .train(&mut model, subset);
+    let mut detector = DrainageCrossingDetector::from_model(model);
+    detector.threshold = 0.9;
+    let bands = render_bands(&ds.scene, 0.03, &mut SeededRng::new(5));
+    let scan = ScanConfig::for_patch(48).with_batch_size(8).with_stride(24);
+    let _ = scan_scene(&mut detector, &bands, &scan);
+}
+
 fn cmd_profile(args: &[String]) {
     let batch = parse(args, "--batch", 32usize);
+    let timeline = flag(args, "--timeline");
+    if timeline.is_some() {
+        dcd_obs::set_enabled(true);
+        host_workload();
+    }
     let (profile, trace) = profile_run(
         &SppNetConfig::candidate2(),
         (100, 100),
@@ -131,13 +161,26 @@ fn cmd_profile(args: &[String]) {
         batch,
         20,
     );
-    println!("{}", dcd_profiler::render_stats(&trace));
+    let mut report = ProfileReport::from_trace(&trace);
+    if timeline.is_some() {
+        report = report.with_host_spans(dcd_obs::drain_spans());
+    }
+    println!("{}", report.render());
+    if timeline.is_some() {
+        println!("{}", dcd_obs::snapshot().render());
+    }
     println!(
         "batch {batch}: latency {:.3} ms, memops/image {:.0} ns, GPU mem {:.0} MB",
         profile.latency_ns / 1e6,
         profile.memops_per_image_ns,
         profile.mem_used_bytes as f64 / 1e6
     );
+    if let Some(path) = timeline {
+        std::fs::write(&path, report.chrome_trace().to_json()).expect("write timeline JSON");
+        eprintln!(
+            "merged host+device timeline written to {path} (open at https://ui.perfetto.dev)"
+        );
+    }
 }
 
 fn cmd_sweep() {

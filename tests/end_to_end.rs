@@ -101,14 +101,14 @@ fn trained_detector_feeds_hydrology_breaching() {
 #[test]
 fn pipeline_to_profiling_end_to_end() {
     // Fig 5 pipeline with a fast proxy evaluator, then profile the winner.
-    let pipeline = Pipeline::new(PipelineConfig {
-        max_trials: 5,
-        batch_sizes: vec![1, 4, 16],
-        warmup: 1,
-        iterations: 2,
-        accuracy_threshold: 0.9,
-        ..Default::default()
-    });
+    let pipeline = Pipeline::new(
+        PipelineConfig::new()
+            .with_max_trials(5)
+            .with_batch_sizes(vec![1, 4, 16])
+            .with_warmup(1)
+            .with_iterations(2)
+            .with_accuracy_threshold(0.9),
+    );
     let mut strategy = RandomSearch::new(SppNetSearchSpace::paper(), 5, 11);
     let evaluator = FunctionalEvaluator::new(|c: &SppNetConfig| {
         0.90 + (c.fc1 as f64).log2() / 13.0 * 0.05 + c.spp_top_level as f64 * 0.002
@@ -126,7 +126,7 @@ fn pipeline_to_profiling_end_to_end() {
     );
     assert!(profile.latency_ns > 0.0);
     assert!(profile.conv_pct > 0.0 && profile.gemm_pct > 0.0);
-    let stats = dcd_profiler::render_stats(&trace);
+    let stats = dcd_profiler::ProfileReport::from_trace(&trace).render();
     assert!(stats.contains("cudaDeviceSynchronize"));
 }
 
@@ -162,11 +162,7 @@ fn table1_and_table2_configs_are_the_same_objects() {
     // for Table 2 — a consistency guard on the reproduction.
     let t1: Vec<_> = SppNetConfig::table1().into_iter().map(|(_, c)| c).collect();
     assert_eq!(t1.len(), 4);
-    let pipeline = Pipeline::new(PipelineConfig {
-        warmup: 0,
-        iterations: 1,
-        ..Default::default()
-    });
+    let pipeline = Pipeline::new(PipelineConfig::new().with_warmup(0).with_iterations(1));
     for cfg in &t1 {
         let (seq, opt, schedule) = pipeline.benchmark(cfg);
         assert!(opt <= seq);

@@ -23,11 +23,7 @@ fn sweep() -> Vec<dcd_core::BatchProfile> {
 
 #[test]
 fn table2_shape_optimized_beats_sequential_for_all_models() {
-    let pipeline = Pipeline::new(PipelineConfig {
-        warmup: 1,
-        iterations: 3,
-        ..Default::default()
-    });
+    let pipeline = Pipeline::new(PipelineConfig::new().with_warmup(1).with_iterations(3));
     for (name, cfg) in SppNetConfig::table1() {
         let (seq, opt, _) = pipeline.benchmark(&cfg);
         assert!(opt < seq, "{name}: optimized {opt} !< sequential {seq}");
@@ -44,11 +40,7 @@ fn table2_shape_optimized_beats_sequential_for_all_models() {
 
 #[test]
 fn fig6_shape_efficiency_falls_and_gains_diminish() {
-    let pipeline = Pipeline::new(PipelineConfig {
-        warmup: 1,
-        iterations: 3,
-        ..Default::default()
-    });
+    let pipeline = Pipeline::new(PipelineConfig::new().with_warmup(1).with_iterations(3));
     let sweep = pipeline.batch_sweep(&SppNetConfig::candidate2());
     // Per-image latency decreases monotonically for both schedules.
     for w in sweep.windows(2) {

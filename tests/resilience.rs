@@ -33,11 +33,7 @@ fn fixture() -> (DrainageCrossingDetector, Tensor, ScanConfig) {
     detector.threshold = 0.0; // fire on every tile; NMS dedups
     let ds = PatchDataset::generate(&small_config(), 21);
     let bands = render_bands(&ds.scene, 0.03, &mut SeededRng::new(9));
-    let scan = ScanConfig {
-        batch_size: 8,
-        stride: 24,
-        ..ScanConfig::for_patch(48)
-    };
+    let scan = ScanConfig::for_patch(48).with_batch_size(8).with_stride(24);
     (detector, bands, scan)
 }
 
@@ -47,15 +43,13 @@ fn transient_launch_failures_retry_to_identical_detections() {
     let fault_free = scan_scene(&mut detector, &bands, &scan);
     assert!(!fault_free.is_empty(), "fixture produced no detections");
 
-    let sim = SimScanConfig {
-        device: DeviceSpec::test_gpu(),
-        fault_plan: FaultPlan {
+    let sim = SimScanConfig::new()
+        .with_device(DeviceSpec::test_gpu())
+        .with_fault_plan(FaultPlan {
             seed: 1234,
             launch_failure_rate: 0.03,
             ..FaultPlan::none()
-        },
-        ..SimScanConfig::default()
-    };
+        });
     let report = scan_scene_resilient(&mut detector, &bands, &scan, &sim)
         .expect("retries absorb transient launch failures");
     assert_eq!(
@@ -80,24 +74,19 @@ fn transient_launch_failures_retry_to_identical_detections() {
 fn vram_pressure_degrades_batch_and_scan_completes() {
     let (mut detector, bands, scan) = fixture();
     let fault_free = scan_scene(&mut detector, &bands, &scan);
-    let scan = ScanConfig {
-        batch_size: 64,
-        ..scan
-    };
+    let scan = scan.with_batch_size(64);
 
     // Leave usable VRAM for the weights plus ~20 batches' worth of
     // activations: batch 64 cannot fit, so the runner halves 64 → 32 → 16.
     let graph = dcd_ios::lower_sppnet(detector.config(), (scan.patch_size, scan.patch_size));
     let spec = DeviceSpec::test_gpu();
     let usable = graph.weight_bytes() + graph.activation_bytes(20);
-    let sim = SimScanConfig {
-        device: spec.clone(),
-        fault_plan: FaultPlan {
+    let sim = SimScanConfig::new()
+        .with_device(spec.clone())
+        .with_fault_plan(FaultPlan {
             vram_pressure_bytes: spec.mem_capacity - usable,
             ..FaultPlan::none()
-        },
-        ..SimScanConfig::default()
-    };
+        });
     let report = scan_scene_resilient(&mut detector, &bands, &scan, &sim)
         .expect("degraded batch still completes");
     assert_eq!(report.batch, 16, "64 → 32 → 16 under this pressure");
@@ -122,18 +111,13 @@ fn persistent_stream_failure_falls_back_to_sequential() {
     // actually parallelizes this small model's SPP branches (unbounded
     // chaining degenerates to one stream and there is nothing to fall back
     // from).
-    let sim = SimScanConfig {
-        device: DeviceSpec::test_gpu(),
-        fault_plan: FaultPlan {
+    let sim = SimScanConfig::new()
+        .with_device(DeviceSpec::test_gpu())
+        .with_fault_plan(FaultPlan {
             persistent_launch_failure_streams: (1..16).collect(),
             ..FaultPlan::none()
-        },
-        ios: dcd_ios::IosOptions {
-            max_groups: 4,
-            max_group_len: 3,
-        },
-        ..SimScanConfig::default()
-    };
+        })
+        .with_ios(dcd_ios::IosOptions::new().with_max_group_len(3));
     let report = scan_scene_resilient(&mut detector, &bands, &scan, &sim)
         .expect("sequential fallback completes the scan");
     assert!(report.fell_back, "scan must abandon the IOS schedule");
@@ -152,16 +136,14 @@ fn persistent_stream_failure_falls_back_to_sequential() {
 #[test]
 fn resilient_scan_is_deterministic_across_runs() {
     let (mut detector, bands, scan) = fixture();
-    let sim = SimScanConfig {
-        device: DeviceSpec::test_gpu(),
-        fault_plan: FaultPlan {
+    let sim = SimScanConfig::new()
+        .with_device(DeviceSpec::test_gpu())
+        .with_fault_plan(FaultPlan {
             seed: 77,
             launch_failure_rate: 0.01,
             memcpy_failure_rate: 0.005,
             ..FaultPlan::none()
-        },
-        ..SimScanConfig::default()
-    };
+        });
     let a = scan_scene_resilient(&mut detector, &bands, &scan, &sim).expect("completes");
     let b = scan_scene_resilient(&mut detector, &bands, &scan, &sim).expect("completes");
     assert_eq!(a.detections, b.detections);
