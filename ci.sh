@@ -25,6 +25,14 @@ RAYON_NUM_THREADS=1 cargo test -q
 echo "== kernel equivalence under a pinned-sequential pool =="
 RAYON_NUM_THREADS=1 cargo test -q -p dcd-tensor --test parallel_equivalence
 
+# The chaos scenarios must be bit-reproducible regardless of thread count:
+# the serving acceptance suite runs under the default pool and pinned
+# sequential, and both must see identical counts and breaker transitions.
+echo "== chaos serving suite, default pool =="
+cargo test -q --test serving
+echo "== chaos serving suite, pool pinned sequential =="
+RAYON_NUM_THREADS=1 cargo test -q --test serving
+
 echo "== criterion benches compile =="
 cargo bench --workspace --no-run
 
@@ -36,5 +44,8 @@ cargo run --release -q -p dcd-bench --bin gemm
 
 echo "== observability overhead microbenchmark -> BENCH_obs.json =="
 cargo run --release -q -p dcd-bench --bin obs
+
+echo "== serving SLO benchmark -> BENCH_serve.json =="
+cargo run --release -q -p dcd-bench --bin serve
 
 echo "CI OK"

@@ -20,12 +20,22 @@
 //! [`RunHealth`] aggregates everything that happened so reports can state
 //! not just *how fast* but *how bumpy* a run was.
 
-use dcd_gpusim::{Gpu, GpuError};
+use dcd_gpusim::{splitmix64, unit_draw, Gpu, GpuError};
 use dcd_ios::{ExecError, Executor, Graph, Schedule};
 use serde::{Deserialize, Serialize};
 
-/// Bounded-retry policy with exponential backoff.
+/// Salt mixed into retry-jitter draws so they are independent of the fault
+/// injector's launch/memcpy streams even under a shared seed.
+const SALT_JITTER: u64 = 0x4A49_5454_4552_0003;
+
+/// Bounded-retry policy with exponential backoff and optional seeded
+/// jitter.
+///
+/// `#[non_exhaustive]`: construct with [`RetryPolicy::new`] /
+/// [`RetryPolicy::default`] and the `with_*` builders so new knobs can be
+/// added without breaking callers.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct RetryPolicy {
     /// Maximum attempts per inference (first try included). At least 1.
     pub max_attempts: u32,
@@ -35,6 +45,9 @@ pub struct RetryPolicy {
     pub max_backoff_ns: u64,
     /// Watchdog deadline for each `cudaDeviceSynchronize`, simulated ns.
     pub watchdog_ns: u64,
+    /// Seed for decorrelated backoff jitter; `None` keeps the exact
+    /// exponential schedule (the historical behaviour).
+    pub jitter_seed: Option<u64>,
 }
 
 impl Default for RetryPolicy {
@@ -44,16 +57,81 @@ impl Default for RetryPolicy {
             base_backoff_ns: 100_000,   // 100 µs
             max_backoff_ns: 10_000_000, // 10 ms
             watchdog_ns: 100_000_000,   // 100 ms — far above any inference
+            jitter_seed: None,
         }
     }
 }
 
 impl RetryPolicy {
+    /// The default policy (alias for [`RetryPolicy::default`], matching the
+    /// workspace config convention).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the attempt budget (first try included; clamped to ≥ 1).
+    pub fn with_max_attempts(mut self, max_attempts: u32) -> Self {
+        self.max_attempts = max_attempts.max(1);
+        self
+    }
+
+    /// Sets the backoff before the first retry, simulated ns.
+    pub fn with_base_backoff_ns(mut self, ns: u64) -> Self {
+        self.base_backoff_ns = ns;
+        self
+    }
+
+    /// Sets the backoff ceiling, simulated ns.
+    pub fn with_max_backoff_ns(mut self, ns: u64) -> Self {
+        self.max_backoff_ns = ns;
+        self
+    }
+
+    /// Sets the per-synchronize watchdog deadline, simulated ns.
+    pub fn with_watchdog_ns(mut self, ns: u64) -> Self {
+        self.watchdog_ns = ns;
+        self
+    }
+
+    /// Enables decorrelated backoff jitter with the given seed (see
+    /// [`RetryPolicy::jittered_backoff_ns`] for the formula).
+    pub fn with_jitter_seed(mut self, seed: u64) -> Self {
+        self.jitter_seed = Some(seed);
+        self
+    }
+
     /// Backoff before retry number `retry` (0-based): `base · 2^retry`,
-    /// capped at `max_backoff_ns`.
+    /// capped at `max_backoff_ns`. The deterministic, unjittered schedule.
     pub fn backoff_ns(&self, retry: u32) -> u64 {
         let shifted = self.base_backoff_ns.saturating_mul(1u64 << retry.min(32));
         shifted.min(self.max_backoff_ns)
+    }
+
+    /// Backoff before retry number `retry`, with decorrelated jitter when a
+    /// seed is set (plain [`RetryPolicy::backoff_ns`] otherwise).
+    ///
+    /// The jittered value is the decorrelated-jitter variant of AWS's
+    /// backoff taxonomy, made deterministic: with `prev = backoff_ns(retry)`
+    /// and `u = unit_draw(splitmix64(seed ^ SALT_JITTER ^ counter)) ∈ [0,1)`,
+    ///
+    /// ```text
+    /// backoff = min(max_backoff_ns, base + u · (3·prev − base))
+    /// ```
+    ///
+    /// so the wait lands uniformly in `[base, 3·prev)` capped at the
+    /// ceiling. `counter` must be unique per draw (callers thread a
+    /// monotone retry counter, e.g. [`RunHealth::retries`]); two callers
+    /// with different seeds desynchronize instead of retrying in lockstep.
+    pub fn jittered_backoff_ns(&self, retry: u32, counter: u64) -> u64 {
+        let Some(seed) = self.jitter_seed else {
+            return self.backoff_ns(retry);
+        };
+        let prev = self.backoff_ns(retry);
+        let span = prev.saturating_mul(3).saturating_sub(self.base_backoff_ns);
+        let u = unit_draw(splitmix64(seed ^ SALT_JITTER ^ counter));
+        self.base_backoff_ns
+            .saturating_add((u * span as f64) as u64)
+            .min(self.max_backoff_ns)
     }
 }
 
@@ -74,6 +152,10 @@ pub struct RunHealth {
     pub degradations: u64,
     /// IOS→sequential schedule fallbacks taken.
     pub fallbacks: u64,
+    /// Simulated host ns spent sleeping in retry backoff. Because
+    /// [`RunHealth`] is `Copy`, per-request attribution is a snapshot
+    /// diff: copy the health before a request, subtract after.
+    pub backoff_wait_ns: u64,
 }
 
 impl RunHealth {
@@ -107,6 +189,22 @@ impl RunHealth {
         self.retries += other.retries;
         self.degradations += other.degradations;
         self.fallbacks += other.fallbacks;
+        self.backoff_wait_ns += other.backoff_wait_ns;
+    }
+
+    /// Per-request attribution helper: the counters accumulated since
+    /// `earlier` was snapshotted from this same (monotone) record.
+    pub fn since(&self, earlier: &RunHealth) -> RunHealth {
+        RunHealth {
+            launch_failures: self.launch_failures - earlier.launch_failures,
+            memcpy_failures: self.memcpy_failures - earlier.memcpy_failures,
+            oom_events: self.oom_events - earlier.oom_events,
+            device_hangs: self.device_hangs - earlier.device_hangs,
+            retries: self.retries - earlier.retries,
+            degradations: self.degradations - earlier.degradations,
+            fallbacks: self.fallbacks - earlier.fallbacks,
+            backoff_wait_ns: self.backoff_wait_ns - earlier.backoff_wait_ns,
+        }
     }
 }
 
@@ -133,7 +231,11 @@ pub fn retry_inference(
                 }
                 health.retries += 1;
                 dcd_obs::counter!("resilience.retries").inc();
-                exec.gpu_mut().host_busy(policy.backoff_ns(retry));
+                // health.retries is monotone across the record's lifetime,
+                // making it the unique per-draw jitter counter.
+                let backoff = policy.jittered_backoff_ns(retry, health.retries);
+                health.backoff_wait_ns += backoff;
+                exec.gpu_mut().host_busy(backoff);
                 retry += 1;
             }
         }
@@ -145,11 +247,17 @@ pub fn retry_inference(
 /// the primary schedule keeps failing.
 pub struct ResilientRunner<'g> {
     exec: Executor<'g>,
+    primary: Schedule,
     fallback: Schedule,
     policy: RetryPolicy,
     /// Everything observed and every recovery action taken so far.
     pub health: RunHealth,
+    /// Latched after a failure-driven fallback: the primary schedule is
+    /// considered broken and `use_primary_schedule` refuses to return.
     fell_back: bool,
+    /// Which schedule is currently active (brownout may toggle this
+    /// without latching `fell_back`).
+    on_fallback: bool,
 }
 
 impl<'g> ResilientRunner<'g> {
@@ -169,13 +277,15 @@ impl<'g> ResilientRunner<'g> {
         policy: RetryPolicy,
     ) -> Result<Self, ExecError> {
         fallback.validate(graph)?;
-        let exec = Executor::try_with_gpu(graph, primary, 1, gpu)?;
+        let exec = Executor::try_with_gpu(graph, primary.clone(), 1, gpu)?;
         let mut runner = ResilientRunner {
             exec,
+            primary,
             fallback,
             policy,
             health: RunHealth::default(),
             fell_back: false,
+            on_fallback: false,
         };
         runner.grow_batch(target_batch)?;
         Ok(runner)
@@ -204,9 +314,41 @@ impl<'g> ResilientRunner<'g> {
         self.exec.batch()
     }
 
-    /// Whether the runner has fallen back to the baseline schedule.
+    /// Whether a failure-driven fallback has latched (the primary schedule
+    /// is considered broken for the rest of the run).
     pub fn fell_back(&self) -> bool {
         self.fell_back
+    }
+
+    /// Whether the fallback (sequential) schedule is currently active,
+    /// for any reason — failure latch or brownout.
+    pub fn on_fallback(&self) -> bool {
+        self.on_fallback
+    }
+
+    /// Switches to the fallback schedule without latching `fell_back` —
+    /// the brownout controller's "sequential mode" step. No-op when the
+    /// fallback is already active.
+    pub fn use_fallback_schedule(&mut self) -> Result<(), ExecError> {
+        if !self.on_fallback {
+            self.exec.set_schedule(self.fallback.clone())?;
+            self.on_fallback = true;
+        }
+        Ok(())
+    }
+
+    /// Returns to the primary schedule unless a failure-driven fallback is
+    /// latched (a broken schedule must not be revived by brownout
+    /// recovery). Returns whether the primary is active afterwards.
+    pub fn use_primary_schedule(&mut self) -> Result<bool, ExecError> {
+        if self.fell_back {
+            return Ok(false);
+        }
+        if self.on_fallback {
+            self.exec.set_schedule(self.primary.clone())?;
+            self.on_fallback = false;
+        }
+        Ok(true)
     }
 
     /// The wrapped executor.
@@ -229,10 +371,13 @@ impl<'g> ResilientRunner<'g> {
         match retry_inference(&mut self.exec, &self.policy, &mut self.health) {
             Ok(ns) => Ok(ns),
             Err(first) => {
-                if self.fell_back {
+                if self.on_fallback {
+                    // Already sequential (by latch or by brownout): there
+                    // is no further schedule to retreat to.
                     return Err(first);
                 }
                 self.fell_back = true;
+                self.on_fallback = true;
                 self.health.fallbacks += 1;
                 dcd_obs::counter!("resilience.fallbacks").inc();
                 self.exec
@@ -263,15 +408,100 @@ mod tests {
 
     #[test]
     fn backoff_doubles_and_caps() {
-        let p = RetryPolicy {
-            base_backoff_ns: 100,
-            max_backoff_ns: 350,
-            ..Default::default()
-        };
+        let p = RetryPolicy::new()
+            .with_base_backoff_ns(100)
+            .with_max_backoff_ns(350);
         assert_eq!(p.backoff_ns(0), 100);
         assert_eq!(p.backoff_ns(1), 200);
         assert_eq!(p.backoff_ns(2), 350); // capped
         assert_eq!(p.backoff_ns(63), 350); // no overflow
+    }
+
+    #[test]
+    fn jittered_backoff_is_seeded_bounded_and_optional() {
+        let plain = RetryPolicy::new()
+            .with_base_backoff_ns(1_000)
+            .with_max_backoff_ns(1_000_000);
+        // No seed: jittered path is exactly the exponential schedule.
+        for retry in 0..5 {
+            assert_eq!(plain.jittered_backoff_ns(retry, 7), plain.backoff_ns(retry));
+        }
+        let seeded = plain.with_jitter_seed(99);
+        for retry in 0..5u32 {
+            for counter in 0..32u64 {
+                let b = seeded.jittered_backoff_ns(retry, counter);
+                assert!(b >= seeded.base_backoff_ns, "below base: {b}");
+                assert!(b <= seeded.max_backoff_ns, "above cap: {b}");
+                // Deterministic: same (retry, counter) → same draw.
+                assert_eq!(b, seeded.jittered_backoff_ns(retry, counter));
+            }
+        }
+        // Different counters must actually spread (decorrelation).
+        let spread: std::collections::HashSet<u64> = (0..32u64)
+            .map(|c| seeded.jittered_backoff_ns(2, c))
+            .collect();
+        assert!(spread.len() > 16, "jitter barely varies: {}", spread.len());
+        // Different seeds desynchronize.
+        let other = plain.with_jitter_seed(100);
+        assert_ne!(
+            (0..8u64)
+                .map(|c| seeded.jittered_backoff_ns(1, c))
+                .collect::<Vec<_>>(),
+            (0..8u64)
+                .map(|c| other.jittered_backoff_ns(1, c))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn policy_builders_and_serde_roundtrip() {
+        let p = RetryPolicy::new()
+            .with_max_attempts(0) // clamped to 1
+            .with_base_backoff_ns(5)
+            .with_max_backoff_ns(50)
+            .with_watchdog_ns(500)
+            .with_jitter_seed(3);
+        assert_eq!(p.max_attempts, 1);
+        assert_eq!(p.base_backoff_ns, 5);
+        assert_eq!(p.max_backoff_ns, 50);
+        assert_eq!(p.watchdog_ns, 500);
+        assert_eq!(p.jitter_seed, Some(3));
+        let back = RetryPolicy::deserialize(&serde::Serialize::serialize(&p)).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn health_roundtrips_through_value_tree() {
+        let h = RunHealth {
+            launch_failures: 1,
+            memcpy_failures: 2,
+            oom_events: 3,
+            device_hangs: 4,
+            retries: 5,
+            degradations: 6,
+            fallbacks: 7,
+            backoff_wait_ns: 8,
+        };
+        let back = RunHealth::deserialize(&serde::Serialize::serialize(&h)).unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn health_since_attributes_deltas() {
+        let mut h = RunHealth {
+            retries: 2,
+            backoff_wait_ns: 300,
+            ..Default::default()
+        };
+        let before = h;
+        h.retries += 3;
+        h.backoff_wait_ns += 700;
+        h.launch_failures += 1;
+        let delta = h.since(&before);
+        assert_eq!(delta.retries, 3);
+        assert_eq!(delta.backoff_wait_ns, 700);
+        assert_eq!(delta.launch_failures, 1);
+        assert_eq!(delta.memcpy_failures, 0);
     }
 
     #[test]
@@ -310,6 +540,61 @@ mod tests {
         }
         assert!(failures_survived > 0, "fault plan injected nothing");
         assert_eq!(health.retries, health.launch_failures);
+        assert!(
+            health.backoff_wait_ns >= health.retries * policy.base_backoff_ns,
+            "every retry must charge at least the base backoff"
+        );
+    }
+
+    #[test]
+    fn brownout_schedule_toggle_switches_without_latching() {
+        let g = graph();
+        let mut runner = ResilientRunner::new(
+            &g,
+            greedy_schedule(&g),
+            sequential_schedule(&g),
+            2,
+            gpu_with(FaultPlan::none()),
+            RetryPolicy::default(),
+        )
+        .expect("fits");
+        assert!(!runner.on_fallback());
+        runner.use_fallback_schedule().expect("switch to fallback");
+        assert!(runner.on_fallback());
+        assert!(!runner.fell_back(), "brownout must not latch fell_back");
+        assert!(runner.run().is_ok());
+        assert!(runner.use_primary_schedule().expect("switch back"));
+        assert!(!runner.on_fallback());
+        assert!(runner.run().is_ok());
+        assert_eq!(runner.health.fallbacks, 0);
+    }
+
+    #[test]
+    fn latched_fallback_refuses_primary_revival() {
+        let g = graph();
+        let greedy = greedy_schedule(&g);
+        assert!(greedy.max_width() > 1);
+        let plan = FaultPlan {
+            persistent_launch_failure_streams: vec![1, 2, 3],
+            ..FaultPlan::none()
+        };
+        let mut runner = ResilientRunner::new(
+            &g,
+            greedy,
+            sequential_schedule(&g),
+            2,
+            gpu_with(plan),
+            RetryPolicy::default(),
+        )
+        .expect("fits");
+        runner.run().expect("fallback completes");
+        assert!(runner.fell_back());
+        assert!(runner.on_fallback());
+        assert!(
+            !runner.use_primary_schedule().expect("no-op"),
+            "a latched fallback must not revive the broken primary"
+        );
+        assert!(runner.on_fallback());
     }
 
     #[test]

@@ -328,7 +328,7 @@ impl Gpu {
         self.record_api(ApiKind::MemcpyAsync, self.host_ns, dur);
         self.host_ns += dur;
         if let Some(f) = self.fault.as_mut() {
-            if f.memcpy_fails(stream) {
+            if f.memcpy_fails(stream, self.host_ns as u64) {
                 self.trace.push(TraceRecord::Fault {
                     kind: FaultKind::MemcpyFailure,
                     stream: Some(stream),
@@ -367,7 +367,7 @@ impl Gpu {
         self.host_ns += dur;
         let mut hangs = false;
         if let Some(f) = self.fault.as_mut() {
-            if f.launch_fails(stream) {
+            if f.launch_fails(stream, self.host_ns as u64) {
                 self.trace.push(TraceRecord::Fault {
                     kind: FaultKind::LaunchFailure,
                     stream: Some(stream),

@@ -79,6 +79,15 @@ pub struct FaultPlan {
     /// After this many successful kernel enqueues, the next kernel never
     /// completes: synchronization can only end by watchdog.
     pub hang_after_kernels: Option<u64>,
+    /// Optional host-time window `[start_ns, end_ns)` outside which the
+    /// *transient* rates (`launch_failure_rate`, `memcpy_failure_rate`) are
+    /// inert. Persistent-stream failures, VRAM pressure, throttling, and
+    /// hangs are unaffected. Calls outside the window consume no draws, so
+    /// the in-window fault sequence depends only on the seed and on how
+    /// many faultable calls happen inside the window — not on traffic
+    /// before it. This models a bounded fault burst (e.g. a flaky link or
+    /// a co-tenant crash loop) that the serving layer must ride out.
+    pub fault_window_ns: Option<(u64, u64)>,
 }
 
 impl Default for FaultPlan {
@@ -91,6 +100,7 @@ impl Default for FaultPlan {
             vram_pressure_bytes: 0,
             throttle: None,
             hang_after_kernels: None,
+            fault_window_ns: None,
         }
     }
 }
@@ -114,8 +124,10 @@ impl FaultPlan {
 
 /// SplitMix64: one step of the seed-expansion generator. Decisions hash
 /// `seed ^ salt ^ counter` through this, so each category has an
-/// independent, reproducible stream.
-fn splitmix64(mut x: u64) -> u64 {
+/// independent, reproducible stream. Public because every deterministic
+/// draw in the workspace (fault injection, retry jitter, request arrivals)
+/// shares this one primitive.
+pub fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -123,7 +135,7 @@ fn splitmix64(mut x: u64) -> u64 {
 }
 
 /// Maps a hash to a uniform draw in `[0, 1)`.
-fn unit(x: u64) -> f64 {
+pub fn unit_draw(x: u64) -> f64 {
     (x >> 11) as f64 / (1u64 << 53) as f64
 }
 
@@ -160,10 +172,20 @@ impl FaultInjector {
         &self.plan
     }
 
-    /// Decides whether this kernel launch fails. Persistent streams always
-    /// fail; otherwise one transient draw is consumed, so a retry samples a
-    /// fresh decision.
-    pub fn launch_fails(&mut self, stream: usize) -> bool {
+    /// Whether host time `now_ns` is inside the transient-fault window
+    /// (always true when no window is configured).
+    fn in_fault_window(&self, now_ns: u64) -> bool {
+        match self.plan.fault_window_ns {
+            Some((start, end)) => now_ns >= start && now_ns < end,
+            None => true,
+        }
+    }
+
+    /// Decides whether this kernel launch fails at host time `now_ns`.
+    /// Persistent streams always fail; otherwise, inside the fault window,
+    /// one transient draw is consumed, so a retry samples a fresh decision.
+    /// Outside the window no draw is consumed and the launch succeeds.
+    pub fn launch_fails(&mut self, stream: usize, now_ns: u64) -> bool {
         if self
             .plan
             .persistent_launch_failure_streams
@@ -171,22 +193,23 @@ impl FaultInjector {
         {
             return true;
         }
-        if self.plan.launch_failure_rate <= 0.0 {
+        if self.plan.launch_failure_rate <= 0.0 || !self.in_fault_window(now_ns) {
             return false;
         }
         let draw = splitmix64(self.plan.seed ^ SALT_LAUNCH ^ self.launch_draws);
         self.launch_draws += 1;
-        unit(draw) < self.plan.launch_failure_rate
+        unit_draw(draw) < self.plan.launch_failure_rate
     }
 
-    /// Decides whether this memcpy fails (one transient draw consumed).
-    pub fn memcpy_fails(&mut self, _stream: usize) -> bool {
-        if self.plan.memcpy_failure_rate <= 0.0 {
+    /// Decides whether this memcpy fails at host time `now_ns` (one
+    /// transient draw consumed inside the fault window, none outside).
+    pub fn memcpy_fails(&mut self, _stream: usize, now_ns: u64) -> bool {
+        if self.plan.memcpy_failure_rate <= 0.0 || !self.in_fault_window(now_ns) {
             return false;
         }
         let draw = splitmix64(self.plan.seed ^ SALT_MEMCPY ^ self.memcpy_draws);
         self.memcpy_draws += 1;
-        unit(draw) < self.plan.memcpy_failure_rate
+        unit_draw(draw) < self.plan.memcpy_failure_rate
     }
 
     /// Injected VRAM pressure in bytes.
@@ -251,8 +274,8 @@ mod tests {
         let mut inj = FaultInjector::new(FaultPlan::none());
         assert!(FaultPlan::none().is_empty());
         for s in 0..4 {
-            assert!(!inj.launch_fails(s));
-            assert!(!inj.memcpy_fails(s));
+            assert!(!inj.launch_fails(s, 0));
+            assert!(!inj.memcpy_fails(s, 0));
             assert!(!inj.hang_on_this_kernel());
         }
         assert_eq!(inj.vram_pressure_bytes(), 0);
@@ -270,11 +293,11 @@ mod tests {
         };
         let mut a = FaultInjector::new(plan.clone());
         let mut b = FaultInjector::new(plan);
-        let da: Vec<bool> = (0..64).map(|_| a.launch_fails(0)).collect();
-        let db: Vec<bool> = (0..64).map(|_| b.launch_fails(0)).collect();
+        let da: Vec<bool> = (0..64).map(|_| a.launch_fails(0, 0)).collect();
+        let db: Vec<bool> = (0..64).map(|_| b.launch_fails(0, 0)).collect();
         assert_eq!(da, db);
-        let ma: Vec<bool> = (0..64).map(|_| a.memcpy_fails(0)).collect();
-        let mb: Vec<bool> = (0..64).map(|_| b.memcpy_fails(0)).collect();
+        let ma: Vec<bool> = (0..64).map(|_| a.memcpy_fails(0, 0)).collect();
+        let mb: Vec<bool> = (0..64).map(|_| b.memcpy_fails(0, 0)).collect();
         assert_eq!(ma, mb);
     }
 
@@ -285,7 +308,7 @@ mod tests {
             launch_failure_rate: 0.25,
             ..FaultPlan::none()
         });
-        let fails = (0..4000).filter(|_| inj.launch_fails(0)).count();
+        let fails = (0..4000).filter(|_| inj.launch_fails(0, 0)).count();
         let rate = fails as f64 / 4000.0;
         assert!((rate - 0.25).abs() < 0.05, "observed rate {rate}");
     }
@@ -298,9 +321,50 @@ mod tests {
             ..FaultPlan::none()
         });
         for _ in 0..10 {
-            assert!(inj.launch_fails(2));
-            assert!(!inj.launch_fails(0));
+            assert!(inj.launch_fails(2, 0));
+            assert!(!inj.launch_fails(0, 0));
         }
+    }
+
+    #[test]
+    fn fault_window_gates_transients_without_consuming_draws() {
+        let plan = FaultPlan {
+            seed: 42,
+            launch_failure_rate: 0.5,
+            memcpy_failure_rate: 0.5,
+            fault_window_ns: Some((1_000, 2_000)),
+            ..FaultPlan::none()
+        };
+        let mut windowed = FaultInjector::new(plan.clone());
+        // Calls before and after the window never fail and consume nothing.
+        for _ in 0..32 {
+            assert!(!windowed.launch_fails(0, 0));
+            assert!(!windowed.memcpy_fails(0, 999));
+            assert!(!windowed.launch_fails(0, 2_000));
+            assert!(!windowed.memcpy_fails(0, 5_000));
+        }
+        // Inside the window the sequence matches an unwindowed injector's
+        // from-the-start sequence: draws are position-indexed, not timed.
+        let mut unwindowed = FaultInjector::new(FaultPlan {
+            fault_window_ns: None,
+            ..plan
+        });
+        let wa: Vec<bool> = (0..64).map(|_| windowed.launch_fails(0, 1_500)).collect();
+        let ua: Vec<bool> = (0..64).map(|_| unwindowed.launch_fails(0, 1_500)).collect();
+        assert_eq!(wa, ua);
+        assert!(wa.iter().any(|&f| f), "0.5 rate must fail sometimes");
+    }
+
+    #[test]
+    fn persistent_streams_ignore_the_fault_window() {
+        let mut inj = FaultInjector::new(FaultPlan {
+            persistent_launch_failure_streams: vec![1],
+            fault_window_ns: Some((100, 200)),
+            ..FaultPlan::none()
+        });
+        assert!(inj.launch_fails(1, 0), "persistent fault outside window");
+        assert!(inj.launch_fails(1, 150));
+        assert!(inj.launch_fails(1, 999));
     }
 
     #[test]
@@ -355,6 +419,7 @@ mod tests {
                 factor: 0.25,
             }),
             hang_after_kernels: Some(5),
+            fault_window_ns: Some((1_000, 2_000)),
         };
         let back = FaultPlan::deserialize(&serde::Serialize::serialize(&plan)).unwrap();
         assert_eq!(back, plan);

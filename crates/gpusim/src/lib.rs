@@ -35,6 +35,6 @@ pub mod trace;
 
 pub use device::DeviceSpec;
 pub use engine::{Gpu, GpuError, OutOfMemory, StreamId};
-pub use fault::{FaultInjector, FaultKind, FaultPlan, ThrottleWindow};
+pub use fault::{splitmix64, unit_draw, FaultInjector, FaultKind, FaultPlan, ThrottleWindow};
 pub use kernel::{KernelClass, KernelDesc};
 pub use trace::{ApiKind, CopyDir, Trace, TraceRecord};

@@ -32,6 +32,9 @@ pub enum Category {
     Pipeline,
     /// Fault recovery (`dcd-core`).
     Resilience,
+    /// Serving runtime: admission, batching, breaker, brownout
+    /// (`dcd-serve`).
+    Serve,
     /// Anything else.
     Other,
 }
@@ -49,6 +52,7 @@ impl Category {
             Category::Ios => "ios",
             Category::Pipeline => "pipeline",
             Category::Resilience => "resilience",
+            Category::Serve => "serve",
             Category::Other => "other",
         }
     }

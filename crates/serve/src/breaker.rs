@@ -1,0 +1,274 @@
+//! Circuit breaker over the fallible executor.
+//!
+//! Standard three-state machine, every transition on the simulated clock:
+//!
+//! ```text
+//!            consecutive failures ≥ threshold
+//!   Closed ────────────────────────────────────▶ Open
+//!     ▲                                           │ open_ns elapse
+//!     │ probe batch succeeds                      ▼
+//!     └──────────────────────────────────────  HalfOpen
+//!                 probe batch fails: back to Open
+//! ```
+//!
+//! While `Open`, the serving loop does not dispatch at all — the device
+//! gets `open_ns` of quiet to ride out a fault window instead of burning
+//! every request's retry budget against a GPU that is down. `HalfOpen`
+//! admits exactly one probe batch to test recovery.
+
+use serde::{Deserialize, Serialize};
+
+/// Breaker state. `label()` is the stable form used in reports/metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BreakerState {
+    /// Traffic flows; failures are being counted.
+    Closed,
+    /// All dispatch suppressed until the open interval elapses.
+    Open,
+    /// One probe batch is allowed through.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable label for reports and metrics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// Breaker tuning.
+///
+/// `#[non_exhaustive]`: construct with [`BreakerConfig::new`] and the
+/// `with_*` builders.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub struct BreakerConfig {
+    /// Consecutive batch failures that trip Closed → Open (min 1).
+    pub failure_threshold: u32,
+    /// How long the breaker stays Open before probing, host ns.
+    pub open_ns: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            open_ns: 2_000_000, // 2 ms
+        }
+    }
+}
+
+impl BreakerConfig {
+    /// The default tuning.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the consecutive-failure trip threshold (clamped to ≥ 1).
+    pub fn with_failure_threshold(mut self, n: u32) -> Self {
+        self.failure_threshold = n.max(1);
+        self
+    }
+
+    /// Sets the Open interval, host ns.
+    pub fn with_open_ns(mut self, ns: u64) -> Self {
+        self.open_ns = ns;
+        self
+    }
+}
+
+/// The state machine. Drive it with [`CircuitBreaker::poll`] (time),
+/// [`CircuitBreaker::on_success`] / [`CircuitBreaker::on_failure`]
+/// (batch outcomes).
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    open_until_ns: u64,
+    transitions: Vec<(u64, BreakerState)>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tuning.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        CircuitBreaker {
+            cfg,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            open_until_ns: 0,
+            transitions: Vec::new(),
+        }
+    }
+
+    fn transition(&mut self, now_ns: u64, to: BreakerState) {
+        self.state = to;
+        self.transitions.push((now_ns, to));
+        dcd_obs::counter!("serve.breaker_transitions").inc();
+    }
+
+    /// Advances time: an elapsed Open interval becomes HalfOpen. Returns
+    /// the state at `now_ns`.
+    pub fn poll(&mut self, now_ns: u64) -> BreakerState {
+        if self.state == BreakerState::Open && now_ns >= self.open_until_ns {
+            self.transition(now_ns, BreakerState::HalfOpen);
+        }
+        self.state
+    }
+
+    /// Whether a batch may be dispatched at `now_ns`.
+    pub fn call_permitted(&mut self, now_ns: u64) -> bool {
+        self.poll(now_ns) != BreakerState::Open
+    }
+
+    /// When the current Open interval ends (None unless Open). The serving
+    /// loop sleeps the simulated clock to this point instead of spinning.
+    pub fn open_until_ns(&self) -> Option<u64> {
+        (self.state == BreakerState::Open).then_some(self.open_until_ns)
+    }
+
+    /// Records a successful batch: a HalfOpen probe success re-closes the
+    /// breaker; any success resets the failure streak.
+    pub fn on_success(&mut self, now_ns: u64) {
+        if self.state == BreakerState::HalfOpen {
+            self.transition(now_ns, BreakerState::Closed);
+        }
+        self.consecutive_failures = 0;
+    }
+
+    /// Records a failed batch: trips Closed → Open at the threshold, and
+    /// any HalfOpen probe failure re-opens immediately.
+    pub fn on_failure(&mut self, now_ns: u64) {
+        self.consecutive_failures += 1;
+        let trip = match self.state {
+            BreakerState::HalfOpen => true,
+            BreakerState::Closed => self.consecutive_failures >= self.cfg.failure_threshold,
+            BreakerState::Open => false,
+        };
+        if trip {
+            self.open_until_ns = now_ns + self.cfg.open_ns;
+            self.transition(now_ns, BreakerState::Open);
+        }
+    }
+
+    /// Current state without advancing time.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Every transition so far as `(host_ns, new_state)`, in order. The
+    /// bit-reproducibility fixture: two runs of the same scenario + seed
+    /// must produce identical vectors.
+    pub fn transitions(&self) -> &[(u64, BreakerState)] {
+        &self.transitions
+    }
+
+    /// Total host ns spent in Open across the run, counting a still-open
+    /// interval up to `end_ns`.
+    pub fn total_open_ns(&self, end_ns: u64) -> u64 {
+        let mut total = 0u64;
+        let mut opened_at: Option<u64> = None;
+        for &(t, s) in &self.transitions {
+            match (opened_at, s) {
+                (None, BreakerState::Open) => opened_at = Some(t),
+                (Some(t0), BreakerState::HalfOpen | BreakerState::Closed) => {
+                    total += t.saturating_sub(t0);
+                    opened_at = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(t0) = opened_at {
+            total += end_ns.saturating_sub(t0);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> CircuitBreaker {
+        CircuitBreaker::new(
+            BreakerConfig::new()
+                .with_failure_threshold(2)
+                .with_open_ns(100),
+        )
+    }
+
+    #[test]
+    fn trips_at_threshold_and_probes_after_open_interval() {
+        let mut b = breaker();
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.on_failure(10);
+        assert_eq!(b.state(), BreakerState::Closed, "below threshold");
+        b.on_failure(20);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.open_until_ns(), Some(120));
+        assert!(!b.call_permitted(119));
+        assert!(b.call_permitted(120), "open interval elapsed");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn halfopen_probe_success_closes_failure_reopens() {
+        let mut b = breaker();
+        b.on_failure(0);
+        b.on_failure(1);
+        assert!(b.call_permitted(101));
+        b.on_success(105);
+        assert_eq!(b.state(), BreakerState::Closed);
+
+        b.on_failure(200);
+        b.on_failure(201);
+        assert!(b.call_permitted(301));
+        b.on_failure(305);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.open_until_ns(), Some(405));
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let mut b = breaker();
+        b.on_failure(0);
+        b.on_success(1);
+        b.on_failure(2);
+        assert_eq!(b.state(), BreakerState::Closed, "streak was broken");
+    }
+
+    #[test]
+    fn transition_log_and_open_time_accounting() {
+        let mut b = breaker();
+        b.on_failure(0);
+        b.on_failure(10); // Open @10 until 110
+        b.poll(110); // HalfOpen @110
+        b.on_failure(115); // Open @115 until 215
+        b.poll(215); // HalfOpen @215
+        b.on_success(220); // Closed @220
+        let states: Vec<_> = b.transitions().iter().map(|(_, s)| *s).collect();
+        assert_eq!(
+            states,
+            vec![
+                BreakerState::Open,
+                BreakerState::HalfOpen,
+                BreakerState::Open,
+                BreakerState::HalfOpen,
+                BreakerState::Closed,
+            ]
+        );
+        assert_eq!(b.total_open_ns(1000), (110 - 10) + (215 - 115));
+    }
+
+    #[test]
+    fn still_open_interval_counts_to_end() {
+        let mut b = breaker();
+        b.on_failure(0);
+        b.on_failure(50); // Open @50
+        assert_eq!(b.total_open_ns(80), 30);
+    }
+}

@@ -1,0 +1,265 @@
+//! Brownout controller: graceful degradation under queue pressure.
+//!
+//! Rather than a binary up/down, the server steps through degraded modes,
+//! each shedding a little more quality of service to protect throughput:
+//!
+//! ```text
+//! level 0  Normal          full batch cap, primary (IOS) schedule
+//! level 1  ReducedBatch    batch cap halved (smaller VRAM + blast radius)
+//! level 2  Sequential      + fallback to the sequential schedule
+//! level 3  ShedLowPriority + Low-priority requests rejected at admission
+//! ```
+//!
+//! The controller steps **up** one level per evaluation whenever queue
+//! pressure reaches `enter_pressure` *or* the circuit breaker is not
+//! closed. It steps **down** only when pressure has fallen to
+//! `exit_pressure`, the breaker is closed, *and* the level has dwelt at
+//! least `dwell_ns` — the hysteresis that stops the server oscillating at
+//! a threshold (`enter_pressure > exit_pressure` always holds; the
+//! builders enforce it).
+
+use serde::{Deserialize, Serialize};
+
+/// Degradation level, ordered: higher = more degraded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum BrownoutLevel {
+    /// Full service.
+    Normal,
+    /// Batch cap halved.
+    ReducedBatch,
+    /// Reduced batch + sequential schedule.
+    Sequential,
+    /// Sequential + low-priority admission shedding.
+    ShedLowPriority,
+}
+
+impl BrownoutLevel {
+    fn step_up(self) -> Self {
+        match self {
+            BrownoutLevel::Normal => BrownoutLevel::ReducedBatch,
+            BrownoutLevel::ReducedBatch => BrownoutLevel::Sequential,
+            _ => BrownoutLevel::ShedLowPriority,
+        }
+    }
+
+    fn step_down(self) -> Self {
+        match self {
+            BrownoutLevel::ShedLowPriority => BrownoutLevel::Sequential,
+            BrownoutLevel::Sequential => BrownoutLevel::ReducedBatch,
+            _ => BrownoutLevel::Normal,
+        }
+    }
+
+    /// Stable label for reports and metrics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BrownoutLevel::Normal => "normal",
+            BrownoutLevel::ReducedBatch => "reduced-batch",
+            BrownoutLevel::Sequential => "sequential",
+            BrownoutLevel::ShedLowPriority => "shed-low-priority",
+        }
+    }
+}
+
+/// Controller tuning.
+///
+/// `#[non_exhaustive]`: construct with [`BrownoutConfig::new`] and the
+/// `with_*` builders (which keep `enter_pressure > exit_pressure`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub struct BrownoutConfig {
+    /// Queue pressure at or above which the level steps up, in `(0, 1]`.
+    pub enter_pressure: f64,
+    /// Queue pressure at or below which recovery is allowed, in `[0, 1)`.
+    pub exit_pressure: f64,
+    /// Minimum time at a level before stepping down, host ns.
+    pub dwell_ns: u64,
+}
+
+impl Default for BrownoutConfig {
+    fn default() -> Self {
+        BrownoutConfig {
+            enter_pressure: 0.75,
+            exit_pressure: 0.25,
+            dwell_ns: 5_000_000, // 5 ms
+        }
+    }
+}
+
+impl BrownoutConfig {
+    /// The default tuning.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the step-up pressure threshold; `exit_pressure` is pulled
+    /// below it if necessary.
+    pub fn with_enter_pressure(mut self, p: f64) -> Self {
+        self.enter_pressure = p.clamp(1e-6, 1.0);
+        self.exit_pressure = self.exit_pressure.min(self.enter_pressure - 1e-6);
+        self
+    }
+
+    /// Sets the recovery pressure threshold, clamped below
+    /// `enter_pressure`.
+    pub fn with_exit_pressure(mut self, p: f64) -> Self {
+        self.exit_pressure = p.clamp(0.0, self.enter_pressure - 1e-6);
+        self
+    }
+
+    /// Sets the minimum dwell before a step down, host ns.
+    pub fn with_dwell_ns(mut self, ns: u64) -> Self {
+        self.dwell_ns = ns;
+        self
+    }
+}
+
+/// The hysteretic state machine. Call [`BrownoutController::evaluate`]
+/// once per serving-loop iteration.
+#[derive(Debug)]
+pub struct BrownoutController {
+    cfg: BrownoutConfig,
+    level: BrownoutLevel,
+    level_since_ns: u64,
+    transitions: Vec<(u64, BrownoutLevel)>,
+}
+
+impl BrownoutController {
+    /// A controller at `Normal` with the given tuning.
+    pub fn new(cfg: BrownoutConfig) -> Self {
+        BrownoutController {
+            cfg,
+            level: BrownoutLevel::Normal,
+            level_since_ns: 0,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Current level.
+    pub fn level(&self) -> BrownoutLevel {
+        self.level
+    }
+
+    /// Whether `Low`-priority requests are currently shed at admission.
+    pub fn sheds_low_priority(&self) -> bool {
+        self.level >= BrownoutLevel::ShedLowPriority
+    }
+
+    /// Whether the sequential fallback schedule should be active.
+    pub fn wants_sequential(&self) -> bool {
+        self.level >= BrownoutLevel::Sequential
+    }
+
+    /// Effective batch cap at the current level (`cap` halved from level
+    /// 1 up, never below 1).
+    pub fn effective_batch_cap(&self, cap: usize) -> usize {
+        if self.level >= BrownoutLevel::ReducedBatch {
+            (cap / 2).max(1)
+        } else {
+            cap
+        }
+    }
+
+    /// One control step at `now_ns`: steps up (at most one level) under
+    /// pressure or an unhealthy breaker, steps down (at most one level)
+    /// only under the hysteresis conditions. Returns the level afterwards.
+    pub fn evaluate(&mut self, now_ns: u64, pressure: f64, breaker_closed: bool) -> BrownoutLevel {
+        if pressure >= self.cfg.enter_pressure || !breaker_closed {
+            let next = self.level.step_up();
+            if next != self.level {
+                self.level = next;
+                self.level_since_ns = now_ns;
+                self.transitions.push((now_ns, next));
+                dcd_obs::counter!("serve.brownout_steps").inc();
+            }
+        } else if pressure <= self.cfg.exit_pressure
+            && now_ns.saturating_sub(self.level_since_ns) >= self.cfg.dwell_ns
+        {
+            let next = self.level.step_down();
+            if next != self.level {
+                self.level = next;
+                self.level_since_ns = now_ns;
+                self.transitions.push((now_ns, next));
+            }
+        }
+        self.level
+    }
+
+    /// Every level change so far as `(host_ns, new_level)`, in order.
+    pub fn transitions(&self) -> &[(u64, BrownoutLevel)] {
+        &self.transitions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctl() -> BrownoutController {
+        BrownoutController::new(
+            BrownoutConfig::new()
+                .with_enter_pressure(0.8)
+                .with_exit_pressure(0.2)
+                .with_dwell_ns(100),
+        )
+    }
+
+    #[test]
+    fn steps_up_one_level_per_evaluation_and_saturates() {
+        let mut c = ctl();
+        assert_eq!(c.evaluate(0, 0.9, true), BrownoutLevel::ReducedBatch);
+        assert_eq!(c.evaluate(1, 0.9, true), BrownoutLevel::Sequential);
+        assert_eq!(c.evaluate(2, 0.9, true), BrownoutLevel::ShedLowPriority);
+        assert_eq!(c.evaluate(3, 0.9, true), BrownoutLevel::ShedLowPriority);
+        assert!(c.sheds_low_priority());
+        assert!(c.wants_sequential());
+        assert_eq!(c.effective_batch_cap(8), 4);
+    }
+
+    #[test]
+    fn open_breaker_forces_degradation_even_without_pressure() {
+        let mut c = ctl();
+        assert_eq!(c.evaluate(0, 0.0, false), BrownoutLevel::ReducedBatch);
+    }
+
+    #[test]
+    fn recovery_requires_low_pressure_closed_breaker_and_dwell() {
+        let mut c = ctl();
+        c.evaluate(0, 0.9, true); // → ReducedBatch at t=0
+                                  // Mid-band pressure: hysteresis holds the level.
+        assert_eq!(c.evaluate(50, 0.5, true), BrownoutLevel::ReducedBatch);
+        // Low pressure but dwell not yet served.
+        assert_eq!(c.evaluate(60, 0.1, true), BrownoutLevel::ReducedBatch);
+        // Low pressure but breaker open: no recovery (steps up instead).
+        assert_eq!(c.evaluate(200, 0.1, false), BrownoutLevel::Sequential);
+        // All three conditions met → one step down per evaluation.
+        assert_eq!(c.evaluate(400, 0.1, true), BrownoutLevel::ReducedBatch);
+        assert_eq!(c.evaluate(399 + 200, 0.1, true), BrownoutLevel::Normal);
+        assert_eq!(c.effective_batch_cap(8), 8);
+    }
+
+    #[test]
+    fn transitions_are_recorded_in_order() {
+        let mut c = ctl();
+        c.evaluate(5, 1.0, true);
+        c.evaluate(10, 1.0, true);
+        c.evaluate(500, 0.0, true);
+        let t = c.transitions();
+        assert_eq!(
+            t,
+            &[
+                (5, BrownoutLevel::ReducedBatch),
+                (10, BrownoutLevel::Sequential),
+                (500, BrownoutLevel::ReducedBatch),
+            ]
+        );
+    }
+
+    #[test]
+    fn builders_keep_enter_above_exit() {
+        let cfg = BrownoutConfig::new()
+            .with_exit_pressure(0.9)
+            .with_enter_pressure(0.5);
+        assert!(cfg.enter_pressure > cfg.exit_pressure);
+    }
+}

@@ -1,0 +1,251 @@
+//! Named, seeded chaos scenarios: a [`FaultPlan`] composed with an arrival
+//! profile and a serving configuration, plus the machinery to run one and
+//! check its SLO invariants.
+//!
+//! ## Scenario format
+//!
+//! A [`Scenario`] is fully declarative — `(name, seed)` pins every random
+//! draw in the run (arrival times, priorities, fault decisions, retry
+//! jitter), so the same pair replays bit-identically: same served / shed /
+//! dropped counts, same breaker transition sequence, on any machine and
+//! any thread count. The catalog:
+//!
+//! | name             | faults                                | load    |
+//! |------------------|---------------------------------------|---------|
+//! | `clean`          | none                                  | Poisson |
+//! | `fault-burst`    | transient launch+memcpy failures in a | Poisson |
+//! |                  | host-time window mid-run              |         |
+//! | `vram-squeeze`   | VRAM pressure (forces batch shrink)   | burst   |
+//! | `overload`       | none (queue pressure does the damage) | burst   |
+//! | `broken-streams` | persistent failures on streams ≥ 1    | Poisson |
+//! | `hang`           | device hang once, watchdog + reset    | Poisson |
+
+use crate::arrival::{ArrivalConfig, ArrivalProfile};
+use crate::breaker::BreakerConfig;
+use crate::brownout::BrownoutConfig;
+use crate::runtime::{ServeConfig, ServeReport, ServeRuntime};
+use dcd_core::RetryPolicy;
+use dcd_gpusim::{DeviceSpec, FaultPlan, Gpu, Trace};
+use dcd_ios::{greedy_schedule, lower_sppnet, sequential_schedule};
+use dcd_nn::SppNetConfig;
+use serde::{Deserialize, Serialize};
+
+/// One named chaos scenario, fully determined by `(name, seed)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Catalog name.
+    pub name: String,
+    /// Scenario seed: arrival draws, fault draws, and retry jitter all
+    /// derive from it (with distinct salts).
+    pub seed: u64,
+    /// Faults injected into the simulated GPU.
+    pub fault_plan: FaultPlan,
+    /// Offered load.
+    pub arrivals: ArrivalConfig,
+    /// Serving-runtime tuning.
+    pub serve: ServeConfig,
+}
+
+/// All catalog scenario names, in a stable order.
+pub fn scenario_names() -> &'static [&'static str] {
+    &[
+        "clean",
+        "fault-burst",
+        "vram-squeeze",
+        "overload",
+        "broken-streams",
+        "hang",
+    ]
+}
+
+/// The model every scenario serves: the tiny SPP-Net at 16×16 input —
+/// small enough that a whole chaos suite runs in seconds of real time,
+/// structured enough (parallel branches) that IOS vs. sequential schedules
+/// differ.
+pub fn scenario_model() -> SppNetConfig {
+    SppNetConfig::tiny()
+}
+
+/// Looks up a scenario by catalog name. Returns `None` for unknown names
+/// (the CLI turns that into a usage error listing the catalog).
+pub fn scenario(name: &str, seed: u64) -> Option<Scenario> {
+    // Base tuning shared by the catalog: ~1.3k req/s against a device
+    // that sustains several thousand batched inferences per second, 20 ms
+    // deadlines, a breaker that trips after 3 failed batches and probes
+    // after 2 ms, brownout between 25% and 75% queue pressure.
+    let arrivals = ArrivalConfig::new(seed)
+        .with_profile(ArrivalProfile::Poisson {
+            rate_per_sec: 1300.0,
+        })
+        .with_duration_ns(60_000_000)
+        .with_deadline_ns(20_000_000);
+    let serve = ServeConfig::new()
+        .with_queue_capacity(64)
+        .with_batch_cap(8)
+        .with_batch_timeout_ns(1_000_000)
+        .with_breaker(
+            BreakerConfig::new()
+                .with_failure_threshold(3)
+                .with_open_ns(2_000_000),
+        )
+        .with_brownout(
+            BrownoutConfig::new()
+                .with_enter_pressure(0.75)
+                .with_exit_pressure(0.25)
+                .with_dwell_ns(5_000_000),
+        )
+        .with_drain_grace_ns(50_000_000)
+        .with_retry(RetryPolicy::new().with_jitter_seed(seed));
+
+    let s = match name {
+        "clean" => Scenario {
+            name: name.to_string(),
+            seed,
+            fault_plan: FaultPlan::none(),
+            arrivals,
+            serve,
+        },
+        // A bounded outage: one third of launches and memcpys fail inside
+        // [15 ms, 35 ms). The breaker must open during the window and
+        // re-close after it; brownout + breaker keep ≥ 90% of requests
+        // inside their deadline.
+        "fault-burst" => Scenario {
+            name: name.to_string(),
+            seed,
+            fault_plan: FaultPlan {
+                seed,
+                launch_failure_rate: 0.35,
+                memcpy_failure_rate: 0.2,
+                fault_window_ns: Some((15_000_000, 35_000_000)),
+                ..FaultPlan::none()
+            },
+            arrivals,
+            serve,
+        },
+        // A co-tenant eats VRAM down to where batch 8 no longer fits but
+        // batch 4 does: the runner degrades the batch and the server
+        // lives with the reduced throughput. Pressure is computed from
+        // the model's real footprint so the scenario tracks the model.
+        "vram-squeeze" => Scenario {
+            name: name.to_string(),
+            seed,
+            fault_plan: FaultPlan {
+                seed,
+                vram_pressure_bytes: {
+                    let g = lower_sppnet(&scenario_model(), (16, 16));
+                    let fits_batch_5 = g.weight_bytes() + g.activation_bytes(5);
+                    DeviceSpec::test_gpu().mem_capacity - fits_batch_5
+                },
+                ..FaultPlan::none()
+            },
+            arrivals: arrivals.with_profile(ArrivalProfile::Burst {
+                base_rate_per_sec: 800.0,
+                burst_rate_per_sec: 3000.0,
+                burst_start_ns: 20_000_000,
+                burst_end_ns: 40_000_000,
+            }),
+            serve,
+        },
+        // No faults at all — the load itself is the adversary. The burst
+        // rate is ~2.5× the device's batched throughput (~60k inf/s for
+        // the tiny model), so the queue must overrun; shedding and
+        // brownout keep latency bounded instead of letting the backlog
+        // smear into every later request.
+        "overload" => Scenario {
+            name: name.to_string(),
+            seed,
+            fault_plan: FaultPlan::none(),
+            arrivals: arrivals.with_profile(ArrivalProfile::Burst {
+                base_rate_per_sec: 1000.0,
+                burst_rate_per_sec: 150_000.0,
+                burst_start_ns: 15_000_000,
+                burst_end_ns: 35_000_000,
+            }),
+            serve,
+        },
+        // Streams 1+ are persistently broken: the first multi-stream batch
+        // burns its retry budget, latches the sequential fallback, and the
+        // rest of the run proceeds single-stream.
+        "broken-streams" => Scenario {
+            name: name.to_string(),
+            seed,
+            fault_plan: FaultPlan {
+                seed,
+                persistent_launch_failure_streams: vec![1, 2, 3],
+                ..FaultPlan::none()
+            },
+            arrivals,
+            serve,
+        },
+        // The device wedges once mid-run; the watchdog fires, the executor
+        // resets the device, and serving resumes.
+        "hang" => Scenario {
+            name: name.to_string(),
+            seed,
+            fault_plan: FaultPlan {
+                seed,
+                hang_after_kernels: Some(400),
+                ..FaultPlan::none()
+            },
+            arrivals,
+            serve: serve.with_retry(
+                RetryPolicy::new()
+                    .with_jitter_seed(seed)
+                    .with_watchdog_ns(3_000_000),
+            ),
+        },
+        _ => return None,
+    };
+    Some(s)
+}
+
+/// Runs a scenario to completion, returning the report and the simulated
+/// device trace (for the merged timeline).
+pub fn run_scenario(sc: &Scenario) -> (ServeReport, Trace) {
+    let _span = dcd_obs::span("serve.scenario", dcd_obs::Category::Serve);
+    let graph = lower_sppnet(&scenario_model(), (16, 16));
+    let mut gpu = Gpu::new(DeviceSpec::test_gpu());
+    gpu.set_fault_plan(sc.fault_plan.clone());
+    let offered = sc.arrivals.generate();
+    let mut rt = ServeRuntime::new(
+        &graph,
+        greedy_schedule(&graph),
+        sequential_schedule(&graph),
+        gpu,
+        sc.serve,
+    )
+    .expect("tiny model fits the test GPU at batch 1");
+    let report = rt.run(&offered);
+    (report, rt.into_trace())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_names_all_resolve_and_unknown_does_not() {
+        for name in scenario_names() {
+            let sc = scenario(name, 1).unwrap_or_else(|| panic!("{name} missing"));
+            assert_eq!(sc.name, *name);
+        }
+        assert!(scenario("no-such-scenario", 1).is_none());
+    }
+
+    #[test]
+    fn scenario_roundtrips_through_value_tree() {
+        let sc = scenario("fault-burst", 9).unwrap();
+        let back = Scenario::deserialize(&serde::Serialize::serialize(&sc)).unwrap();
+        assert_eq!(back, sc);
+    }
+
+    #[test]
+    fn clean_scenario_serves_everything_cleanly() {
+        let (report, trace) = run_scenario(&scenario("clean", 3).unwrap());
+        assert!(report.conserved(), "{report:?}");
+        assert!(report.served_fraction() > 0.99, "{report:?}");
+        assert!(report.health.is_clean());
+        assert!(report.breaker_transitions.is_empty());
+        assert!(!trace.records.is_empty());
+    }
+}

@@ -1,0 +1,46 @@
+//! # dcd-serve
+//!
+//! A deterministic, fault-aware inference-serving runtime over the
+//! simulated GPU — the load-facing robustness layer the paper's
+//! "large volume of inferences" regime (§5.1) actually runs in.
+//!
+//! PR 1 made a *single* inference resilient (retry/backoff, OOM batch
+//! degradation, schedule fallback). This crate protects the *system* when
+//! many requests meet a faulty or saturated device:
+//!
+//! * [`ArrivalConfig`] — seeded open-loop request generation (Poisson and
+//!   burst profiles) with per-request deadlines and priorities;
+//! * [`AdmissionQueue`] — bounded queue, reject-on-full load shedding,
+//!   deadline drop-on-dequeue;
+//! * dynamic batching in [`ServeRuntime`] — coalesce up to a batch cap or
+//!   a batching timeout, execute under `dcd_core::ResilientRunner`;
+//! * [`CircuitBreaker`] — Closed → Open on consecutive batch failures,
+//!   timed Half-Open probe, every transition on the simulated clock;
+//! * [`BrownoutController`] — hysteretic degradation ladder (shrink batch
+//!   → sequential schedule → shed low-priority) driven by queue pressure
+//!   and breaker health;
+//! * graceful drain — after the last arrival the queue is drained within a
+//!   grace period and the remainder reported unserved, so every offered
+//!   request is accounted for exactly once ([`ServeReport::conserved`]);
+//! * [`chaos`] — named, seeded scenarios composing a fault plan with an
+//!   arrival profile, bit-reproducible by construction.
+//!
+//! Everything runs on the one simulated host clock; no wall-clock reads,
+//! no OS threads — which is why `RAYON_NUM_THREADS` cannot change a single
+//! counter in a [`ServeReport`].
+
+pub mod arrival;
+pub mod breaker;
+pub mod brownout;
+pub mod chaos;
+pub mod queue;
+pub mod request;
+pub mod runtime;
+
+pub use arrival::{ArrivalConfig, ArrivalProfile};
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use brownout::{BrownoutConfig, BrownoutController, BrownoutLevel};
+pub use chaos::{run_scenario, scenario, scenario_names, Scenario};
+pub use queue::AdmissionQueue;
+pub use request::{Outcome, Priority, Request};
+pub use runtime::{ServeConfig, ServeReport, ServeRuntime};

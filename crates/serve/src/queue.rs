@@ -1,0 +1,167 @@
+//! Bounded admission queue with load shedding and deadline drops.
+
+use crate::request::Request;
+use std::collections::VecDeque;
+
+/// FIFO queue with a hard capacity. Admission control happens at
+/// [`AdmissionQueue::admit`] (reject-on-full = load shedding); expiry is
+/// enforced lazily at dequeue time by [`AdmissionQueue::take_batch`]
+/// (drop-on-dequeue), so the queue itself never spends time scanning.
+#[derive(Debug)]
+pub struct AdmissionQueue {
+    capacity: usize,
+    items: VecDeque<Request>,
+}
+
+impl AdmissionQueue {
+    /// An empty queue holding at most `capacity` requests (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        AdmissionQueue {
+            capacity,
+            items: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// Hard capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Requests currently queued.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Queue pressure in `[0, 1]`: occupancy over capacity. The brownout
+    /// controller's input signal.
+    pub fn pressure(&self) -> f64 {
+        self.items.len() as f64 / self.capacity as f64
+    }
+
+    /// Host time at which the oldest queued request arrived, if any — the
+    /// batcher's timeout anchor.
+    pub fn oldest_arrival_ns(&self) -> Option<u64> {
+        self.items.front().map(|r| r.arrival_ns)
+    }
+
+    /// Admits a request, or returns it when the queue is full (the caller
+    /// counts it as shed).
+    pub fn admit(&mut self, req: Request) -> Result<(), Request> {
+        if self.items.len() >= self.capacity {
+            return Err(req);
+        }
+        self.items.push_back(req);
+        Ok(())
+    }
+
+    /// Returns admitted-but-unfinished requests to the queue front in
+    /// their original order (a failed batch being requeued). Capacity is
+    /// deliberately not re-checked: these requests were already admitted,
+    /// and the queue cannot have grown past `capacity - batch.len()`
+    /// admissions while the batch was out being executed.
+    pub fn requeue_front(&mut self, batch: Vec<Request>) {
+        for req in batch.into_iter().rev() {
+            self.items.push_front(req);
+        }
+        debug_assert!(self.items.len() <= self.capacity);
+    }
+
+    /// Dequeues up to `max` unexpired requests for one batch, discarding
+    /// expired requests encountered at the front into `dropped`.
+    pub fn take_batch(
+        &mut self,
+        max: usize,
+        now_ns: u64,
+        dropped: &mut Vec<Request>,
+    ) -> Vec<Request> {
+        let mut batch = Vec::new();
+        while batch.len() < max {
+            let Some(req) = self.items.pop_front() else {
+                break;
+            };
+            if req.expired(now_ns) {
+                dropped.push(req);
+            } else {
+                batch.push(req);
+            }
+        }
+        batch
+    }
+
+    /// Empties the queue, returning everything still inside (drain-time
+    /// unserved accounting).
+    pub fn drain_remaining(&mut self) -> Vec<Request> {
+        self.items.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Priority;
+
+    fn req(id: u64, deadline_ns: u64) -> Request {
+        Request {
+            id,
+            arrival_ns: id,
+            deadline_ns,
+            priority: Priority::High,
+        }
+    }
+
+    #[test]
+    fn admission_rejects_on_full() {
+        let mut q = AdmissionQueue::new(2);
+        assert!(q.admit(req(0, 100)).is_ok());
+        assert!(q.admit(req(1, 100)).is_ok());
+        let rejected = q.admit(req(2, 100)).unwrap_err();
+        assert_eq!(rejected.id, 2);
+        assert_eq!(q.len(), 2);
+        assert!((q.pressure() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn take_batch_drops_expired_and_respects_max() {
+        let mut q = AdmissionQueue::new(8);
+        q.admit(req(0, 10)).unwrap(); // expired at now=50
+        q.admit(req(1, 100)).unwrap();
+        q.admit(req(2, 20)).unwrap(); // expired
+        q.admit(req(3, 100)).unwrap();
+        q.admit(req(4, 100)).unwrap();
+        let mut dropped = Vec::new();
+        let batch = q.take_batch(2, 50, &mut dropped);
+        assert_eq!(batch.iter().map(|r| r.id).collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(dropped.iter().map(|r| r.id).collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(q.len(), 1, "id 4 stays queued");
+    }
+
+    #[test]
+    fn requeue_front_preserves_order() {
+        let mut q = AdmissionQueue::new(8);
+        q.admit(req(2, 100)).unwrap();
+        let mut dropped = Vec::new();
+        q.requeue_front(vec![req(0, 100), req(1, 100)]);
+        let batch = q.take_batch(3, 0, &mut dropped);
+        assert_eq!(
+            batch.iter().map(|r| r.id).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert!(dropped.is_empty());
+    }
+
+    #[test]
+    fn drain_remaining_empties_the_queue() {
+        let mut q = AdmissionQueue::new(4);
+        q.admit(req(0, 1)).unwrap();
+        q.admit(req(1, 1)).unwrap();
+        let rest = q.drain_remaining();
+        assert_eq!(rest.len(), 2);
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,83 @@
+//! Requests flowing through the serving runtime.
+
+use serde::{Deserialize, Serialize};
+
+/// Scheduling class of a request. Brownout level 3 sheds `Low` requests at
+/// admission to protect `High` traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Priority {
+    /// Shed first under brownout.
+    Low,
+    /// Served as long as anything is served.
+    High,
+}
+
+/// One inference request in simulated time. Times are absolute host ns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    /// Monotone id in arrival order (also the jitter/priority draw index).
+    pub id: u64,
+    /// When the request enters the system, host ns.
+    pub arrival_ns: u64,
+    /// Absolute completion deadline, host ns. A request finishing after
+    /// this still completes ("late") but misses its SLO; a request still
+    /// queued past it is dropped on dequeue.
+    pub deadline_ns: u64,
+    /// Scheduling class.
+    pub priority: Priority,
+}
+
+impl Request {
+    /// Whether the deadline has passed at host time `now_ns`.
+    pub fn expired(&self, now_ns: u64) -> bool {
+        now_ns > self.deadline_ns
+    }
+}
+
+/// Terminal state of a request, for the conservation ledger: every offered
+/// request ends in exactly one of these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Outcome {
+    /// Completed within its deadline.
+    Served,
+    /// Completed after its deadline (still answered, SLO missed).
+    Late,
+    /// Rejected at admission: queue full.
+    ShedCapacity,
+    /// Rejected at admission: brownout shed a `Low`-priority request.
+    ShedBrownout,
+    /// Expired while queued; discarded at dequeue.
+    Dropped,
+    /// Still queued when the drain deadline ended the run.
+    Unserved,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expiry_is_strictly_after_deadline() {
+        let r = Request {
+            id: 0,
+            arrival_ns: 10,
+            deadline_ns: 100,
+            priority: Priority::High,
+        };
+        assert!(!r.expired(99));
+        assert!(!r.expired(100), "deadline instant still counts as on time");
+        assert!(r.expired(101));
+    }
+
+    #[test]
+    fn request_roundtrips_through_value_tree() {
+        let r = Request {
+            id: 7,
+            arrival_ns: 1,
+            deadline_ns: 2,
+            priority: Priority::Low,
+        };
+        let back = Request::deserialize(&serde::Serialize::serialize(&r)).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,550 @@
+//! The serving runtime: a deterministic event loop over the simulated
+//! clock, tying together admission, batching, the circuit breaker, the
+//! brownout controller, and the resilient executor.
+//!
+//! ## Clock model
+//!
+//! There is exactly one clock: the simulated host clock of the underlying
+//! [`dcd_gpusim::Gpu`]. Executing a batch advances it (API overheads,
+//! synchronization, retry backoff); when the loop has nothing to do it
+//! *sleeps* by [`dcd_gpusim::Gpu::host_busy`] to the earliest event that
+//! could change its mind — the next arrival, the batching timeout of the
+//! oldest queued request, the end of a breaker-open interval, or the drain
+//! deadline. No wall-clock time is ever read, which is what makes chaos
+//! scenarios bit-reproducible across runs and thread counts.
+//!
+//! ## One loop iteration
+//!
+//! 1. admit every arrival with `arrival_ns ≤ now` (brownout level 3 sheds
+//!    `Low` priority; a full queue sheds the rest);
+//! 2. stop at the drain deadline, or finish when the queue is empty and no
+//!    arrivals remain;
+//! 3. if the breaker is open, sleep toward its probe time;
+//! 4. dispatch when the (brownout-effective) batch cap is reached, the
+//!    oldest request has waited out the batching timeout, or no more
+//!    arrivals can top the batch up — otherwise sleep;
+//! 5. expired requests are dropped at dequeue; the survivors execute under
+//!    [`ResilientRunner`] (retry/backoff, OOM degradation, hang reset);
+//! 6. outcome feeds the breaker; a failed batch is requeued at the front
+//!    (its requests expire naturally if the outage persists);
+//! 7. the brownout controller re-evaluates queue pressure and breaker
+//!    health.
+
+use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+use crate::brownout::{BrownoutConfig, BrownoutController, BrownoutLevel};
+use crate::queue::AdmissionQueue;
+use crate::request::{Priority, Request};
+use dcd_core::{ResilientRunner, RetryPolicy, RunHealth};
+use dcd_gpusim::{Gpu, Trace};
+use dcd_ios::{ExecError, Graph, Schedule};
+use serde::{Deserialize, Serialize};
+
+/// Serving-runtime tuning.
+///
+/// `#[non_exhaustive]`: construct with [`ServeConfig::new`] and the
+/// `with_*` builders.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub struct ServeConfig {
+    /// Admission queue capacity (requests).
+    pub queue_capacity: usize,
+    /// Batch cap at brownout level 0 (halved from level 1 up).
+    pub batch_cap: usize,
+    /// Max time the oldest queued request waits before a partial batch
+    /// dispatches anyway, host ns.
+    pub batch_timeout_ns: u64,
+    /// Circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+    /// Brownout-controller tuning.
+    pub brownout: BrownoutConfig,
+    /// How long after the last arrival the loop keeps draining the queue
+    /// before declaring the remainder unserved, host ns.
+    pub drain_grace_ns: u64,
+    /// Retry policy for the wrapped [`ResilientRunner`].
+    pub retry: RetryPolicy,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_capacity: 64,
+            batch_cap: 8,
+            batch_timeout_ns: 1_000_000, // 1 ms
+            breaker: BreakerConfig::default(),
+            brownout: BrownoutConfig::default(),
+            drain_grace_ns: 50_000_000, // 50 ms
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The default tuning.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the admission queue capacity (clamped to ≥ 1).
+    pub fn with_queue_capacity(mut self, n: usize) -> Self {
+        self.queue_capacity = n.max(1);
+        self
+    }
+
+    /// Sets the level-0 batch cap (clamped to ≥ 1).
+    pub fn with_batch_cap(mut self, n: usize) -> Self {
+        self.batch_cap = n.max(1);
+        self
+    }
+
+    /// Sets the batching timeout, host ns.
+    pub fn with_batch_timeout_ns(mut self, ns: u64) -> Self {
+        self.batch_timeout_ns = ns;
+        self
+    }
+
+    /// Sets the circuit-breaker tuning.
+    pub fn with_breaker(mut self, b: BreakerConfig) -> Self {
+        self.breaker = b;
+        self
+    }
+
+    /// Sets the brownout tuning.
+    pub fn with_brownout(mut self, b: BrownoutConfig) -> Self {
+        self.brownout = b;
+        self
+    }
+
+    /// Sets the drain grace period, host ns.
+    pub fn with_drain_grace_ns(mut self, ns: u64) -> Self {
+        self.drain_grace_ns = ns;
+        self
+    }
+
+    /// Sets the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+}
+
+/// Everything a serving run produced, with a conservation ledger: each
+/// offered request lands in exactly one terminal counter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Requests in the offered load.
+    pub offered: u64,
+    /// Completed within their deadline.
+    pub served: u64,
+    /// Completed after their deadline.
+    pub late: u64,
+    /// Rejected at admission because the queue was full.
+    pub shed_capacity: u64,
+    /// Rejected at admission by brownout low-priority shedding.
+    pub shed_brownout: u64,
+    /// Expired in the queue, discarded at dequeue.
+    pub dropped: u64,
+    /// Still queued when the drain deadline ended the run.
+    pub unserved: u64,
+    /// Batches that completed.
+    pub batches: u64,
+    /// Batches whose whole recovery ladder failed (requeued).
+    pub failed_batches: u64,
+    /// Exact p50 of completion latency (arrival → completion), ns; 0 when
+    /// nothing completed.
+    pub p50_latency_ns: u64,
+    /// Exact p99 of completion latency, ns; 0 when nothing completed.
+    pub p99_latency_ns: u64,
+    /// Breaker transition log `(host_ns, state)` — the bit-reproducibility
+    /// fixture.
+    pub breaker_transitions: Vec<(u64, BreakerState)>,
+    /// Brownout transition log `(host_ns, level)`.
+    pub brownout_transitions: Vec<(u64, BrownoutLevel)>,
+    /// Total host ns the breaker spent open.
+    pub breaker_open_ns: u64,
+    /// Aggregated resilience counters from the executor.
+    pub health: RunHealth,
+    /// Whether a failure-driven schedule fallback latched.
+    pub fell_back: bool,
+    /// Host clock when the run ended, ns.
+    pub end_ns: u64,
+}
+
+impl ServeReport {
+    /// The conservation invariant: every offered request is accounted for
+    /// exactly once.
+    pub fn conserved(&self) -> bool {
+        self.served
+            + self.late
+            + self.shed_capacity
+            + self.shed_brownout
+            + self.dropped
+            + self.unserved
+            == self.offered
+    }
+
+    /// Fraction of offered requests served within deadline (the SLO
+    /// metric); 1.0 for an empty load.
+    pub fn served_fraction(&self) -> f64 {
+        if self.offered == 0 {
+            1.0
+        } else {
+            self.served as f64 / self.offered as f64
+        }
+    }
+
+    /// Final breaker state (`Closed` when the breaker never transitioned).
+    pub fn final_breaker_state(&self) -> BreakerState {
+        self.breaker_transitions
+            .last()
+            .map(|&(_, s)| s)
+            .unwrap_or(BreakerState::Closed)
+    }
+}
+
+/// Nearest-rank percentile of an unsorted latency sample.
+fn percentile_ns(latencies: &mut [u64], q: f64) -> u64 {
+    if latencies.is_empty() {
+        return 0;
+    }
+    latencies.sort_unstable();
+    let rank = ((q * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len());
+    latencies[rank - 1]
+}
+
+/// The serving runtime. Borrows the lowered graph for the lifetime of the
+/// run; consume with [`ServeRuntime::into_trace`] for the device timeline.
+pub struct ServeRuntime<'g> {
+    runner: ResilientRunner<'g>,
+    cfg: ServeConfig,
+    queue: AdmissionQueue,
+    breaker: CircuitBreaker,
+    brownout: BrownoutController,
+}
+
+impl<'g> ServeRuntime<'g> {
+    /// Builds the runtime on a (possibly fault-planned) GPU. The executor
+    /// is sized toward `cfg.batch_cap` (degrading under VRAM pressure like
+    /// any [`ResilientRunner`]).
+    pub fn new(
+        graph: &'g Graph,
+        primary: Schedule,
+        fallback: Schedule,
+        gpu: Gpu,
+        cfg: ServeConfig,
+    ) -> Result<Self, ExecError> {
+        let runner = ResilientRunner::new(graph, primary, fallback, cfg.batch_cap, gpu, cfg.retry)?;
+        Ok(ServeRuntime {
+            runner,
+            queue: AdmissionQueue::new(cfg.queue_capacity),
+            breaker: CircuitBreaker::new(cfg.breaker),
+            brownout: BrownoutController::new(cfg.brownout),
+            cfg,
+        })
+    }
+
+    fn now(&mut self) -> u64 {
+        self.runner.executor_mut().gpu_mut().host_ns()
+    }
+
+    /// Sleeps the simulated clock forward to `target_ns` (no-op if in the
+    /// past).
+    fn advance_to(&mut self, target_ns: u64) {
+        let now = self.now();
+        if target_ns > now {
+            self.runner
+                .executor_mut()
+                .gpu_mut()
+                .host_busy(target_ns - now);
+        }
+    }
+
+    /// Serves an offered load (must be sorted by `arrival_ns`; generators
+    /// guarantee this) to completion or drain deadline, returning the
+    /// report. Deterministic in (load, config, GPU fault plan).
+    pub fn run(&mut self, offered: &[Request]) -> ServeReport {
+        let _span = dcd_obs::span("serve.run", dcd_obs::Category::Serve);
+        debug_assert!(offered
+            .windows(2)
+            .all(|w| w[0].arrival_ns <= w[1].arrival_ns));
+        let mut arrivals = offered.iter().copied().peekable();
+        let last_arrival_ns = offered.last().map(|r| r.arrival_ns).unwrap_or(0);
+        let drain_deadline_ns = last_arrival_ns.saturating_add(self.cfg.drain_grace_ns);
+
+        let mut served = 0u64;
+        let mut late = 0u64;
+        let mut shed_capacity = 0u64;
+        let mut shed_brownout = 0u64;
+        let mut dropped = 0u64;
+        let mut unserved = 0u64;
+        let mut batches = 0u64;
+        let mut failed_batches = 0u64;
+        let mut latencies: Vec<u64> = Vec::with_capacity(offered.len());
+        let mut expired: Vec<Request> = Vec::new();
+
+        loop {
+            let now = self.now();
+
+            // 1. Admission.
+            while let Some(req) = arrivals.peek().copied() {
+                if req.arrival_ns > now {
+                    break;
+                }
+                arrivals.next();
+                if self.brownout.sheds_low_priority() && req.priority == Priority::Low {
+                    shed_brownout += 1;
+                    dcd_obs::counter!("serve.shed_brownout").inc();
+                } else if self.queue.admit(req).is_err() {
+                    shed_capacity += 1;
+                    dcd_obs::counter!("serve.shed_capacity").inc();
+                }
+            }
+
+            // 2. Drain deadline / normal termination.
+            if now >= drain_deadline_ns {
+                let rest = self.queue.drain_remaining();
+                unserved = rest.len() as u64;
+                dcd_obs::counter!("serve.unserved").add(unserved);
+                break;
+            }
+            if self.queue.is_empty() {
+                match arrivals.peek() {
+                    None => break,
+                    Some(req) => {
+                        let t = req.arrival_ns;
+                        self.advance_to(t);
+                        continue;
+                    }
+                }
+            }
+
+            // 3. Breaker gate: while open, sleep toward whichever comes
+            // first — probe time, the next arrival, or the drain deadline.
+            if !self.breaker.call_permitted(now) {
+                let until = self
+                    .breaker
+                    .open_until_ns()
+                    .expect("breaker open ⇒ open_until");
+                let mut target = until.min(drain_deadline_ns);
+                if let Some(req) = arrivals.peek() {
+                    target = target.min(req.arrival_ns);
+                }
+                self.advance_to(target.max(now + 1));
+                continue;
+            }
+
+            // 4. Dispatch decision under the brownout-effective cap.
+            let cap = self.brownout.effective_batch_cap(self.cfg.batch_cap);
+            let oldest = self
+                .queue
+                .oldest_arrival_ns()
+                .expect("queue checked non-empty");
+            let timeout_at = oldest.saturating_add(self.cfg.batch_timeout_ns);
+            let more_arrivals = arrivals.peek().is_some();
+            let dispatch = self.queue.len() >= cap || now >= timeout_at || !more_arrivals;
+            if !dispatch {
+                let next_arrival = arrivals.peek().expect("more_arrivals").arrival_ns;
+                let target = next_arrival.min(timeout_at).min(drain_deadline_ns);
+                self.advance_to(target.max(now + 1));
+                continue;
+            }
+
+            // 5. Execute one batch.
+            if self.brownout.wants_sequential() {
+                // Validated at construction; switching cannot fail.
+                let _ = self.runner.use_fallback_schedule();
+            } else {
+                let _ = self.runner.use_primary_schedule();
+            }
+            expired.clear();
+            let mut batch = self.queue.take_batch(cap, now, &mut expired);
+            dropped += expired.len() as u64;
+            dcd_obs::counter!("serve.dropped").add(expired.len() as u64);
+            if batch.is_empty() {
+                // Everything at the front had expired; account and loop.
+                let p = self.queue.pressure();
+                let closed = self.breaker.state() == BreakerState::Closed;
+                self.brownout.evaluate(now, p, closed);
+                continue;
+            }
+            let health_before = self.runner.health;
+            let ok = {
+                let _batch_span = dcd_obs::span("serve.batch", dcd_obs::Category::Serve);
+                match self.runner.grow_batch(batch.len()) {
+                    Ok(achieved) => {
+                        if achieved < batch.len() {
+                            // VRAM pressure shrank the executor below the
+                            // request batch: only credit what actually
+                            // runs; the excess goes back to the front.
+                            let excess = batch.split_off(achieved);
+                            self.queue.requeue_front(excess);
+                        }
+                        self.runner.run().is_ok()
+                    }
+                    Err(_) => false,
+                }
+            };
+            let completion = self.now();
+            // Attribute the recovery effort (retry backoff above all) to
+            // the batch — and thus its requests — that paid for it.
+            let batch_health = self.runner.health.since(&health_before);
+            dcd_obs::counter!("serve.backoff_wait_ns").add(batch_health.backoff_wait_ns);
+            dcd_obs::counter!("serve.retries").add(batch_health.retries);
+            if ok {
+                self.breaker.on_success(completion);
+                batches += 1;
+                dcd_obs::counter!("serve.batches").inc();
+                for req in &batch {
+                    let latency = completion.saturating_sub(req.arrival_ns);
+                    latencies.push(latency);
+                    dcd_obs::histogram!("serve.latency_ns").record(latency);
+                    if completion <= req.deadline_ns {
+                        served += 1;
+                        dcd_obs::counter!("serve.served").inc();
+                    } else {
+                        late += 1;
+                        dcd_obs::counter!("serve.late").inc();
+                    }
+                }
+            } else {
+                self.breaker.on_failure(completion);
+                failed_batches += 1;
+                dcd_obs::counter!("serve.failed_batches").inc();
+                // The whole recovery ladder failed: requeue and let the
+                // breaker give the device room. The requests expire
+                // naturally if the outage persists.
+                self.queue.requeue_front(batch);
+            }
+
+            // 6. Brownout control step.
+            let after = self.now();
+            let p = self.queue.pressure();
+            let closed = self.breaker.state() == BreakerState::Closed;
+            self.brownout.evaluate(after, p, closed);
+        }
+
+        let end_ns = self.now();
+        let p50 = percentile_ns(&mut latencies, 0.50);
+        let p99 = percentile_ns(&mut latencies, 0.99);
+        ServeReport {
+            offered: offered.len() as u64,
+            served,
+            late,
+            shed_capacity,
+            shed_brownout,
+            dropped,
+            unserved,
+            batches,
+            failed_batches,
+            p50_latency_ns: p50,
+            p99_latency_ns: p99,
+            breaker_transitions: self.breaker.transitions().to_vec(),
+            brownout_transitions: self.brownout.transitions().to_vec(),
+            breaker_open_ns: self.breaker.total_open_ns(end_ns),
+            health: self.runner.health,
+            fell_back: self.runner.fell_back(),
+            end_ns,
+        }
+    }
+
+    /// Current brownout level (for tests and live introspection).
+    pub fn brownout_level(&self) -> BrownoutLevel {
+        self.brownout.level()
+    }
+
+    /// Current breaker state without advancing time.
+    pub fn breaker_state(&self) -> BreakerState {
+        self.breaker.state()
+    }
+
+    /// Consumes the runtime, returning the simulated device trace (for the
+    /// merged host+device timeline).
+    pub fn into_trace(self) -> Trace {
+        self.runner.into_executor().into_trace()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrival::ArrivalConfig;
+    use dcd_gpusim::{DeviceSpec, FaultPlan};
+    use dcd_ios::{greedy_schedule, lower_sppnet, sequential_schedule};
+    use dcd_nn::SppNetConfig;
+
+    fn graph() -> Graph {
+        lower_sppnet(&SppNetConfig::tiny(), (16, 16))
+    }
+
+    fn gpu_with(plan: FaultPlan) -> Gpu {
+        let mut g = Gpu::new(DeviceSpec::test_gpu());
+        g.set_fault_plan(plan);
+        g
+    }
+
+    fn runtime(graph: &Graph, plan: FaultPlan, cfg: ServeConfig) -> ServeRuntime<'_> {
+        ServeRuntime::new(
+            graph,
+            greedy_schedule(graph),
+            sequential_schedule(graph),
+            gpu_with(plan),
+            cfg,
+        )
+        .expect("fits")
+    }
+
+    #[test]
+    fn clean_load_is_fully_served_and_conserved() {
+        let g = graph();
+        let offered = ArrivalConfig::new(1).generate();
+        let mut rt = runtime(&g, FaultPlan::none(), ServeConfig::new());
+        let report = rt.run(&offered);
+        assert!(report.conserved(), "{report:?}");
+        assert_eq!(report.offered, offered.len() as u64);
+        assert!(report.served > 0);
+        assert_eq!(report.failed_batches, 0);
+        assert!(report.health.is_clean());
+        assert_eq!(report.final_breaker_state(), BreakerState::Closed);
+        assert!(report.p50_latency_ns <= report.p99_latency_ns);
+    }
+
+    #[test]
+    fn empty_load_is_a_clean_noop() {
+        let g = graph();
+        let mut rt = runtime(&g, FaultPlan::none(), ServeConfig::new());
+        let report = rt.run(&[]);
+        assert!(report.conserved());
+        assert_eq!(report.offered, 0);
+        assert_eq!(report.served, 0);
+        assert!((report.served_fraction() - 1.0).abs() < 1e-12);
+        assert_eq!(report.p99_latency_ns, 0);
+    }
+
+    #[test]
+    fn runs_are_bit_reproducible() {
+        let offered = ArrivalConfig::new(5).generate();
+        let plan = FaultPlan {
+            seed: 5,
+            launch_failure_rate: 0.05,
+            ..FaultPlan::none()
+        };
+        let run = || {
+            let g = graph();
+            let mut rt = runtime(&g, plan.clone(), ServeConfig::new());
+            rt.run(&offered)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn into_trace_exposes_the_device_timeline() {
+        let g = graph();
+        let offered = ArrivalConfig::new(2).with_duration_ns(5_000_000).generate();
+        let mut rt = runtime(&g, FaultPlan::none(), ServeConfig::new());
+        let report = rt.run(&offered);
+        assert!(report.batches > 0);
+        let trace = rt.into_trace();
+        assert!(!trace.records.is_empty());
+    }
+}

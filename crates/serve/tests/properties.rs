@@ -1,0 +1,140 @@
+//! Property-based tests of the serving runtime's invariants.
+//!
+//! Full serving runs are moderately expensive (each is a whole simulated
+//! minute of traffic), so the end-to-end properties run fewer cases than
+//! the pure state-machine ones.
+
+use dcd_gpusim::{DeviceSpec, FaultPlan, Gpu};
+use dcd_ios::{greedy_schedule, lower_sppnet, sequential_schedule, Graph};
+use dcd_serve::{
+    AdmissionQueue, ArrivalConfig, ArrivalProfile, BrownoutConfig, BrownoutController,
+    BrownoutLevel, Priority, Request, ServeConfig, ServeRuntime,
+};
+use proptest::prelude::*;
+
+fn graph() -> Graph {
+    lower_sppnet(&dcd_serve::chaos::scenario_model(), (16, 16))
+}
+
+fn run_load(seed: u64, rate: f64, fault_rate: f64, queue_cap: usize) -> dcd_serve::ServeReport {
+    let g = graph();
+    let mut gpu = Gpu::new(DeviceSpec::test_gpu());
+    gpu.set_fault_plan(FaultPlan {
+        seed,
+        launch_failure_rate: fault_rate,
+        ..FaultPlan::none()
+    });
+    let offered = ArrivalConfig::new(seed)
+        .with_profile(ArrivalProfile::Poisson { rate_per_sec: rate })
+        .with_duration_ns(20_000_000)
+        .with_deadline_ns(10_000_000)
+        .generate();
+    let mut rt = ServeRuntime::new(
+        &g,
+        greedy_schedule(&g),
+        sequential_schedule(&g),
+        gpu,
+        ServeConfig::new().with_queue_capacity(queue_cap),
+    )
+    .expect("fits");
+    rt.run(&offered)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The queue never exceeds its capacity no matter the admit /
+    /// take_batch / requeue interleaving.
+    #[test]
+    fn queue_never_exceeds_capacity(
+        cap in 1usize..16,
+        ops in prop::collection::vec((0u8..3, 1usize..8), 1..64),
+    ) {
+        let mut q = AdmissionQueue::new(cap);
+        let mut next_id = 0u64;
+        let mut dropped = Vec::new();
+        for (op, arg) in ops {
+            match op {
+                0 => {
+                    for _ in 0..arg {
+                        let _ = q.admit(Request {
+                            id: next_id,
+                            arrival_ns: next_id,
+                            // Odd ids are already expired at now=1000.
+                            deadline_ns: if next_id.is_multiple_of(2) { 1_000_000 } else { 10 },
+                            priority: Priority::High,
+                        });
+                        next_id += 1;
+                    }
+                }
+                1 => {
+                    let batch = q.take_batch(arg, 1_000, &mut dropped);
+                    prop_assert!(batch.len() <= arg);
+                    // Requeue half of what we took, like a failed batch.
+                    let keep: Vec<_> = batch.into_iter().take(arg / 2).collect();
+                    q.requeue_front(keep);
+                }
+                _ => {
+                    let _ = q.drain_remaining();
+                }
+            }
+            prop_assert!(q.len() <= q.capacity(), "len {} > cap {}", q.len(), q.capacity());
+        }
+    }
+
+    /// Brownout level is monotone non-decreasing while pressure stays at
+    /// or above the enter threshold, and recovery needs the dwell.
+    #[test]
+    fn brownout_monotone_up_and_hysteretic_down(
+        enter in 0.5f64..0.9,
+        exit in 0.05f64..0.4,
+        dwell in 10u64..10_000,
+        highs in prop::collection::vec(0.9f64..1.0, 1..12),
+    ) {
+        let cfg = BrownoutConfig::new()
+            .with_enter_pressure(enter)
+            .with_exit_pressure(exit)
+            .with_dwell_ns(dwell);
+        let mut c = BrownoutController::new(cfg);
+        let mut t = 0u64;
+        let mut prev = c.level();
+        for p in &highs {
+            let lvl = c.evaluate(t, *p, true);
+            prop_assert!(lvl >= prev, "level fell under rising pressure");
+            prev = lvl;
+            t += 1;
+        }
+        // Low pressure immediately: dwell has not elapsed → no step down.
+        let before = c.level();
+        let lvl = c.evaluate(t, 0.0, true);
+        prop_assert!(lvl == before || t >= dwell, "stepped down before dwell");
+        // After the dwell, recovery walks down one level per evaluation.
+        let mut t = t + dwell;
+        let mut prev = c.level();
+        for _ in 0..8 {
+            let lvl = c.evaluate(t, 0.0, true);
+            prop_assert!(lvl <= prev);
+            prev = lvl;
+            t += dwell + 1;
+        }
+        prop_assert_eq!(prev, BrownoutLevel::Normal, "full recovery expected");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Conservation: served + late + shed + dropped + unserved == offered
+    /// for arbitrary seeds, loads, fault rates, and queue sizes.
+    #[test]
+    fn conservation_holds_for_arbitrary_seeds(
+        seed in 0u64..1_000_000,
+        rate in 200f64..20_000.0,
+        fault_rate in 0f64..0.4,
+        queue_cap in 4usize..64,
+    ) {
+        let report = run_load(seed, rate, fault_rate, queue_cap);
+        prop_assert!(report.conserved(), "not conserved: {report:?}");
+        prop_assert!(report.p50_latency_ns <= report.p99_latency_ns);
+    }
+}

@@ -4,6 +4,7 @@
 //! drainage-repro train   [--epochs N] [--seed S] [--out model.json]
 //! drainage-repro scan    [--model model.json] [--seed S] [--threshold T]
 //! drainage-repro profile [--batch B] [--timeline out.json]
+//! drainage-repro serve   [--scenario NAME] [--seed S] [--timeline out.json]
 //! drainage-repro sweep
 //! ```
 //!
@@ -11,8 +12,9 @@
 //! JSON checkpoint; `scan` loads it and scans a fresh scene; `profile`
 //! prints the nsys-style report for the paper's final model (and with
 //! `--timeline out.json` also records a small host workload and writes a
-//! merged host+device Chrome-trace timeline for Perfetto); `sweep` prints
-//! the Fig 6 batch-size sweep.
+//! merged host+device Chrome-trace timeline for Perfetto); `serve` replays
+//! a named chaos scenario through the fault-aware serving runtime and
+//! prints its SLO report; `sweep` prints the Fig 6 batch-size sweep.
 
 use dcd_core::scan::{match_detections, scan_scene, ScanConfig};
 use dcd_core::{profile_run, DrainageCrossingDetector, Pipeline, PipelineConfig};
@@ -43,12 +45,14 @@ fn main() {
         Some("train") => cmd_train(&args),
         Some("scan") => cmd_scan(&args),
         Some("profile") => cmd_profile(&args),
+        Some("serve") => cmd_serve(&args),
         Some("sweep") => cmd_sweep(),
         _ => {
-            eprintln!("usage: drainage-repro <train|scan|profile|sweep> [flags]");
+            eprintln!("usage: drainage-repro <train|scan|profile|serve|sweep> [flags]");
             eprintln!("  train   [--epochs N] [--seed S] [--out model.json]");
             eprintln!("  scan    [--model model.json] [--seed S] [--threshold T]");
             eprintln!("  profile [--batch B] [--timeline out.json]");
+            eprintln!("  serve   [--scenario NAME] [--seed S] [--timeline out.json]");
             eprintln!("  sweep");
             std::process::exit(2);
         }
@@ -176,6 +180,88 @@ fn cmd_profile(args: &[String]) {
         profile.mem_used_bytes as f64 / 1e6
     );
     if let Some(path) = timeline {
+        std::fs::write(&path, report.chrome_trace().to_json()).expect("write timeline JSON");
+        eprintln!(
+            "merged host+device timeline written to {path} (open at https://ui.perfetto.dev)"
+        );
+    }
+}
+
+fn cmd_serve(args: &[String]) {
+    let name = flag(args, "--scenario").unwrap_or_else(|| "fault-burst".to_string());
+    let seed = parse(args, "--seed", 42u64);
+    let timeline = flag(args, "--timeline");
+
+    let Some(sc) = dcd_serve::scenario(&name, seed) else {
+        eprintln!(
+            "unknown scenario '{name}'; catalog: {}",
+            dcd_serve::scenario_names().join(", ")
+        );
+        std::process::exit(2);
+    };
+    if timeline.is_some() {
+        dcd_obs::set_enabled(true);
+    }
+    let (report, trace) = dcd_serve::run_scenario(&sc);
+
+    println!(
+        "scenario {name} (seed {seed}): {} offered over {:.1} ms, drained at {:.1} ms",
+        report.offered,
+        sc.arrivals.duration_ns as f64 / 1e6,
+        report.end_ns as f64 / 1e6
+    );
+    println!(
+        "  served {} ({:.1}% within deadline), late {}, shed {} (capacity {} / brownout {}), dropped {}, unserved {}",
+        report.served,
+        report.served_fraction() * 100.0,
+        report.late,
+        report.shed_capacity + report.shed_brownout,
+        report.shed_capacity,
+        report.shed_brownout,
+        report.dropped,
+        report.unserved
+    );
+    println!(
+        "  batches {} ({} failed), latency p50 {:.3} ms / p99 {:.3} ms",
+        report.batches,
+        report.failed_batches,
+        report.p50_latency_ns as f64 / 1e6,
+        report.p99_latency_ns as f64 / 1e6
+    );
+    println!(
+        "  breaker: final {}, open {:.3} ms total{}",
+        report.final_breaker_state().label(),
+        report.breaker_open_ns as f64 / 1e6,
+        if report.fell_back {
+            "; latched sequential fallback"
+        } else {
+            ""
+        }
+    );
+    for (t, s) in &report.breaker_transitions {
+        println!("    {:>10.3} ms  breaker -> {}", *t as f64 / 1e6, s.label());
+    }
+    for (t, l) in &report.brownout_transitions {
+        println!(
+            "    {:>10.3} ms  brownout -> {}",
+            *t as f64 / 1e6,
+            l.label()
+        );
+    }
+    if !report.health.is_clean() {
+        println!(
+            "  health: {} retries, {} faults seen, {} degradations, {} hangs, backoff wait {:.3} ms",
+            report.health.retries,
+            report.health.faults_seen(),
+            report.health.degradations,
+            report.health.device_hangs,
+            report.health.backoff_wait_ns as f64 / 1e6
+        );
+    }
+    assert!(report.conserved(), "request ledger does not balance");
+
+    if let Some(path) = timeline {
+        let report = ProfileReport::from_trace(&trace).with_host_spans(dcd_obs::drain_spans());
         std::fs::write(&path, report.chrome_trace().to_json()).expect("write timeline JSON");
         eprintln!(
             "merged host+device timeline written to {path} (open at https://ui.perfetto.dev)"
